@@ -1,0 +1,81 @@
+//! Criterion microbenchmarks of the two network simulators: cycle
+//! throughput under load and end-to-end replay of a small coherence
+//! trace (the kernel behind Figures 10 and 11).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use phastlane_bench::Config;
+use phastlane_netsim::harness::{run_trace, TraceOptions};
+use phastlane_netsim::{Mesh, Network, NewPacket, NodeId};
+use phastlane_traffic::coherence::generate_trace;
+use phastlane_traffic::splash2;
+
+fn loaded_network(cfg: Config) -> Box<dyn Network> {
+    let mut net = cfg.build();
+    for i in 0..64u16 {
+        let dst = NodeId((i * 23 + 9) % 64);
+        if NodeId(i) != dst {
+            let _ = net.inject(NewPacket::unicast(NodeId(i), dst));
+        }
+    }
+    net
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_step");
+    for cfg in [Config::Optical4, Config::Electrical3] {
+        group.bench_function(cfg.label(), |b| {
+            b.iter_batched(
+                || loaded_network(cfg),
+                |mut net| {
+                    for _ in 0..10 {
+                        net.step();
+                    }
+                    net
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_replay(c: &mut Criterion) {
+    let mut profile = splash2::benchmark("LU").expect("known benchmark");
+    profile.misses_per_core = 4;
+    let trace = generate_trace(Mesh::PAPER, &profile);
+    let mut group = c.benchmark_group("trace_replay_lu4");
+    group.sample_size(10);
+    for cfg in [Config::Optical4, Config::Electrical3] {
+        group.bench_function(cfg.label(), |b| {
+            b.iter(|| {
+                let mut net = cfg.build();
+                run_trace(&mut net, &trace, TraceOptions::default()).completion_cycle
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_broadcast");
+    for cfg in [Config::Optical4, Config::Electrical3] {
+        group.bench_function(cfg.label(), |b| {
+            b.iter(|| {
+                let mut net = cfg.build();
+                net.inject(NewPacket::broadcast(
+                    NodeId(27),
+                    phastlane_netsim::PacketKind::ReadRequest,
+                ))
+                .expect("NIC room");
+                while net.in_flight() > 0 {
+                    net.step();
+                }
+                net.drain_deliveries().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step, bench_trace_replay, bench_broadcast);
+criterion_main!(benches);

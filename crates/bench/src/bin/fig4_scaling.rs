@@ -1,0 +1,35 @@
+//! Figure 4: optimistic, average, and pessimistic scaling trends for the
+//! optical transmit and receive chain delays, 45 nm down to 16 nm.
+
+use phastlane_bench::print_row;
+use phastlane_photonics::scaling::figure4_series;
+
+fn main() {
+    println!("Figure 4: transmit/receive delay scaling trends (ps)\n");
+    let widths = [6, 12, 12, 12, 12, 12, 12];
+    print_row(
+        &[
+            "node".into(),
+            "tx-opt".into(),
+            "tx-avg".into(),
+            "tx-pess".into(),
+            "rx-opt".into(),
+            "rx-avg".into(),
+            "rx-pess".into(),
+        ],
+        &widths,
+    );
+    for (node, row) in figure4_series() {
+        let cells = vec![
+            node.to_string(),
+            format!("{:.1}", row[0].1.transmit.value()),
+            format!("{:.1}", row[1].1.transmit.value()),
+            format!("{:.1}", row[2].1.transmit.value()),
+            format!("{:.2}", row[0].1.receive.value()),
+            format!("{:.2}", row[1].1.receive.value()),
+            format!("{:.2}", row[2].1.receive.value()),
+        ];
+        print_row(&cells, &widths);
+    }
+    println!("\npaper endpoints at 16nm: transmit 8.0-19.4 ps, receive 1.8-3.7 ps");
+}

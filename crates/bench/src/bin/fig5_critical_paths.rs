@@ -1,0 +1,50 @@
+//! Figure 5: component delays of the critical paths (PP, PB, PA, PIA)
+//! through the Phastlane router under different scaling assumptions and
+//! WDM degrees.
+
+use phastlane_bench::print_row;
+use phastlane_photonics::delay::{RouterDesign, RouterOp};
+use phastlane_photonics::scaling::Scaling;
+use phastlane_photonics::units::TechNode;
+use phastlane_photonics::wdm::WdmConfig;
+
+fn main() {
+    println!("Figure 5: critical-path component delays (ps) at 16nm\n");
+    let widths = [12, 6, 5, 9, 9, 9, 9, 8];
+    print_row(
+        &[
+            "scaling".into(),
+            "wdm".into(),
+            "op".into(),
+            "rx-ctl".into(),
+            "drive".into(),
+            "traverse".into(),
+            "rx-pkt".into(),
+            "total".into(),
+        ],
+        &widths,
+    );
+    for scaling in Scaling::ALL {
+        for wdm in WdmConfig::SWEEP {
+            let design = RouterDesign { wdm, scaling, node: TechNode::NM16 };
+            for op in RouterOp::ALL {
+                let bd = design.critical_path(op);
+                print_row(
+                    &[
+                        scaling.to_string(),
+                        wdm.payload_wdm.to_string(),
+                        op.to_string(),
+                        format!("{:.2}", bd.receive_control.value()),
+                        format!("{:.2}", bd.drive_resonators.value()),
+                        format!("{:.2}", bd.traverse.value()),
+                        format!("{:.2}", bd.receive_packet.value()),
+                        format!("{:.2}", bd.total().value()),
+                    ],
+                    &widths,
+                );
+            }
+        }
+    }
+    println!("\npaper observations: wavelengths have little impact; resonator");
+    println!("driving dominates; PP > PB > PA.");
+}

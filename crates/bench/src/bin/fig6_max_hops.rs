@@ -1,0 +1,20 @@
+//! Figure 6: maximum number of hops a packet can travel in a single
+//! 4 GHz cycle, for each number of wavelengths and scaling assumption.
+
+use phastlane_bench::print_row;
+use phastlane_photonics::delay::figure6_series;
+use phastlane_photonics::units::TechNode;
+
+fn main() {
+    println!("Figure 6: max hops per 4GHz cycle at 16nm\n");
+    let widths = [6, 14, 6];
+    print_row(&["wdm".into(), "scaling".into(), "hops".into()], &widths);
+    for (wdm, scaling, hops) in figure6_series(TechNode::NM16) {
+        print_row(
+            &[wdm.payload_wdm.to_string(), scaling.to_string(), hops.to_string()],
+            &widths,
+        );
+    }
+    println!("\npaper: 8 / 5 / 4 hops for optimistic / average / pessimistic,");
+    println!("independent of the number of wavelengths.");
+}

@@ -1,0 +1,30 @@
+//! Figure 7: contour of the peak optical power as a function of crossing
+//! efficiency, number of wavelengths, and maximum hops per cycle.
+
+use phastlane_bench::print_row;
+use phastlane_photonics::power::figure7_grid;
+
+fn main() {
+    println!("Figure 7: peak optical power (W)\n");
+    let efficiencies = [0.97, 0.98, 0.99, 0.995];
+    let hops = [2, 3, 4, 5, 8];
+    let widths = [6, 6, 6, 10];
+    print_row(
+        &["eff".into(), "wdm".into(), "hops".into(), "peak W".into()],
+        &widths,
+    );
+    for (eff, wdm, h, power) in figure7_grid(&efficiencies, &hops) {
+        print_row(
+            &[
+                format!("{:.1}%", eff * 100.0),
+                wdm.payload_wdm.to_string(),
+                h.to_string(),
+                format!("{:.1}", power.as_watts()),
+            ],
+            &widths,
+        );
+    }
+    println!("\npaper operating points: 64λ/4hop/98% ≈ 32 W;");
+    println!("128λ/5hop/98% ≈ 32 W; 128λ/4hop/98% ≈ 15 W;");
+    println!("32λ needs ≥99% efficiency or a 2-3 hop limit.");
+}

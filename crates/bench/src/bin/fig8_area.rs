@@ -1,0 +1,47 @@
+//! Figure 8: impact of the number of wavelengths on the router area
+//! components and the total area.
+
+use phastlane_bench::print_row;
+use phastlane_photonics::area::{area_sweet_spot, RouterArea, NODE_AREA_1CORE, NODE_AREA_2CORE, NODE_AREA_4CORE};
+use phastlane_photonics::wdm::WdmConfig;
+
+fn main() {
+    println!("Figure 8: router area components vs wavelengths (mm^2)\n");
+    let widths = [6, 12, 10, 8, 8, 18];
+    print_row(
+        &[
+            "wdm".into(),
+            "turn-region".into(),
+            "ports".into(),
+            "fixed".into(),
+            "total".into(),
+            "fits node".into(),
+        ],
+        &widths,
+    );
+    for wdm in WdmConfig::SWEEP {
+        let a = RouterArea::for_wdm(wdm);
+        let fits = if a.fits(NODE_AREA_1CORE) {
+            "1-core (3.5mm^2)"
+        } else if a.fits(NODE_AREA_2CORE) {
+            "2-core (4.5mm^2)"
+        } else if a.fits(NODE_AREA_4CORE) {
+            "4-core (6.5mm^2)"
+        } else {
+            "none"
+        };
+        print_row(
+            &[
+                wdm.payload_wdm.to_string(),
+                format!("{:.3}", a.turn_region.value()),
+                format!("{:.3}", a.ports.value()),
+                format!("{:.3}", a.fixed.value()),
+                format!("{:.3}", a.total().value()),
+                fits.to_string(),
+            ],
+            &widths,
+        );
+    }
+    let best = area_sweet_spot(&WdmConfig::SWEEP).expect("non-empty sweep");
+    println!("\nsweet spot: {} wavelengths (paper: 64)", best.payload_wdm);
+}

@@ -1,0 +1,94 @@
+//! Figure 9: average packet latency as a function of injection rate for
+//! the Bit Comp, Bit Reverse, Shuffle, and Transpose synthetic patterns,
+//! comparing the optical configurations against the electrical baselines.
+//!
+//! Usage: `cargo run --release -p phastlane-bench --bin fig9_synthetic
+//! [--quick]`
+
+use phastlane_bench::chart::{render_log_y, Series};
+use phastlane_bench::{print_row, quick_flag, Config};
+use phastlane_netsim::geometry::Mesh;
+use phastlane_netsim::harness::SyntheticOptions;
+use phastlane_netsim::sweep::{latency_sweep, saturation_rate, SweepPoint};
+use phastlane_traffic::patterns::Pattern;
+use phastlane_traffic::synthetic::BernoulliTraffic;
+
+fn main() {
+    let quick = quick_flag();
+    let draw_charts = std::env::args().any(|a| a == "--chart");
+    let opts = if quick {
+        SyntheticOptions { warmup: 300, measure: 1_000, drain: 3_000 }
+    } else {
+        SyntheticOptions { warmup: 1_000, measure: 4_000, drain: 12_000 }
+    };
+    let rates: Vec<f64> = if quick {
+        vec![0.02, 0.06, 0.10, 0.16, 0.22, 0.30]
+    } else {
+        vec![0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.13, 0.16, 0.20, 0.24, 0.28, 0.34, 0.40]
+    };
+
+    println!("Figure 9: average packet latency (cycles) vs injection rate");
+    println!("(packets/node/cycle; '-' marks saturated points)\n");
+
+    for pattern in Pattern::FIGURE9 {
+        println!("--- {} ---", pattern.label());
+        let widths: Vec<usize> = std::iter::once(7)
+            .chain(Config::FIGURE9.iter().map(|c| c.label().len().max(8)))
+            .collect();
+        let mut header = vec!["rate".to_string()];
+        header.extend(Config::FIGURE9.iter().map(|c| c.label().to_string()));
+        print_row(&header, &widths);
+
+        let mut curves: Vec<Vec<SweepPoint>> = Vec::new();
+        for &cfg in &Config::FIGURE9 {
+            let points = latency_sweep(
+                &rates,
+                || cfg.build(),
+                |rate| BernoulliTraffic::new(Mesh::PAPER, pattern, rate, 0x51CA + cfg as u64),
+                opts,
+            );
+            curves.push(points);
+        }
+        for (ri, &rate) in rates.iter().enumerate() {
+            let mut cells = vec![format!("{rate:.2}")];
+            for curve in &curves {
+                let p = &curve[ri];
+                if p.is_stable() {
+                    cells.push(format!("{:.1}", p.mean_latency()));
+                } else {
+                    cells.push("-".to_string());
+                }
+            }
+            print_row(&cells, &widths);
+        }
+        let mut cells = vec!["sat.".to_string()];
+        for curve in &curves {
+            match saturation_rate(curve) {
+                Some(r) => cells.push(format!("{r:.2}")),
+                None => cells.push("?".to_string()),
+            }
+        }
+        print_row(&cells, &widths);
+        if draw_charts {
+            let markers = ['o', '4', '8', 'x', '#'];
+            let series: Vec<Series> = Config::FIGURE9
+                .iter()
+                .zip(markers)
+                .zip(&curves)
+                .map(|((cfg, marker), curve)| Series {
+                    label: cfg.label().to_string(),
+                    marker,
+                    points: curve
+                        .iter()
+                        .filter(|p| p.is_stable())
+                        .map(|p| (p.offered_rate, p.mean_latency()))
+                        .collect(),
+                })
+                .collect();
+            println!("\n{}", render_log_y(&series, 56, 12));
+        }
+        println!();
+    }
+    println!("paper: optical ~5-10x lower latency than electrical, with");
+    println!("slightly better saturation bandwidth.");
+}

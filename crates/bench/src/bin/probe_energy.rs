@@ -1,0 +1,26 @@
+//! Diagnostic: energy breakdown per network on one benchmark.
+use phastlane_bench::{run_on, scaled_profile, Config};
+use phastlane_netsim::geometry::Mesh;
+use phastlane_traffic::coherence::generate_trace;
+use phastlane_traffic::splash2;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Barnes".into());
+    let profile = scaled_profile(&splash2::benchmark(&name).unwrap(), 0.1);
+    let trace = generate_trace(Mesh::PAPER, &profile);
+    for cfg in [Config::Optical4, Config::Optical8, Config::Electrical3] {
+        let out = run_on(cfg, &trace);
+        let e = out.result.energy;
+        println!(
+            "{:12} cycles={} dyn={:.0}nJ leak={:.0}nJ laser={:.0}nJ link={:.0}nJ total={:.0}nJ power={:.0}mW",
+            cfg.label(),
+            out.result.completion_cycle,
+            e.dynamic_pj / 1000.0,
+            e.leakage_pj / 1000.0,
+            e.laser_pj / 1000.0,
+            e.link_pj / 1000.0,
+            e.total_pj() / 1000.0,
+            out.average_power_mw(),
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Diagnostic: print the deterministic completion cycles used by the
+//! golden regression tests (tests/golden.rs).
+use phastlane_bench::{run_on, scaled_profile, Config};
+use phastlane_netsim::geometry::Mesh;
+use phastlane_traffic::cachegen::{generate_cache_trace, CacheWorkload};
+use phastlane_traffic::coherence::generate_trace;
+use phastlane_traffic::splash2;
+
+fn main() {
+    for bench in ["LU", "Ocean", "Water-Spatial"] {
+        let profile = scaled_profile(&splash2::benchmark(bench).unwrap(), 0.05);
+        let trace = generate_trace(Mesh::PAPER, &profile);
+        for cfg in [Config::Optical4, Config::Electrical3] {
+            let out = run_on(cfg, &trace);
+            println!("coherence {bench} {} -> {}", cfg.label(), out.result.completion_cycle);
+        }
+    }
+    let mut w = CacheWorkload::write_sharing();
+    w.accesses_per_core = 300;
+    w.active_cores = 16;
+    let (trace, report) = generate_cache_trace(Mesh::PAPER, &w);
+    println!("cachegen misses={} inv={}", report.l2_misses, report.invalidations);
+    for cfg in [Config::Optical4, Config::Electrical3] {
+        let out = run_on(cfg, &trace);
+        println!("cachegen {} -> {}", cfg.label(), out.result.completion_cycle);
+    }
+}

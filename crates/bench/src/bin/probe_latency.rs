@@ -1,0 +1,26 @@
+//! Diagnostic: primitive operation latencies on both networks.
+use phastlane_bench::Config;
+use phastlane_netsim::packet::PacketKind;
+use phastlane_netsim::{Network, NewPacket, NodeId};
+
+fn run_one(cfg: Config, p: NewPacket) -> (u64, u64) {
+    let mut net = cfg.build();
+    net.inject(p).unwrap();
+    while net.in_flight() > 0 {
+        net.step();
+        assert!(net.cycle() < 10_000);
+    }
+    let d = net.drain_deliveries();
+    let max = d.iter().map(|x| x.latency()).max().unwrap();
+    let avg: u64 = d.iter().map(|x| x.latency()).sum::<u64>() / d.len() as u64;
+    (avg, max)
+}
+
+fn main() {
+    for cfg in [Config::Optical4, Config::Electrical3, Config::Electrical2] {
+        let (ba, bm) = run_one(cfg, NewPacket::broadcast(NodeId(27), PacketKind::ReadRequest));
+        let (ua, um) = run_one(cfg, NewPacket::unicast(NodeId(27), NodeId(5)));
+        let (ca, cm) = run_one(cfg, NewPacket::broadcast(NodeId(0), PacketKind::ReadRequest));
+        println!("{:12} bcast(center) avg={ba} max={bm}; bcast(corner) avg={ca} max={cm}; unicast avg={ua} max={um}", cfg.label());
+    }
+}

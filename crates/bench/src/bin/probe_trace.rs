@@ -1,0 +1,24 @@
+//! Diagnostic: replay details for one benchmark.
+use phastlane_bench::{run_on, scaled_profile, Config};
+use phastlane_netsim::geometry::Mesh;
+use phastlane_traffic::coherence::generate_trace;
+use phastlane_traffic::splash2;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Water-NSquared".into());
+    let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let profile = scaled_profile(&splash2::benchmark(&name).unwrap(), scale);
+    let trace = generate_trace(Mesh::PAPER, &profile);
+    println!("{} scale {scale}: {} messages", profile.name, trace.len());
+    for cfg in [Config::Optical4, Config::Electrical3] {
+        let out = run_on(cfg, &trace);
+        println!(
+            "{:12} completion={} lat[{}] drops={} retx={}",
+            cfg.label(),
+            out.result.completion_cycle,
+            out.result.latency,
+            out.stats.dropped,
+            out.stats.retransmitted,
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Tables 1 and 2: the optical network configuration and the baseline
+//! electrical router parameters, printed from the defaults the simulators
+//! actually use.
+
+use phastlane_core::PhastlaneConfig;
+use phastlane_electrical::ElectricalConfig;
+use phastlane_photonics::wdm::{CONTROL_BITS, CONTROL_WAVEGUIDES, CONTROL_WDM};
+
+fn main() {
+    let o = PhastlaneConfig::optical4();
+    println!("Table 1: optical network configuration");
+    println!("  Flits per packet            1 (80 bytes)");
+    println!("  Packet payload WDM          {}", o.wdm.payload_wdm);
+    println!("  Packet payload waveguides   {}", o.wdm.payload_waveguides());
+    println!("  Routing function            Dimension-Order");
+    println!("  Packet control bits         {CONTROL_BITS}");
+    println!("  Packet control WDM          {CONTROL_WDM}");
+    println!("  Packet control waveguides   {CONTROL_WAVEGUIDES}");
+    println!("  Buffer entries in NIC       {}", o.nic_entries);
+    println!("  Max hops per cycle          4, 5, or 8");
+    println!("  Node transmit arbitration   Rotating Priority");
+    println!("  Network path arbitration    Fixed Priority");
+    println!();
+
+    let e = ElectricalConfig::electrical3();
+    println!("Table 2: baseline electrical router parameters");
+    println!("  Flits per packet            1 (80 bytes)");
+    println!("  Routing function            Dimension-Order");
+    println!("  Number of VCs per port      {}", e.vcs_per_port);
+    println!("  Number of entries per VC    {}", e.entries_per_vc);
+    println!("  Wait for tail credit        YES");
+    println!("  VC allocator                iSLIP");
+    println!("  SW allocator                iSLIP");
+    println!("  Total router delay          2 or 3 cycles");
+    println!("  Input speedup               {}", e.input_speedup);
+    println!("  Output speedup              {}", e.output_speedup);
+    println!("  Buffer entries in NIC       {}", e.nic_entries);
+}

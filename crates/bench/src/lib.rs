@@ -1,0 +1,171 @@
+//! Shared experiment harness for the figure-regeneration binaries
+//! (`src/bin/fig*.rs`) and the Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation maps to one binary;
+//! see `DESIGN.md` for the index and `EXPERIMENTS.md` for recorded
+//! results.
+
+pub mod chart;
+pub mod report;
+
+use phastlane_core::{PhastlaneConfig, PhastlaneNetwork};
+use phastlane_electrical::{ElectricalConfig, ElectricalNetwork};
+use phastlane_netsim::harness::{run_trace, Trace, TraceOptions, TraceResult};
+use phastlane_netsim::network::Network;
+use phastlane_netsim::stats::NetworkStats;
+
+/// Network clock in GHz (4 GHz throughout the paper).
+pub const CLOCK_GHZ: f64 = 4.0;
+
+/// A network configuration under evaluation, by figure label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Config {
+    /// Phastlane, 4 hops/cycle, 10 buffers.
+    Optical4,
+    /// Phastlane, 5 hops/cycle.
+    Optical5,
+    /// Phastlane, 8 hops/cycle.
+    Optical8,
+    /// Phastlane, 4 hops, 32 buffer entries.
+    Optical4B32,
+    /// Phastlane, 4 hops, 64 buffer entries.
+    Optical4B64,
+    /// Phastlane, 4 hops, infinite buffers.
+    Optical4IB,
+    /// Electrical baseline, 3-cycle router.
+    Electrical3,
+    /// Electrical baseline, 2-cycle router.
+    Electrical2,
+}
+
+impl Config {
+    /// All configurations of Figures 10 and 11, baseline last.
+    pub const FIGURE10: [Config; 8] = [
+        Config::Optical4,
+        Config::Optical5,
+        Config::Optical8,
+        Config::Optical4B32,
+        Config::Optical4B64,
+        Config::Optical4IB,
+        Config::Electrical2,
+        Config::Electrical3,
+    ];
+
+    /// The configurations swept in Figure 9.
+    pub const FIGURE9: [Config; 5] = [
+        Config::Optical4,
+        Config::Optical5,
+        Config::Optical8,
+        Config::Electrical2,
+        Config::Electrical3,
+    ];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Config::Optical4 => "Optical4",
+            Config::Optical5 => "Optical5",
+            Config::Optical8 => "Optical8",
+            Config::Optical4B32 => "Optical4B32",
+            Config::Optical4B64 => "Optical4B64",
+            Config::Optical4IB => "Optical4IB",
+            Config::Electrical3 => "Electrical3",
+            Config::Electrical2 => "Electrical2",
+        }
+    }
+
+    /// Builds a fresh network of this configuration.
+    pub fn build(self) -> Box<dyn Network> {
+        match self {
+            Config::Optical4 => Box::new(PhastlaneNetwork::new(PhastlaneConfig::optical4())),
+            Config::Optical5 => Box::new(PhastlaneNetwork::new(PhastlaneConfig::optical5())),
+            Config::Optical8 => Box::new(PhastlaneNetwork::new(PhastlaneConfig::optical8())),
+            Config::Optical4B32 => {
+                Box::new(PhastlaneNetwork::new(PhastlaneConfig::optical4_b32()))
+            }
+            Config::Optical4B64 => {
+                Box::new(PhastlaneNetwork::new(PhastlaneConfig::optical4_b64()))
+            }
+            Config::Optical4IB => {
+                Box::new(PhastlaneNetwork::new(PhastlaneConfig::optical4_ib()))
+            }
+            Config::Electrical3 => {
+                Box::new(ElectricalNetwork::new(ElectricalConfig::electrical3()))
+            }
+            Config::Electrical2 => {
+                Box::new(ElectricalNetwork::new(ElectricalConfig::electrical2()))
+            }
+        }
+    }
+}
+
+/// Outcome of replaying one trace on one configuration.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Configuration label.
+    pub config: Config,
+    /// Trace replay result.
+    pub result: TraceResult,
+    /// Network counters (drops, retransmissions).
+    pub stats: NetworkStats,
+}
+
+impl RunOutcome {
+    /// Average network power over the run, in milliwatts.
+    pub fn average_power_mw(&self) -> f64 {
+        self.result
+            .energy
+            .average_power_mw(self.result.completion_cycle.max(1), CLOCK_GHZ)
+    }
+}
+
+/// Replays `trace` on a fresh network of `config`.
+pub fn run_on(config: Config, trace: &Trace) -> RunOutcome {
+    let mut net = config.build();
+    let result = run_trace(&mut net, trace, TraceOptions::default());
+    RunOutcome { config, result, stats: net.stats() }
+}
+
+/// Scales a benchmark's size for quick runs: `1.0` is the full trace.
+pub fn scaled_profile(
+    profile: &phastlane_traffic::BenchmarkProfile,
+    scale: f64,
+) -> phastlane_traffic::BenchmarkProfile {
+    let mut p = profile.clone();
+    p.misses_per_core = ((p.misses_per_core as f64 * scale).round() as usize).max(2);
+    p
+}
+
+/// Parses the common `--quick` flag used by the figure binaries.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Prints a row of fixed-width columns.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{cell:>w$}  ", w = *w));
+    }
+    println!("{}", line.trim_end());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = Config::FIGURE10.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn build_matches_label() {
+        for c in Config::FIGURE10 {
+            assert_eq!(c.build().name(), c.label());
+        }
+    }
+}

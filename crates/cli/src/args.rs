@@ -1,0 +1,128 @@
+//! Tiny dependency-free argument parsing for the `phastlane` CLI.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line: positional words plus `--key value` /
+/// `--flag` options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Parsed {
+    positionals: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// An argument-parsing error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Option keys that take a value; anything else starting with `--` is a
+/// boolean flag.
+pub const VALUE_KEYS: &[&str] = &[
+    "net", "benchmark", "workload", "scale", "pattern", "rate", "rates", "out", "mesh",
+    "hops", "buffers", "seed", "wavelengths", "efficiency", "max-cycles",
+];
+
+impl Parsed {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Errors when a value-taking option is missing its value.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, ArgError> {
+        let mut out = Parsed::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if VALUE_KEYS.contains(&key) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{key} requires a value")))?;
+                    out.options.insert(key.to_string(), v);
+                } else {
+                    out.flags.push(key.to_string());
+                }
+            } else {
+                out.positionals.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The n-th positional word, if present.
+    pub fn positional(&self, n: usize) -> Option<&str> {
+        self.positionals.get(n).map(String::as_str)
+    }
+
+    /// An option value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// An option parsed to a type, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the value does not parse.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value for --{key}: {v:?}"))),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    #[allow(dead_code)] // exercised by tests; available for new subcommands
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Parsed {
+        Parsed::parse(words.iter().map(|s| s.to_string())).expect("parses")
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let p = parse(&["simulate", "--net", "optical4", "--scale", "0.5", "--quick"]);
+        assert_eq!(p.positional(0), Some("simulate"));
+        assert_eq!(p.get("net"), Some("optical4"));
+        assert_eq!(p.get_parsed("scale", 1.0).unwrap(), 0.5);
+        assert!(p.flag("quick"));
+        assert!(!p.flag("chart"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let e = Parsed::parse(vec!["--net".to_string()]).unwrap_err();
+        assert!(e.to_string().contains("--net requires a value"));
+    }
+
+    #[test]
+    fn bad_parse_reports_key() {
+        let p = parse(&["--scale", "abc"]);
+        let e = p.get_parsed::<f64>("scale", 1.0).unwrap_err();
+        assert!(e.to_string().contains("--scale"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let p = parse(&[]);
+        assert_eq!(p.get_parsed("scale", 0.25).unwrap(), 0.25);
+        assert_eq!(p.positional(0), None);
+    }
+}

@@ -1,0 +1,436 @@
+//! Implementations of the `phastlane` subcommands.
+
+use crate::args::{ArgError, Parsed};
+use phastlane_core::{PhastlaneConfig, PhastlaneNetwork};
+use phastlane_electrical::{ElectricalConfig, ElectricalNetwork};
+use phastlane_netsim::harness::{
+    run_synthetic, run_trace, SyntheticOptions, Trace, TraceOptions,
+};
+use phastlane_netsim::network::Network;
+use phastlane_netsim::{Mesh, NodeId};
+use phastlane_photonics::delay::RouterDesign;
+use phastlane_photonics::power::PowerPoint;
+use phastlane_photonics::scaling::Scaling;
+use phastlane_photonics::wdm::WdmConfig;
+use phastlane_traffic::coherence::generate_trace;
+use phastlane_traffic::splash2;
+use phastlane_traffic::synthetic::BernoulliTraffic;
+use phastlane_traffic::Pattern;
+
+/// Builds a network from its `--net` name.
+///
+/// # Errors
+///
+/// Errors on an unknown name.
+pub fn build_network(name: &str, mesh: Mesh) -> Result<Box<dyn Network>, ArgError> {
+    let optical = |mut cfg: PhastlaneConfig| -> Box<dyn Network> {
+        cfg.mesh = mesh;
+        Box::new(PhastlaneNetwork::new(cfg))
+    };
+    let electrical = |mut cfg: ElectricalConfig| -> Box<dyn Network> {
+        cfg.mesh = mesh;
+        Box::new(ElectricalNetwork::new(cfg))
+    };
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "optical4" => optical(PhastlaneConfig::optical4()),
+        "optical5" => optical(PhastlaneConfig::optical5()),
+        "optical8" => optical(PhastlaneConfig::optical8()),
+        "optical4b32" => optical(PhastlaneConfig::optical4_b32()),
+        "optical4b64" => optical(PhastlaneConfig::optical4_b64()),
+        "optical4ib" => optical(PhastlaneConfig::optical4_ib()),
+        "optical4sp50" => optical(PhastlaneConfig::optical4_shared_pool()),
+        "electrical3" => electrical(ElectricalConfig::electrical3()),
+        "electrical2" => electrical(ElectricalConfig::electrical2()),
+        other => {
+            return Err(ArgError(format!(
+                "unknown network {other:?}; try optical4, optical5, optical8, \
+                 optical4b32, optical4b64, optical4ib, optical4sp50, \
+                 electrical2, electrical3"
+            )))
+        }
+    })
+}
+
+/// Parses `--mesh WxH` (default 8x8).
+///
+/// # Errors
+///
+/// Errors on malformed dimensions.
+pub fn parse_mesh(p: &Parsed) -> Result<Mesh, ArgError> {
+    match p.get("mesh") {
+        None => Ok(Mesh::PAPER),
+        Some(s) => {
+            let (w, h) = s
+                .split_once('x')
+                .ok_or_else(|| ArgError(format!("--mesh expects WxH, got {s:?}")))?;
+            let w: u16 =
+                w.parse().map_err(|_| ArgError(format!("bad mesh width {w:?}")))?;
+            let h: u16 =
+                h.parse().map_err(|_| ArgError(format!("bad mesh height {h:?}")))?;
+            if w == 0 || h == 0 {
+                return Err(ArgError("mesh dimensions must be positive".into()));
+            }
+            Ok(Mesh::new(w, h))
+        }
+    }
+}
+
+fn load_benchmark_trace(p: &Parsed, mesh: Mesh) -> Result<(String, Trace), ArgError> {
+    let name = p.get("benchmark").unwrap_or("FFT");
+    let scale: f64 = p.get_parsed("scale", 0.25)?;
+    let mut profile = splash2::benchmark(name)
+        .ok_or_else(|| ArgError(format!("unknown benchmark {name:?} (see Table 3)")))?;
+    profile.misses_per_core =
+        ((profile.misses_per_core as f64 * scale).round() as usize).max(2);
+    if mesh != Mesh::PAPER {
+        profile.active_cores = profile.active_cores.min(mesh.nodes());
+    }
+    Ok((profile.name.to_string(), generate_trace(mesh, &profile)))
+}
+
+/// `phastlane simulate`: replay a benchmark trace on one network.
+///
+/// # Errors
+///
+/// Propagates argument errors.
+pub fn cmd_simulate(p: &Parsed) -> Result<String, ArgError> {
+    let mesh = parse_mesh(p)?;
+    let (name, trace) = load_benchmark_trace(p, mesh)?;
+    let mut net = build_network(p.get("net").unwrap_or("optical4"), mesh)?;
+    let max_cycles: u64 = p.get_parsed("max-cycles", 10_000_000)?;
+    let r = run_trace(&mut net, &trace, TraceOptions { max_cycles });
+    let stats = net.stats();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} on {}: {} messages\n",
+        name,
+        net.name(),
+        trace.len()
+    ));
+    if r.timed_out {
+        out.push_str(&format!("TIMED OUT after {max_cycles} cycles\n"));
+    }
+    out.push_str(&format!(
+        "completion: {} cycles  latency[{}]\n",
+        r.completion_cycle, r.latency
+    ));
+    out.push_str(&format!(
+        "drops: {}  retransmits: {}\n",
+        stats.dropped, stats.retransmitted
+    ));
+    out.push_str(&format!(
+        "power: {:.0} mW ({:.0} pJ dynamic, {:.0} pJ laser, {:.0} pJ link, {:.0} pJ leakage)\n",
+        r.energy.average_power_mw(r.completion_cycle.max(1), 4.0),
+        r.energy.dynamic_pj,
+        r.energy.laser_pj,
+        r.energy.link_pj,
+        r.energy.leakage_pj,
+    ));
+    Ok(out)
+}
+
+/// `phastlane compare`: the same trace on two networks, with speedup.
+///
+/// # Errors
+///
+/// Propagates argument errors.
+pub fn cmd_compare(p: &Parsed) -> Result<String, ArgError> {
+    let mesh = parse_mesh(p)?;
+    let (name, trace) = load_benchmark_trace(p, mesh)?;
+    let mut out = format!("{name}: {} messages\n", trace.len());
+    let mut base: Option<u64> = None;
+    for net_name in ["electrical3", p.get("net").unwrap_or("optical4")] {
+        let mut net = build_network(net_name, mesh)?;
+        let r = run_trace(&mut net, &trace, TraceOptions::default());
+        out.push_str(&format!(
+            "{:12} {:>9} cycles  {:>8.0} mW\n",
+            net.name(),
+            r.completion_cycle,
+            r.energy.average_power_mw(r.completion_cycle.max(1), 4.0)
+        ));
+        match base {
+            None => base = Some(r.completion_cycle),
+            Some(b) => out.push_str(&format!(
+                "network speedup: {:.2}x\n",
+                b as f64 / r.completion_cycle.max(1) as f64
+            )),
+        }
+    }
+    Ok(out)
+}
+
+/// `phastlane sweep`: latency at one injection rate for a pattern.
+///
+/// # Errors
+///
+/// Propagates argument errors.
+pub fn cmd_sweep(p: &Parsed) -> Result<String, ArgError> {
+    let mesh = parse_mesh(p)?;
+    let pattern = match p.get("pattern").unwrap_or("uniform").to_ascii_lowercase().as_str() {
+        "uniform" => Pattern::Uniform,
+        "bitcomp" => Pattern::BitComplement,
+        "bitrev" => Pattern::BitReverse,
+        "shuffle" => Pattern::Shuffle,
+        "transpose" => Pattern::Transpose,
+        "neighbor" => Pattern::NearestNeighbor,
+        "hotspot" => Pattern::Hotspot { target: NodeId(0), fraction: 0.3 },
+        other => return Err(ArgError(format!("unknown pattern {other:?}"))),
+    };
+    let rates: Vec<f64> = match p.get("rates") {
+        None => vec![p.get_parsed("rate", 0.05)?],
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.parse::<f64>()
+                    .map_err(|_| ArgError(format!("bad rate {s:?}")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let net_name = p.get("net").unwrap_or("optical4");
+    let mut out = format!("{} on {net_name} ({}x{})\n", pattern.label(), mesh.width(), mesh.height());
+    out.push_str(&format!(
+        "{:>8} {:>10} {:>8} {:>10}\n",
+        "rate", "latency", "p99", "delivered"
+    ));
+    for rate in rates {
+        let mut net = build_network(net_name, mesh)?;
+        let mut w = BernoulliTraffic::new(mesh, pattern, rate, p.get_parsed("seed", 7u64)?);
+        let r = run_synthetic(
+            &mut net,
+            &mut w,
+            SyntheticOptions { warmup: 500, measure: 2_000, drain: 6_000 },
+        );
+        out.push_str(&format!(
+            "{rate:>8.3} {:>10.2} {:>8} {:>10.3}\n",
+            r.latency.mean().unwrap_or(f64::NAN),
+            r.latency.percentile(99.0).map_or("-".into(), |v| v.to_string()),
+            r.delivered_rate
+        ));
+    }
+    Ok(out)
+}
+
+/// `phastlane trace gen|info|replay`: trace-file workflows using the
+/// text codec.
+///
+/// # Errors
+///
+/// Propagates argument and I/O errors.
+pub fn cmd_trace(p: &Parsed) -> Result<String, ArgError> {
+    let io_err = |e: std::io::Error| ArgError(format!("i/o error: {e}"));
+    match p.positional(1) {
+        Some("gen") => {
+            let mesh = parse_mesh(p)?;
+            let (name, trace) = load_benchmark_trace(p, mesh)?;
+            let out_path = p.get("out").unwrap_or("trace.txt").to_string();
+            std::fs::write(&out_path, phastlane_traffic::codec::encode(&trace))
+                .map_err(io_err)?;
+            Ok(format!("{name}: wrote {} messages to {out_path}\n", trace.len()))
+        }
+        Some("info") => {
+            let path = p
+                .positional(2)
+                .ok_or_else(|| ArgError("trace info <file>".into()))?;
+            let text = std::fs::read_to_string(path).map_err(io_err)?;
+            let trace = phastlane_traffic::codec::decode(&text)
+                .map_err(|e| ArgError(e.to_string()))?;
+            let mix = phastlane_traffic::coherence::summarize(&trace);
+            Ok(format!(
+                "{path}: {} messages ({} requests, {} responses, {} writebacks, {} barrier)\n",
+                trace.len(),
+                mix.requests,
+                mix.responses,
+                mix.writebacks,
+                mix.barrier_msgs
+            ))
+        }
+        Some("replay") => {
+            let path = p
+                .positional(2)
+                .ok_or_else(|| ArgError("trace replay <file> [--net N]".into()))?;
+            let text = std::fs::read_to_string(path).map_err(io_err)?;
+            let trace = phastlane_traffic::codec::decode(&text)
+                .map_err(|e| ArgError(e.to_string()))?;
+            let mesh = parse_mesh(p)?;
+            let mut net = build_network(p.get("net").unwrap_or("optical4"), mesh)?;
+            let r = run_trace(&mut net, &trace, TraceOptions::default());
+            Ok(format!(
+                "{path} on {}: {} cycles, latency[{}]\n",
+                net.name(),
+                r.completion_cycle,
+                r.latency
+            ))
+        }
+        other => Err(ArgError(format!(
+            "trace subcommand must be gen|info|replay, got {other:?}"
+        ))),
+    }
+}
+
+/// `phastlane design`: the §3 analytic models from the command line.
+///
+/// # Errors
+///
+/// Propagates argument errors.
+pub fn cmd_design(p: &Parsed) -> Result<String, ArgError> {
+    let wavelengths: u32 = p.get_parsed("wavelengths", 64)?;
+    let wdm = WdmConfig::new(wavelengths);
+    let hops: u32 = p.get_parsed("hops", 4)?;
+    let eff: f64 = p.get_parsed("efficiency", 0.98)?;
+    let mut out = String::new();
+    out.push_str(&format!("wavelengths: {wavelengths}, waveguides: {}\n", wdm.total_waveguides()));
+    for s in Scaling::ALL {
+        let d = RouterDesign { wdm, scaling: s, node: phastlane_photonics::units::TechNode::NM16 };
+        out.push_str(&format!(
+            "{s:12}: {} hops per 4 GHz cycle\n",
+            d.max_hops_per_cycle()
+        ));
+    }
+    let power = PowerPoint::new(wdm, hops, eff).peak_optical_power();
+    out.push_str(&format!(
+        "peak optical power at {hops} hops, {:.1}% crossings: {:.1} W\n",
+        eff * 100.0,
+        power.as_watts()
+    ));
+    let area = phastlane_photonics::area::RouterArea::for_wdm(wdm);
+    out.push_str(&format!("router area: {:.2} mm^2\n", area.total().value()));
+    Ok(out)
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "phastlane — Phastlane (ISCA 2009) reproduction CLI
+
+USAGE:
+  phastlane simulate [--net N] [--benchmark B] [--scale S] [--mesh WxH]
+  phastlane compare  [--net N] [--benchmark B] [--scale S]
+  phastlane sweep    [--net N] [--pattern P] [--rate R | --rates R1,R2,..]
+  phastlane trace gen    [--benchmark B] [--scale S] [--out FILE]
+  phastlane trace info   FILE
+  phastlane trace replay FILE [--net N]
+  phastlane design   [--wavelengths W] [--hops H] [--efficiency E]
+
+networks: optical4 optical5 optical8 optical4b32 optical4b64 optical4ib
+          optical4sp50 electrical2 electrical3
+benchmarks: Barnes Cholesky FFT LU Ocean Radix Raytrace
+            Water-NSquared Water-Spatial FMM
+patterns: uniform bitcomp bitrev shuffle transpose neighbor hotspot
+"
+}
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Propagates errors from the subcommands.
+pub fn dispatch(p: &Parsed) -> Result<String, ArgError> {
+    match p.positional(0) {
+        Some("simulate") => cmd_simulate(p),
+        Some("compare") => cmd_compare(p),
+        Some("sweep") => cmd_sweep(p),
+        Some("trace") => cmd_trace(p),
+        Some("design") => cmd_design(p),
+        Some("help") | None => Ok(usage().to_string()),
+        Some(other) => Err(ArgError(format!("unknown command {other:?}; try `phastlane help`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(words: &[&str]) -> Parsed {
+        Parsed::parse(words.iter().map(|s| s.to_string())).expect("parses")
+    }
+
+    #[test]
+    fn unknown_network_is_an_error() {
+        match build_network("warp-drive", Mesh::PAPER) {
+            Err(e) => assert!(e.to_string().contains("unknown network")),
+            Ok(_) => panic!("bogus network accepted"),
+        }
+    }
+
+    #[test]
+    fn every_advertised_network_builds() {
+        for n in [
+            "optical4",
+            "optical5",
+            "optical8",
+            "optical4b32",
+            "optical4b64",
+            "optical4ib",
+            "optical4sp50",
+            "electrical2",
+            "electrical3",
+        ] {
+            assert!(build_network(n, Mesh::PAPER).is_ok(), "{n}");
+        }
+    }
+
+    #[test]
+    fn mesh_parsing() {
+        assert_eq!(parse_mesh(&parsed(&[])).unwrap(), Mesh::PAPER);
+        assert_eq!(
+            parse_mesh(&parsed(&["--mesh", "4x6"])).unwrap(),
+            Mesh::new(4, 6)
+        );
+        assert!(parse_mesh(&parsed(&["--mesh", "nope"])).is_err());
+        assert!(parse_mesh(&parsed(&["--mesh", "0x4"])).is_err());
+    }
+
+    #[test]
+    fn simulate_small_benchmark_runs() {
+        let p = parsed(&["simulate", "--benchmark", "LU", "--scale", "0.02", "--net", "optical4"]);
+        let out = dispatch(&p).expect("runs");
+        assert!(out.contains("LU on Optical4"));
+        assert!(out.contains("completion:"));
+    }
+
+    #[test]
+    fn compare_reports_speedup() {
+        let p = parsed(&["compare", "--benchmark", "Water-Spatial", "--scale", "0.02"]);
+        let out = dispatch(&p).expect("runs");
+        assert!(out.contains("network speedup:"));
+    }
+
+    #[test]
+    fn sweep_runs_one_rate() {
+        let p = parsed(&["sweep", "--pattern", "shuffle", "--rate", "0.02"]);
+        let out = dispatch(&p).expect("runs");
+        assert!(out.contains("Shuffle"));
+    }
+
+    #[test]
+    fn design_prints_hop_counts() {
+        let p = parsed(&["design"]);
+        let out = dispatch(&p).expect("runs");
+        assert!(out.contains("optimistic  : 8 hops") || out.contains("8 hops"));
+        assert!(out.contains("peak optical power"));
+    }
+
+    #[test]
+    fn trace_gen_info_replay_roundtrip() {
+        let dir = std::env::temp_dir().join("phastlane_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("t.trace");
+        let gen = parsed(&[
+            "trace", "gen", "--benchmark", "FFT", "--scale", "0.02", "--out",
+            file.to_str().unwrap(),
+        ]);
+        dispatch(&gen).expect("gen");
+        let info = parsed(&["trace", "info", file.to_str().unwrap()]);
+        let out = dispatch(&info).expect("info");
+        assert!(out.contains("messages"));
+        let replay = parsed(&["trace", "replay", file.to_str().unwrap(), "--net", "optical4"]);
+        let out = dispatch(&replay).expect("replay");
+        assert!(out.contains("cycles"));
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(dispatch(&parsed(&[])).unwrap().contains("USAGE"));
+        assert!(dispatch(&parsed(&["help"])).unwrap().contains("USAGE"));
+        assert!(dispatch(&parsed(&["frobnicate"])).is_err());
+    }
+}

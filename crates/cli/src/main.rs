@@ -1,0 +1,29 @@
+//! `phastlane` — command-line interface to the Phastlane (ISCA 2009)
+//! reproduction: run simulations, sweeps, trace workflows, and the §3
+//! design-space models without writing Rust.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = match args::Parsed::parse(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("\n{}", commands::usage());
+            ExitCode::FAILURE
+        }
+    }
+}

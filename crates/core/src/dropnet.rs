@@ -1,0 +1,248 @@
+//! The drop-signal return path network (§2.1.2).
+//!
+//! As a packet moves through the network, each router registers its
+//! consumed Straight/Left/Right control bits; in the next cycle those
+//! registers configure a *return path* — the packet's forward path
+//! reversed — over which a router that dropped the packet transmits an
+//! asserted Packet Dropped signal plus its six-bit Node ID back to the
+//! responsible source.
+//!
+//! Footnote 4 of the paper claims return paths are collision-free by
+//! construction: "each return path is unique and cannot overlap with the
+//! return path of any other packet in the same cycle". This holds
+//! because two forward paths can never share an output port in a cycle,
+//! so their reverses never share a directed link. [`ReturnPathRegistry`]
+//! checks the invariant at runtime (debug builds assert it).
+
+use phastlane_netsim::geometry::{Direction, Mesh, NodeId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Bits carried by a drop signal: Packet Dropped plus the 6-bit Node ID.
+pub const DROP_SIGNAL_BITS: u32 = 7;
+
+/// The reverse route a drop signal takes from the dropping router back to
+/// the launching node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReturnPath {
+    /// Directed hops of the signal: `(router, outgoing direction)`,
+    /// starting at the dropping router.
+    hops: Vec<(NodeId, Direction)>,
+    /// The router that dropped the packet (signal origin).
+    dropped_at: NodeId,
+}
+
+impl ReturnPath {
+    /// Builds the return path for a packet whose forward traversal this
+    /// cycle followed `trail` — the `(router, exit direction)` pairs the
+    /// packet claimed, starting at the launch router — and which was
+    /// dropped at the router reached by the final trail hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trail walks outside the mesh.
+    pub fn from_forward_trail(mesh: Mesh, trail: &[(NodeId, Direction)]) -> ReturnPath {
+        let mut cursor = trail.first().map_or_else(
+            || panic!("a dropped packet traversed at least one link"),
+            |&(launch, _)| launch,
+        );
+        // Verify the trail chains and find the drop router.
+        for &(router, dir) in trail {
+            assert_eq!(router, cursor, "trail does not chain");
+            cursor = mesh
+                .neighbor(router, dir)
+                .expect("forward trail stays inside the mesh");
+        }
+        let dropped_at = cursor;
+        let hops = trail
+            .iter()
+            .rev()
+            .scan(dropped_at, |pos, &(router, dir)| {
+                let hop = (*pos, dir.opposite());
+                *pos = router;
+                Some(hop)
+            })
+            .collect();
+        ReturnPath { hops, dropped_at }
+    }
+
+    /// The router that dropped the packet.
+    pub fn dropped_at(&self) -> NodeId {
+        self.dropped_at
+    }
+
+    /// The node the signal terminates at (the responsible launcher).
+    pub fn destination(&self, mesh: Mesh) -> NodeId {
+        let &(router, dir) = self.hops.last().expect("return paths have >= 1 hop");
+        mesh.neighbor(router, dir).expect("path stays inside the mesh")
+    }
+
+    /// Number of links the signal traverses.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether the path is empty (never true for a constructed path).
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// The directed links used, for overlap checking.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, Direction)> + '_ {
+        self.hops.iter().copied()
+    }
+}
+
+impl fmt::Display for ReturnPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "drop@{}", self.dropped_at)?;
+        for (router, dir) in &self.hops {
+            write!(f, " {router}-{dir}>")?;
+        }
+        Ok(())
+    }
+}
+
+/// Two return paths tried to use the same directed link in one cycle —
+/// a violation of the paper's footnote-4 invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReturnPathOverlap {
+    /// The contended link.
+    pub link: (NodeId, Direction),
+}
+
+impl fmt::Display for ReturnPathOverlap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "return paths overlap on link {}-{}>", self.link.0, self.link.1)
+    }
+}
+
+impl std::error::Error for ReturnPathOverlap {}
+
+/// Per-cycle tracker of the links used by drop signals.
+#[derive(Debug, Default)]
+pub struct ReturnPathRegistry {
+    used: HashSet<(NodeId, Direction)>,
+}
+
+impl ReturnPathRegistry {
+    /// Creates an empty registry (one per cycle).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a drop signal's path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the contended link if the path overlaps a previously
+    /// registered one.
+    pub fn register(&mut self, path: &ReturnPath) -> Result<(), ReturnPathOverlap> {
+        for link in path.links() {
+            if !self.used.insert(link) {
+                return Err(ReturnPathOverlap { link });
+            }
+        }
+        Ok(())
+    }
+
+    /// Clears the registry for the next cycle.
+    pub fn clear(&mut self) {
+        self.used.clear();
+    }
+
+    /// Number of links currently registered.
+    pub fn links_in_use(&self) -> usize {
+        self.used.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Direction::*;
+
+    fn mesh() -> Mesh {
+        Mesh::PAPER
+    }
+
+    #[test]
+    fn reverse_of_straight_run() {
+        // Forward: n0 -E> n1 -E> n2 -E> n3, dropped at n3.
+        let trail = vec![(NodeId(0), East), (NodeId(1), East), (NodeId(2), East)];
+        let rp = ReturnPath::from_forward_trail(mesh(), &trail);
+        assert_eq!(rp.dropped_at(), NodeId(3));
+        assert_eq!(rp.len(), 3);
+        assert_eq!(rp.destination(mesh()), NodeId(0));
+        let hops: Vec<_> = rp.links().collect();
+        assert_eq!(hops, vec![(NodeId(3), West), (NodeId(2), West), (NodeId(1), West)]);
+    }
+
+    #[test]
+    fn reverse_of_turning_path() {
+        // Forward: (0,0) -E> (1,0) -S> (1,1), dropped at (1,1) = n9.
+        let trail = vec![(NodeId(0), East), (NodeId(1), South)];
+        let rp = ReturnPath::from_forward_trail(mesh(), &trail);
+        assert_eq!(rp.dropped_at(), NodeId(9));
+        assert_eq!(rp.destination(mesh()), NodeId(0));
+        let hops: Vec<_> = rp.links().collect();
+        assert_eq!(hops, vec![(NodeId(9), North), (NodeId(1), West)]);
+    }
+
+    #[test]
+    fn registry_accepts_disjoint_paths() {
+        let mut reg = ReturnPathRegistry::new();
+        let a = ReturnPath::from_forward_trail(mesh(), &[(NodeId(0), East)]);
+        let b = ReturnPath::from_forward_trail(mesh(), &[(NodeId(8), East)]);
+        reg.register(&a).expect("disjoint");
+        reg.register(&b).expect("disjoint");
+        assert_eq!(reg.links_in_use(), 2);
+    }
+
+    #[test]
+    fn registry_rejects_overlap() {
+        let mut reg = ReturnPathRegistry::new();
+        let a = ReturnPath::from_forward_trail(mesh(), &[(NodeId(0), East), (NodeId(1), East)]);
+        // Same forward link n1 -E> n2 gives the same return link.
+        let b = ReturnPath::from_forward_trail(mesh(), &[(NodeId(1), East)]);
+        reg.register(&a).expect("first is fine");
+        let err = reg.register(&b).expect_err("overlap on n2 -W> n1");
+        assert_eq!(err.link, (NodeId(2), West));
+        reg.clear();
+        assert_eq!(reg.links_in_use(), 0);
+    }
+
+    #[test]
+    fn opposite_direction_links_do_not_collide() {
+        // n0 -E> n1 forward and n1 -E> ... the return uses (1, West) vs
+        // (2, West): distinct directed links even on the same wire pair.
+        let mut reg = ReturnPathRegistry::new();
+        let a = ReturnPath::from_forward_trail(mesh(), &[(NodeId(0), East)]);
+        let b = ReturnPath::from_forward_trail(mesh(), &[(NodeId(2), West)]);
+        reg.register(&a).expect("ok");
+        reg.register(&b).expect("opposite senses are distinct links");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn empty_trail_rejected() {
+        let _ = ReturnPath::from_forward_trail(mesh(), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not chain")]
+    fn broken_trail_rejected() {
+        let _ = ReturnPath::from_forward_trail(
+            mesh(),
+            &[(NodeId(0), East), (NodeId(5), East)],
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let rp = ReturnPath::from_forward_trail(mesh(), &[(NodeId(0), East)]);
+        let s = rp.to_string();
+        assert!(s.contains("drop@n1"));
+        assert!(s.contains("n1-W>"));
+    }
+}

@@ -1,0 +1,533 @@
+//! The cycle-accurate Phastlane network simulator (§2).
+//!
+//! Each cycle proceeds in phases:
+//!
+//! 1. **Confirm/revert** — launches from the previous cycle either
+//!    succeeded (the packet was delivered or an intermediate router
+//!    assumed responsibility) and their buffer slots free, or a Packet
+//!    Dropped signal arrived over the optical return path and the
+//!    launcher reverts the entry with a randomized backoff (§2.1.2).
+//! 2. **NIC drain** — packets move from the 50-entry NIC into the local
+//!    buffer while space allows.
+//! 3. **Arbitration & launch** — each router's rotating-priority arbiter
+//!    picks up to four buffered packets for its four output ports
+//!    (§2.1.1). Launches claim their output ports: buffered packets have
+//!    priority over newly arriving ones.
+//! 4. **Optical wavefront** — all launched packets traverse up to
+//!    `max_hops` routers within the cycle. At each router, contention is
+//!    resolved with the paper's fixed priorities (straight beats turns);
+//!    losers are received and buffered at their input port, or dropped
+//!    when the buffer is full. Multicast taps deliver copies en route;
+//!    interim stops buffer the packet for the next segment (§2.1.3).
+//! 5. **Leakage** accrues and the clock advances.
+
+use crate::config::PhastlaneConfig;
+use crate::control::RouteControl;
+use crate::dropnet::{ReturnPath, ReturnPathRegistry};
+use crate::multicast::split_multicast;
+use crate::plan::{Plan, StepExit, StopKind};
+use crate::power::EnergyLedger;
+use crate::router::{Entry, PacketCore, RouterState};
+use phastlane_netsim::geometry::{Direction, Mesh, NodeId};
+use phastlane_netsim::network::Network;
+use phastlane_netsim::nic::Nic;
+use phastlane_netsim::packet::{Delivery, NewPacket, PacketId};
+use phastlane_netsim::routing::{classify_turn, xy_first_hop, Turn};
+use phastlane_netsim::stats::{EnergyReport, NetworkStats};
+use phastlane_netsim::telemetry::LinkCounters;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+
+/// An in-flight optical packet during one cycle's wavefront.
+#[derive(Debug)]
+struct Flight {
+    uid: u64,
+    core: PacketCore,
+    plan: Plan,
+    /// Targets not yet delivered (shrinks as taps/accepts happen).
+    remaining: VecDeque<NodeId>,
+    /// `(router, exit)` claims made this cycle, for return-path
+    /// construction on a drop.
+    trail: Vec<(NodeId, Direction)>,
+    alive: bool,
+}
+
+/// An output-port claim for the current cycle.
+#[derive(Debug, Clone, Copy)]
+struct Claim {
+    flight: usize,
+    step: usize,
+    /// Priority rank, lower wins. Buffered launches claim at (0, 0) and
+    /// are never displaced; through-traffic ranks come from the
+    /// configured [`PathPriority`].
+    rank: (u8, u8),
+}
+
+/// The Phastlane hybrid electrical/optical network.
+#[derive(Debug)]
+pub struct PhastlaneNetwork {
+    cfg: PhastlaneConfig,
+    cycle: u64,
+    routers: Vec<RouterState>,
+    nics: Vec<Nic<Entry>>,
+    next_packet_id: u64,
+    next_uid: u64,
+    /// Remaining undelivered targets per packet id.
+    outstanding: HashMap<PacketId, usize>,
+    deliveries: Vec<Delivery>,
+    /// Drop signals travelling the return path: launcher entry uid ->
+    /// targets still owed. Consumed at the start of the next cycle.
+    drop_map: HashMap<u64, VecDeque<NodeId>>,
+    energy: EnergyLedger,
+    stats: NetworkStats,
+    rng: StdRng,
+    /// Per-cycle drop-signal link tracker (footnote-4 invariant).
+    return_paths: ReturnPathRegistry,
+    /// Cumulative per-link traversal counts.
+    links: LinkCounters,
+}
+
+impl PhastlaneNetwork {
+    /// Builds a network from a configuration.
+    pub fn new(cfg: PhastlaneConfig) -> Self {
+        let nodes = cfg.mesh.nodes();
+        let routers = (0..nodes).map(|_| RouterState::new(cfg.buffers)).collect();
+        let nics = (0..nodes).map(|_| Nic::new(cfg.nic_entries)).collect();
+        let energy =
+            EnergyLedger::new(nodes, cfg.wdm, cfg.max_hops, cfg.crossing_efficiency);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        PhastlaneNetwork {
+            cfg,
+            cycle: 0,
+            routers,
+            nics,
+            next_packet_id: 0,
+            next_uid: 0,
+            outstanding: HashMap::new(),
+            deliveries: Vec::new(),
+            drop_map: HashMap::new(),
+            energy,
+            stats: NetworkStats::default(),
+            rng,
+            return_paths: ReturnPathRegistry::new(),
+            links: LinkCounters::new(),
+        }
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &PhastlaneConfig {
+        &self.cfg
+    }
+
+    /// Total waiting entries across all router buffers (diagnostics).
+    pub fn buffered_packets(&self) -> usize {
+        self.routers.iter().map(RouterState::waiting).sum()
+    }
+
+    /// ASCII heatmap of current buffer occupancy per router — a snapshot
+    /// of where packets are parked electrically (useful when debugging
+    /// drop storms).
+    pub fn occupancy_heatmap(&self) -> String {
+        let values: Vec<u64> = self.routers.iter().map(|r| r.waiting() as u64).collect();
+        phastlane_netsim::telemetry::render_heatmap(self.cfg.mesh, &values)
+    }
+
+    fn fresh_uid(&mut self) -> u64 {
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        uid
+    }
+
+    fn deliver(
+        outstanding: &mut HashMap<PacketId, usize>,
+        deliveries: &mut Vec<Delivery>,
+        stats: &mut NetworkStats,
+        energy: &mut EnergyLedger,
+        flight: &mut Flight,
+        at: NodeId,
+        now: u64,
+    ) {
+        energy.on_receive();
+        let before = flight.remaining.len();
+        flight.remaining.retain(|&t| t != at);
+        debug_assert_eq!(flight.remaining.len() + 1, before, "delivery target {at} not in itinerary");
+        let delivered_cycle = now + 1;
+        deliveries.push(Delivery {
+            packet: flight.core.id,
+            src: flight.core.src,
+            dest: at,
+            injected_cycle: flight.core.injected_cycle,
+            delivered_cycle,
+        });
+        stats.delivered += 1;
+        let lat = delivered_cycle - flight.core.injected_cycle;
+        stats.latency.record(lat);
+        stats.latency_by_kind.record(flight.core.kind, lat);
+        let rem = outstanding
+            .get_mut(&flight.core.id)
+            .expect("delivery for unknown packet");
+        *rem -= 1;
+        if *rem == 0 {
+            outstanding.remove(&flight.core.id);
+        }
+    }
+
+    /// Receives a blocked (or interim) packet into `router`'s input-port
+    /// buffer, or drops it and signals the launcher.
+    #[allow(clippy::too_many_arguments)]
+    fn block_flight(
+        mesh: Mesh,
+        routers: &mut [RouterState],
+        drop_map: &mut HashMap<u64, VecDeque<NodeId>>,
+        return_paths: &mut ReturnPathRegistry,
+        stats: &mut NetworkStats,
+        energy: &mut EnergyLedger,
+        next_uid: &mut u64,
+        flight: &mut Flight,
+        router: NodeId,
+        entry_dir: Direction,
+        now: u64,
+    ) {
+        debug_assert!(flight.alive);
+        flight.alive = false;
+        if flight.remaining.is_empty() {
+            // Everything this message owed was already delivered by taps;
+            // nothing to buffer or retransmit.
+            return;
+        }
+        let qi = RouterState::input_queue(entry_dir);
+        let state = &mut routers[router.index()];
+        if state.has_room(qi) {
+            energy.on_receive();
+            energy.on_buffer_write();
+            let uid = *next_uid;
+            *next_uid += 1;
+            state.push(
+                qi,
+                Entry {
+                    uid,
+                    core: flight.core,
+                    targets: flight.remaining.clone(),
+                    ready_at: now + 1,
+                    attempts: 0,
+                },
+            );
+        } else {
+            stats.dropped += 1;
+            // The drop signal travels the registered return path in the
+            // next cycle. Footnote 4: return paths of the same cycle are
+            // link-disjoint by construction, because forward paths never
+            // share output ports.
+            let path = ReturnPath::from_forward_trail(mesh, &flight.trail);
+            debug_assert_eq!(path.dropped_at(), router);
+            let registered = return_paths.register(&path);
+            debug_assert!(registered.is_ok(), "return paths overlapped: {registered:?}");
+            energy.on_drop_signal();
+            let prev = drop_map.insert(flight.uid, flight.remaining.clone());
+            debug_assert!(prev.is_none(), "one launch cannot drop twice");
+        }
+    }
+}
+
+impl Network for PhastlaneNetwork {
+    fn name(&self) -> String {
+        self.cfg.label()
+    }
+
+    fn mesh(&self) -> Mesh {
+        self.cfg.mesh
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn inject(&mut self, packet: NewPacket) -> Option<PacketId> {
+        let nodes = self.cfg.mesh.nodes();
+        let dests = packet.dests.expand(packet.src, nodes);
+        let id = PacketId(self.next_packet_id);
+
+        if dests.is_empty() {
+            // Degenerate self-send: delivered locally without the network.
+            self.next_packet_id += 1;
+            self.stats.injected += 1;
+            self.stats.delivered += 1;
+            self.deliveries.push(Delivery {
+                packet: id,
+                src: packet.src,
+                dest: packet.src,
+                injected_cycle: self.cycle,
+                delivered_cycle: self.cycle,
+            });
+            return Some(id);
+        }
+
+        let multicast = dests.len() > 1;
+        let messages: Vec<VecDeque<NodeId>> = if multicast {
+            split_multicast(self.cfg.mesh, packet.src, &dests)
+        } else {
+            vec![dests.iter().copied().collect()]
+        };
+        debug_assert!(!messages.is_empty());
+
+        // All multicast messages of a broadcast enter the NIC atomically.
+        let nic = &self.nics[packet.src.index()];
+        if nic.len() + messages.len() > nic.capacity() {
+            return None;
+        }
+        let core = PacketCore {
+            id,
+            src: packet.src,
+            kind: packet.kind,
+            multicast,
+            injected_cycle: self.cycle,
+        };
+        for targets in messages {
+            let uid = self.fresh_uid();
+            let entry = Entry { uid, core, targets, ready_at: self.cycle, attempts: 0 };
+            let pushed = self.nics[packet.src.index()].try_push(entry);
+            assert!(pushed.is_ok(), "capacity verified above");
+        }
+        self.outstanding.insert(id, dests.len());
+        self.stats.injected += 1;
+        self.next_packet_id += 1;
+        Some(id)
+    }
+
+    fn step(&mut self) {
+        let now = self.cycle;
+        let mesh = self.cfg.mesh;
+        self.return_paths.clear();
+
+        // Phase 1: confirm or revert last cycle's launches.
+        for state in &mut self.routers {
+            for (qi, mut entry) in state.take_launched() {
+                if let Some(remaining) = self.drop_map.remove(&entry.uid) {
+                    entry.targets = remaining;
+                    let roll = self.rng.gen::<u64>();
+                    entry.ready_at = now + self.cfg.backoff.delay(entry.attempts, roll);
+                    entry.attempts += 1;
+                    self.stats.retransmitted += 1;
+                    state.push(qi, entry);
+                }
+                // else: confirmed — the slot simply frees.
+            }
+        }
+        debug_assert!(self.drop_map.is_empty(), "drop signal with no matching launch");
+
+        // Phase 2: NIC -> local buffer.
+        let local_q = RouterState::local_queue();
+        for (state, nic) in self.routers.iter_mut().zip(&mut self.nics) {
+            while state.has_room(local_q) {
+                match nic.pop() {
+                    Some(entry) => {
+                        self.energy.on_buffer_write();
+                        state.push(local_q, entry);
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        // Phase 3: rotating-priority arbitration and launch.
+        let mut claims: HashMap<(NodeId, Direction), Claim> = HashMap::new();
+        let mut flights: Vec<Flight> = Vec::new();
+        for r_idx in 0..self.routers.len() {
+            let here = NodeId(r_idx as u16);
+            let rotation = self.routers[r_idx].rotate();
+            let order = {
+                let state = &self.routers[r_idx];
+                let heads =
+                    [0, 1, 2, 3, 4].map(|q| state.head(q));
+                self.cfg.arbitration.queue_order(rotation, heads)
+            };
+            let mut launches = 0u32;
+            let mut progress = true;
+            while launches < 4 && progress {
+                progress = false;
+                for &qi in &order {
+                    if launches >= 4 {
+                        break;
+                    }
+                    let Some(head) = self.routers[r_idx].head(qi) else { continue };
+                    if head.ready_at > now {
+                        continue;
+                    }
+                    let first = *head.targets.front().expect("entries keep >= 1 target");
+                    let out = xy_first_hop(mesh, here, first)
+                        .expect("buffered targets never equal the holding router");
+                    if claims.contains_key(&(here, out)) {
+                        continue;
+                    }
+                    let entry = self.routers[r_idx].launch_head(qi);
+                    let plan = Plan::build(
+                        mesh,
+                        here,
+                        &entry.targets,
+                        entry.core.multicast,
+                        self.cfg.max_hops,
+                    );
+                    debug_assert_eq!(plan.first_exit(), out);
+                    debug_assert_eq!(
+                        RouteControl::encode(&plan).len(),
+                        plan.steps().len() - 1 + usize::from(plan.ends_at_interim())
+                    );
+                    claims.insert(
+                        (here, out),
+                        Claim { flight: flights.len(), step: 0, rank: (0, 0) },
+                    );
+                    self.links.record(here, out);
+                    flights.push(Flight {
+                        uid: entry.uid,
+                        core: entry.core,
+                        plan,
+                        remaining: entry.targets.clone(),
+                        trail: vec![(here, out)],
+                        alive: true,
+                    });
+                    self.energy.on_buffer_read();
+                    self.energy.on_launch();
+                    launches += 1;
+                    progress = true;
+                }
+            }
+        }
+
+        // Phase 4: optical wavefront, hop by hop within the cycle.
+        let max_len = flights.iter().map(|f| f.plan.steps().len()).max().unwrap_or(0);
+        for s in 1..max_len {
+            for fi in 0..flights.len() {
+                if !flights[fi].alive || flights[fi].plan.steps().len() <= s {
+                    continue;
+                }
+                let step = flights[fi].plan.steps()[s];
+                if step.tap {
+                    Self::deliver(
+                        &mut self.outstanding,
+                        &mut self.deliveries,
+                        &mut self.stats,
+                        &mut self.energy,
+                        &mut flights[fi],
+                        step.router,
+                        now,
+                    );
+                }
+                match step.exit {
+                    StepExit::Forward(out) => {
+                        let entry_dir = step.entry.expect("hop steps have an entry");
+                        let turn_class = match classify_turn(entry_dir, out) {
+                            Turn::Straight => 1,
+                            Turn::Left => 2,
+                            Turn::Right => 3,
+                        };
+                        let rank =
+                            self.cfg.path_priority.rank(turn_class, entry_dir as u8, now);
+                        let key = (step.router, out);
+                        match claims.get(&key).copied() {
+                            None => {
+                                claims.insert(key, Claim { flight: fi, step: s, rank });
+                                flights[fi].trail.push((step.router, out));
+                                self.links.record(step.router, out);
+                            }
+                            Some(c) if c.step == s && rank < c.rank => {
+                                // This packet's control bits force the
+                                // incumbent (a lower-priority turn) to be
+                                // received at its input port.
+                                claims.insert(key, Claim { flight: fi, step: s, rank });
+                                flights[fi].trail.push((step.router, out));
+                                let loser_step = flights[c.flight].plan.steps()[s];
+                                let loser_entry =
+                                    loser_step.entry.expect("incumbent arrived via a link");
+                                // The incumbent never actually exits this
+                                // router: undo its claim in the trail.
+                                flights[c.flight].trail.pop();
+                                Self::block_flight(
+                                    mesh,
+                                    &mut self.routers,
+                                    &mut self.drop_map,
+                                    &mut self.return_paths,
+                                    &mut self.stats,
+                                    &mut self.energy,
+                                    &mut self.next_uid,
+                                    &mut flights[c.flight],
+                                    loser_step.router,
+                                    loser_entry,
+                                    now,
+                                );
+                            }
+                            Some(_) => {
+                                Self::block_flight(
+                                    mesh,
+                                    &mut self.routers,
+                                    &mut self.drop_map,
+                                    &mut self.return_paths,
+                                    &mut self.stats,
+                                    &mut self.energy,
+                                    &mut self.next_uid,
+                                    &mut flights[fi],
+                                    step.router,
+                                    entry_dir,
+                                    now,
+                                );
+                            }
+                        }
+                    }
+                    StepExit::Stop(StopKind::Accept) => {
+                        Self::deliver(
+                            &mut self.outstanding,
+                            &mut self.deliveries,
+                            &mut self.stats,
+                            &mut self.energy,
+                            &mut flights[fi],
+                            step.router,
+                            now,
+                        );
+                        flights[fi].alive = false;
+                        debug_assert!(flights[fi].remaining.is_empty());
+                    }
+                    StepExit::Stop(StopKind::Interim) => {
+                        let entry_dir = step.entry.expect("interim steps have an entry");
+                        Self::block_flight(
+                            mesh,
+                            &mut self.routers,
+                            &mut self.drop_map,
+                            &mut self.return_paths,
+                            &mut self.stats,
+                            &mut self.energy,
+                            &mut self.next_uid,
+                            &mut flights[fi],
+                            step.router,
+                            entry_dir,
+                            now,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Phase 5: leakage, clock.
+        self.energy.on_cycle();
+        self.cycle += 1;
+    }
+
+    fn drain_deliveries(&mut self) -> Vec<Delivery> {
+        std::mem::take(&mut self.deliveries)
+    }
+
+    fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    fn energy(&self) -> EnergyReport {
+        self.energy.report()
+    }
+
+    fn stats(&self) -> NetworkStats {
+        self.stats.clone()
+    }
+
+    fn link_counters(&self) -> LinkCounters {
+        self.links.clone()
+    }
+}

@@ -1,0 +1,285 @@
+//! Flight plans: the per-cycle optical traversal a launched packet
+//! attempts.
+//!
+//! A launch covers up to `max_hops` hops of the packet's dimension-order
+//! path in a single cycle (§2.1.3). The plan lists, for every router
+//! touched, how the packet enters, whether the local node receives a copy
+//! (multicast tap), and how it leaves — forward, final accept, or an
+//! interim stop where the packet is electrically buffered and relaunched
+//! in a later cycle.
+
+use phastlane_netsim::geometry::{Direction, Mesh, NodeId};
+use phastlane_netsim::routing::{classify_turn, xy_route, Turn};
+use std::collections::VecDeque;
+
+/// Why a plan ends at its last router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopKind {
+    /// The last delivery target: the packet is received and consumed.
+    Accept,
+    /// An interim node: the packet is buffered and relaunched later
+    /// (its Local control bit is set but more route remains).
+    Interim,
+}
+
+/// How the packet leaves a router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepExit {
+    /// Continue through the given output port.
+    Forward(Direction),
+    /// Stop here.
+    Stop(StopKind),
+}
+
+/// One router touched by a flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanStep {
+    /// The router.
+    pub router: NodeId,
+    /// Input direction the packet arrives from (`None` at the launch
+    /// router, where the packet enters from the electrical buffers).
+    pub entry: Option<Direction>,
+    /// Whether this router's local node receives a copy via a broadcast
+    /// tap resonator (multicast target en route, §2.1.4).
+    pub tap: bool,
+    /// How the packet leaves.
+    pub exit: StepExit,
+}
+
+impl PlanStep {
+    /// The turn class of a forwarding step, used for fixed-priority
+    /// arbitration (straight beats turns). Launch steps have no entry and
+    /// are classed separately by the router (buffered packets have
+    /// priority).
+    pub fn turn(&self) -> Option<Turn> {
+        match (self.entry, self.exit) {
+            (Some(from), StepExit::Forward(to)) => Some(classify_turn(from, to)),
+            _ => None,
+        }
+    }
+}
+
+/// The traversal a single launch attempts in one cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    steps: Vec<PlanStep>,
+}
+
+impl Plan {
+    /// Builds a plan from `from` through `targets` (in path order),
+    /// covering at most `max_hops` hops. `multicast` marks en-route
+    /// targets as taps.
+    ///
+    /// The concatenated XY paths between consecutive waypoints must not
+    /// fold back on themselves (no U-turns); the multicast splitter
+    /// guarantees this by ordering targets monotonically along a column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty, contains `from`, or produces a
+    /// U-turn.
+    pub fn build(
+        mesh: Mesh,
+        from: NodeId,
+        targets: &VecDeque<NodeId>,
+        multicast: bool,
+        max_hops: u32,
+    ) -> Plan {
+        assert!(!targets.is_empty(), "plan needs at least one target");
+        assert!(max_hops > 0, "max_hops must be positive");
+
+        // Full hop direction list through all targets, and the set of
+        // nodes that are targets.
+        let mut dirs: Vec<Direction> = Vec::new();
+        let mut cursor = from;
+        for &t in targets {
+            assert!(t != cursor, "target {t} coincides with current position");
+            dirs.extend(xy_route(mesh, cursor, t));
+            cursor = t;
+        }
+        debug_assert!(
+            dirs.windows(2).all(|w| w[1] != w[0].opposite()),
+            "multicast target order produced a U-turn from {from} through {targets:?}"
+        );
+
+        let total_hops = dirs.len() as u32;
+        let seg_hops = total_hops.min(max_hops) as usize;
+
+        let mut steps = Vec::with_capacity(seg_hops + 1);
+        steps.push(PlanStep {
+            router: from,
+            entry: None,
+            tap: false,
+            exit: StepExit::Forward(dirs[0]),
+        });
+        let mut node = from;
+        for (i, &dir) in dirs.iter().take(seg_hops).enumerate() {
+            node = mesh.neighbor(node, dir).expect("route stays in mesh");
+            let is_last_of_segment = i + 1 == seg_hops;
+            let is_target = targets.contains(&node);
+            let exit = if is_last_of_segment {
+                if (i as u32) + 1 == total_hops {
+                    StepExit::Stop(StopKind::Accept)
+                } else {
+                    StepExit::Stop(StopKind::Interim)
+                }
+            } else {
+                StepExit::Forward(dirs[i + 1])
+            };
+            // A target reached mid-flight is a tap; the final Accept
+            // consumes the packet at the last target directly.
+            let tap = multicast && is_target && exit != StepExit::Stop(StopKind::Accept);
+            steps.push(PlanStep { router: node, entry: Some(dir), tap, exit });
+        }
+        Plan { steps }
+    }
+
+    /// The steps, launch router first.
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+
+    /// Number of hops this plan covers (steps minus the launch router).
+    pub fn hops(&self) -> u32 {
+        (self.steps.len() - 1) as u32
+    }
+
+    /// Output port of the launch router.
+    pub fn first_exit(&self) -> Direction {
+        match self.steps[0].exit {
+            StepExit::Forward(d) => d,
+            StepExit::Stop(_) => unreachable!("launch step always forwards"),
+        }
+    }
+
+    /// Whether the plan ends in an interim stop (more route remains after
+    /// this cycle).
+    pub fn ends_at_interim(&self) -> bool {
+        matches!(
+            self.steps.last().expect("plan non-empty").exit,
+            StepExit::Stop(StopKind::Interim)
+        )
+    }
+
+    /// The delivery targets this plan reaches (taps plus a final accept).
+    pub fn deliveries(&self) -> Vec<NodeId> {
+        self.steps
+            .iter()
+            .filter(|s| s.tap || s.exit == StepExit::Stop(StopKind::Accept))
+            .map(|s| s.router)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phastlane_netsim::geometry::Coord;
+
+    fn mesh() -> Mesh {
+        Mesh::PAPER
+    }
+
+    fn vd(ids: &[u16]) -> VecDeque<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn short_unicast_fits_one_segment() {
+        let p = Plan::build(mesh(), NodeId(0), &vd(&[3]), false, 4);
+        assert_eq!(p.hops(), 3);
+        assert!(!p.ends_at_interim());
+        assert_eq!(p.deliveries(), vec![NodeId(3)]);
+        assert_eq!(p.first_exit(), Direction::East);
+    }
+
+    #[test]
+    fn long_unicast_truncates_at_interim() {
+        // 0 -> 63 is 14 hops; with 4 hops/cycle the first segment stops at
+        // the 4th router along the XY path.
+        let p = Plan::build(mesh(), NodeId(0), &vd(&[63]), false, 4);
+        assert_eq!(p.hops(), 4);
+        assert!(p.ends_at_interim());
+        assert_eq!(p.steps().last().unwrap().router, NodeId(4));
+        assert!(p.deliveries().is_empty());
+    }
+
+    #[test]
+    fn exact_boundary_is_accept_not_interim() {
+        let p = Plan::build(mesh(), NodeId(0), &vd(&[4]), false, 4);
+        assert_eq!(p.hops(), 4);
+        assert!(!p.ends_at_interim());
+        assert_eq!(p.deliveries(), vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn multicast_taps_en_route_targets() {
+        // Down column 2 from (2,0): targets (2,1), (2,2), (2,3).
+        let m = mesh();
+        let src = m.node_at(Coord { x: 2, y: 0 });
+        let t = |y| m.node_at(Coord { x: 2, y }).0;
+        let p = Plan::build(m, src, &vd(&[t(1), t(2), t(3)]), true, 8);
+        assert_eq!(p.hops(), 3);
+        assert_eq!(
+            p.deliveries(),
+            vec![NodeId(t(1)), NodeId(t(2)), NodeId(t(3))]
+        );
+        // First two are taps, last is an accept.
+        let taps: Vec<bool> = p.steps()[1..].iter().map(|s| s.tap).collect();
+        assert_eq!(taps, vec![true, true, false]);
+        assert_eq!(p.steps().last().unwrap().exit, StepExit::Stop(StopKind::Accept));
+    }
+
+    #[test]
+    fn multicast_interim_on_truncation() {
+        // Row traversal then a long column, truncated mid-column.
+        let m = mesh();
+        let src = m.node_at(Coord { x: 0, y: 0 });
+        let targets = vd(&[
+            m.node_at(Coord { x: 3, y: 2 }).0,
+            m.node_at(Coord { x: 3, y: 6 }).0,
+        ]);
+        let p = Plan::build(m, src, &targets, true, 5);
+        assert_eq!(p.hops(), 5);
+        assert!(p.ends_at_interim());
+        // The tap at (3,2) happens inside the segment (3 + 2 = 5 hops is
+        // the segment end, which is the tap router -> tap + interim).
+        let last = p.steps().last().unwrap();
+        assert_eq!(last.router, m.node_at(Coord { x: 3, y: 2 }));
+        assert!(last.tap, "interim router that is also a target still taps");
+    }
+
+    #[test]
+    fn entry_directions_chain() {
+        let p = Plan::build(mesh(), NodeId(0), &vd(&[18]), false, 8); // (0,0)->(2,2)
+        let steps = p.steps();
+        assert_eq!(steps[0].entry, None);
+        for w in steps.windows(2) {
+            if let StepExit::Forward(d) = w[0].exit {
+                assert_eq!(w[1].entry, Some(d));
+            }
+        }
+    }
+
+    #[test]
+    fn turn_classification_on_xy_corner() {
+        // (0,0) -> (2,2): east, east, then south = a turn at (2,0).
+        let p = Plan::build(mesh(), NodeId(0), &vd(&[18]), false, 8);
+        let turns: Vec<Option<Turn>> = p.steps().iter().map(|s| s.turn()).collect();
+        assert_eq!(turns[0], None); // launch
+        assert_eq!(turns[1], Some(Turn::Straight));
+        assert_eq!(turns[2], Some(Turn::Right)); // east -> south is a right turn
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn empty_targets_rejected() {
+        let _ = Plan::build(mesh(), NodeId(0), &VecDeque::new(), false, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "coincides")]
+    fn self_target_rejected() {
+        let _ = Plan::build(mesh(), NodeId(0), &vd(&[0]), false, 4);
+    }
+}

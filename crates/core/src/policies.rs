@@ -1,0 +1,187 @@
+//! Arbitration-policy alternatives (§2.1.1, footnote 3, and §7's future
+//! work).
+//!
+//! The paper chose *rotating priority* for selecting buffered packets and
+//! *fixed priority* (straight beats turns) for the optical path, noting
+//! in footnote 3 that "a more complicated scheme such as round-robin
+//! yielded no performance advantage over fixed-priority, while increasing
+//! crossbar latency", and listing arbitration alternatives as future
+//! work (§7). This module makes both choices configurable so the claims
+//! can be re-examined (see the `ablations` experiment binary).
+
+use crate::router::Entry;
+use std::fmt;
+
+/// How a router's arbiter picks buffered packets for its output ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ArbitrationPolicy {
+    /// The paper's scheme: a pointer rotates over the five queues each
+    /// cycle.
+    #[default]
+    RotatingPriority,
+    /// Always scan N, S, E, W, Local in that order (unfair under load).
+    FixedOrder,
+    /// Pick the queue whose head packet has waited longest (age-based).
+    OldestFirst,
+}
+
+impl ArbitrationPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: [ArbitrationPolicy; 3] = [
+        ArbitrationPolicy::RotatingPriority,
+        ArbitrationPolicy::FixedOrder,
+        ArbitrationPolicy::OldestFirst,
+    ];
+
+    /// The queue visit order for this cycle given the rotating pointer
+    /// state and the current queue heads.
+    pub fn queue_order(self, rotate: [usize; 5], heads: [Option<&Entry>; 5]) -> [usize; 5] {
+        match self {
+            ArbitrationPolicy::RotatingPriority => rotate,
+            ArbitrationPolicy::FixedOrder => [0, 1, 2, 3, 4],
+            ArbitrationPolicy::OldestFirst => {
+                let mut order = [0usize, 1, 2, 3, 4];
+                // Sort by the head's injection cycle; empty queues last.
+                order.sort_by_key(|&q| {
+                    heads[q].map_or(u64::MAX, |e| e.core.injected_cycle)
+                });
+                order
+            }
+        }
+    }
+}
+
+impl fmt::Display for ArbitrationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArbitrationPolicy::RotatingPriority => "rotating-priority",
+            ArbitrationPolicy::FixedOrder => "fixed-order",
+            ArbitrationPolicy::OldestFirst => "oldest-first",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How same-cycle contention between optical packets is resolved at a
+/// router output port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PathPriority {
+    /// The paper's scheme: straight beats left beats right, ties broken
+    /// by a fixed input-port order. Cheapest control path.
+    #[default]
+    Fixed,
+    /// Round-robin over input ports, rotating each cycle (the footnote-3
+    /// alternative; the paper found no performance advantage).
+    RoundRobin,
+}
+
+impl PathPriority {
+    /// Both schemes, for sweeps.
+    pub const ALL: [PathPriority; 2] = [PathPriority::Fixed, PathPriority::RoundRobin];
+
+    /// Priority tuple for a contender (lower wins). `turn_class` is
+    /// 1 = straight, 2 = left, 3 = right; `entry_index` identifies the
+    /// input port; `cycle` rotates the round-robin pointer.
+    pub fn rank(self, turn_class: u8, entry_index: u8, cycle: u64) -> (u8, u8) {
+        match self {
+            PathPriority::Fixed => (turn_class, entry_index),
+            PathPriority::RoundRobin => {
+                // Ignore the turn class; rotate which input port wins.
+                let rotated = (u64::from(entry_index) + 4 - (cycle % 4)) % 4;
+                (1, rotated as u8)
+            }
+        }
+    }
+}
+
+impl fmt::Display for PathPriority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PathPriority::Fixed => "fixed",
+            PathPriority::RoundRobin => "round-robin",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::PacketCore;
+    use phastlane_netsim::packet::{PacketId, PacketKind};
+    use phastlane_netsim::NodeId;
+    use std::collections::VecDeque;
+
+    fn entry(injected: u64) -> Entry {
+        Entry {
+            uid: injected,
+            core: PacketCore {
+                id: PacketId(injected),
+                src: NodeId(0),
+                kind: PacketKind::Data,
+                multicast: false,
+                injected_cycle: injected,
+            },
+            targets: VecDeque::from([NodeId(1)]),
+            ready_at: 0,
+            attempts: 0,
+        }
+    }
+
+    #[test]
+    fn rotating_uses_rotation() {
+        let heads: [Option<&Entry>; 5] = [None; 5];
+        let order = ArbitrationPolicy::RotatingPriority.queue_order([2, 3, 4, 0, 1], heads);
+        assert_eq!(order, [2, 3, 4, 0, 1]);
+    }
+
+    #[test]
+    fn fixed_order_ignores_rotation() {
+        let heads: [Option<&Entry>; 5] = [None; 5];
+        let order = ArbitrationPolicy::FixedOrder.queue_order([2, 3, 4, 0, 1], heads);
+        assert_eq!(order, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn oldest_first_orders_by_age() {
+        let e_new = entry(100);
+        let e_old = entry(5);
+        let e_mid = entry(50);
+        let heads: [Option<&Entry>; 5] =
+            [Some(&e_new), None, Some(&e_old), Some(&e_mid), None];
+        let order = ArbitrationPolicy::OldestFirst.queue_order([0, 1, 2, 3, 4], heads);
+        assert_eq!(&order[..3], &[2, 3, 0], "oldest heads first");
+    }
+
+    #[test]
+    fn fixed_path_priority_prefers_straight() {
+        let p = PathPriority::Fixed;
+        assert!(p.rank(1, 3, 7) < p.rank(2, 0, 7), "straight beats left regardless of port");
+        assert!(p.rank(2, 1, 7) < p.rank(3, 0, 7), "left beats right");
+        assert!(p.rank(1, 0, 7) < p.rank(1, 1, 7), "ties broken by port order");
+    }
+
+    #[test]
+    fn round_robin_rotates_winner() {
+        let p = PathPriority::RoundRobin;
+        // At cycle 0 port 0 wins; at cycle 1 port 1 wins; etc.
+        for cycle in 0..8u64 {
+            let winner = (0..4u8)
+                .min_by_key(|&e| p.rank(1, e, cycle))
+                .expect("non-empty");
+            assert_eq!(u64::from(winner), cycle % 4);
+        }
+    }
+
+    #[test]
+    fn round_robin_ignores_turn_class() {
+        let p = PathPriority::RoundRobin;
+        assert_eq!(p.rank(1, 2, 0), p.rank(3, 2, 0));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(ArbitrationPolicy::RotatingPriority.to_string(), "rotating-priority");
+        assert_eq!(PathPriority::RoundRobin.to_string(), "round-robin");
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-router electrical state: the five buffer queues (four input ports
+//! plus the local node) and the rotating-priority arbiter (§2.1.1).
+
+use crate::config::BufferDepth;
+use phastlane_netsim::geometry::{Direction, Port};
+use phastlane_netsim::packet::{PacketId, PacketKind};
+use phastlane_netsim::NodeId;
+use std::collections::VecDeque;
+
+/// Immutable identity of a packet message as it moves through the
+/// network. A multi-destination packet becomes several messages (one per
+/// multicast column message), all sharing the same [`PacketId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketCore {
+    /// The network-assigned packet id.
+    pub id: PacketId,
+    /// Originating node.
+    pub src: NodeId,
+    /// Operation kind.
+    pub kind: PacketKind,
+    /// Whether this message taps en-route targets (multicast).
+    pub multicast: bool,
+    /// Cycle the packet entered the source NIC.
+    pub injected_cycle: u64,
+}
+
+/// One electrically-buffered message awaiting (re)launch.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Unique id for matching launches to drop signals.
+    pub uid: u64,
+    /// Packet identity.
+    pub core: PacketCore,
+    /// Remaining delivery targets, in path order.
+    pub targets: VecDeque<NodeId>,
+    /// Earliest cycle this entry may launch (backoff after drops).
+    pub ready_at: u64,
+    /// Consecutive drops suffered by this entry (drives backoff).
+    pub attempts: u32,
+}
+
+/// The electrical side of one Phastlane router.
+#[derive(Debug, Clone)]
+pub struct RouterState {
+    /// Waiting entries per port (N, S, E, W, Local order per
+    /// [`Port::index`]).
+    queues: [VecDeque<Entry>; 5],
+    /// Entries launched this cycle, awaiting the (absence of a) drop
+    /// signal; they still occupy their queue's buffer space.
+    launched: Vec<(usize, Entry)>,
+    /// Rotating-priority pointer over the five queues.
+    rr: usize,
+    depth: BufferDepth,
+}
+
+impl RouterState {
+    /// Creates an empty router with the given buffer depth.
+    pub fn new(depth: BufferDepth) -> Self {
+        RouterState {
+            queues: Default::default(),
+            launched: Vec::new(),
+            rr: 0,
+            depth,
+        }
+    }
+
+    /// Occupancy of one queue, counting launched-but-unconfirmed entries.
+    pub fn occupancy(&self, queue: usize) -> usize {
+        self.queues[queue].len() + self.launched.iter().filter(|(q, _)| *q == queue).count()
+    }
+
+    /// Total occupancy across all queues, counting launched entries.
+    pub fn total_occupancy(&self) -> usize {
+        self.waiting() + self.launched.len()
+    }
+
+    /// Whether `queue` can take another entry (per-queue depth for the
+    /// paper's static partition, router total for a shared pool).
+    pub fn has_room(&self, queue: usize) -> bool {
+        self.depth
+            .has_room_with_total(self.occupancy(queue), self.total_occupancy())
+    }
+
+    /// Queue index for a packet arriving from `entry` (the input-port
+    /// buffer it is received into).
+    pub fn input_queue(entry: Direction) -> usize {
+        Port::Dir(entry).index()
+    }
+
+    /// Queue index of the local-node buffer.
+    pub fn local_queue() -> usize {
+        Port::Local.index()
+    }
+
+    /// Pushes an entry onto a queue. The caller must have checked
+    /// [`has_room`](Self::has_room) (infinite depths always have room).
+    pub fn push(&mut self, queue: usize, entry: Entry) {
+        self.queues[queue].push_back(entry);
+    }
+
+    /// Head of a queue, if any.
+    pub fn head(&self, queue: usize) -> Option<&Entry> {
+        self.queues[queue].front()
+    }
+
+    /// Removes and returns the head of a queue, marking it launched.
+    pub fn launch_head(&mut self, queue: usize) -> &Entry {
+        let e = self.queues[queue].pop_front().expect("launch_head on empty queue");
+        self.launched.push((queue, e));
+        &self.launched.last().expect("just pushed").1
+    }
+
+    /// Takes all launched entries (called at the start of the next cycle
+    /// to confirm or revert them).
+    pub fn take_launched(&mut self) -> Vec<(usize, Entry)> {
+        std::mem::take(&mut self.launched)
+    }
+
+    /// The queue visit order for this cycle's rotating-priority
+    /// arbitration, then advances the pointer.
+    pub fn rotate(&mut self) -> [usize; 5] {
+        let start = self.rr;
+        self.rr = (self.rr + 1) % 5;
+        let mut order = [0usize; 5];
+        for (i, slot) in order.iter_mut().enumerate() {
+            *slot = (start + i) % 5;
+        }
+        order
+    }
+
+    /// Total waiting entries across all queues (excludes launched).
+    pub fn waiting(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Iterates waiting entries of one queue.
+    pub fn iter_queue(&self, queue: usize) -> impl Iterator<Item = &Entry> {
+        self.queues[queue].iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(uid: u64) -> Entry {
+        Entry {
+            uid,
+            core: PacketCore {
+                id: PacketId(uid),
+                src: NodeId(0),
+                kind: PacketKind::Data,
+                multicast: false,
+                injected_cycle: 0,
+            },
+            targets: [NodeId(1)].into_iter().collect(),
+            ready_at: 0,
+            attempts: 0,
+        }
+    }
+
+    #[test]
+    fn occupancy_counts_launched() {
+        let mut r = RouterState::new(BufferDepth::Finite(2));
+        r.push(0, entry(1));
+        r.push(0, entry(2));
+        assert!(!r.has_room(0));
+        r.launch_head(0);
+        // Launched entry still occupies its slot.
+        assert_eq!(r.occupancy(0), 2);
+        assert!(!r.has_room(0));
+        let launched = r.take_launched();
+        assert_eq!(launched.len(), 1);
+        assert_eq!(r.occupancy(0), 1);
+        assert!(r.has_room(0));
+    }
+
+    #[test]
+    fn rotation_cycles_through_all_queues() {
+        let mut r = RouterState::new(BufferDepth::Infinite);
+        assert_eq!(r.rotate(), [0, 1, 2, 3, 4]);
+        assert_eq!(r.rotate(), [1, 2, 3, 4, 0]);
+        for _ in 0..3 {
+            r.rotate();
+        }
+        assert_eq!(r.rotate(), [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn queue_indices() {
+        assert_eq!(RouterState::input_queue(Direction::North), 0);
+        assert_eq!(RouterState::input_queue(Direction::West), 3);
+        assert_eq!(RouterState::local_queue(), 4);
+    }
+
+    #[test]
+    fn infinite_depth_never_full() {
+        let mut r = RouterState::new(BufferDepth::Infinite);
+        for i in 0..1000 {
+            assert!(r.has_room(2));
+            r.push(2, entry(i));
+        }
+        assert_eq!(r.waiting(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty queue")]
+    fn launch_from_empty_panics() {
+        let mut r = RouterState::new(BufferDepth::Infinite);
+        r.launch_head(1);
+    }
+}

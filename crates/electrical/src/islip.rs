@@ -1,0 +1,209 @@
+//! The iSLIP allocation algorithm (McKeown), used for both VC allocation
+//! and switch allocation in the baseline router (Table 2).
+//!
+//! Classic grant/accept with rotating pointers: each output grants to the
+//! first requesting input at or after its grant pointer; each input
+//! accepts grants starting from its accept pointer, up to its capacity
+//! (the crossbar input speedup). Pointers advance past accepted partners
+//! only for first-iteration matches, preserving iSLIP's desynchronization
+//! property.
+
+/// A persistent iSLIP allocator over `n_in` inputs and `n_out` outputs.
+#[derive(Debug, Clone)]
+pub struct Islip {
+    grant_ptr: Vec<usize>,
+    accept_ptr: Vec<usize>,
+}
+
+impl Islip {
+    /// Creates an allocator with all pointers at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(n_in: usize, n_out: usize) -> Self {
+        assert!(n_in > 0 && n_out > 0, "iSLIP dimensions must be positive");
+        Islip { grant_ptr: vec![0; n_out], accept_ptr: vec![0; n_in] }
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.accept_ptr.len()
+    }
+
+    /// Number of outputs.
+    pub fn outputs(&self) -> usize {
+        self.grant_ptr.len()
+    }
+
+    /// Runs `iterations` of iSLIP over the request matrix.
+    ///
+    /// `requests[i]` lists the outputs input `i` is requesting. Each
+    /// output is matched to at most one input; each input to at most
+    /// `in_capacity` outputs. Returns `(input, output)` matches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request names an out-of-range output or
+    /// `requests.len() != inputs()`.
+    pub fn allocate(
+        &mut self,
+        requests: &[Vec<usize>],
+        in_capacity: usize,
+        iterations: usize,
+    ) -> Vec<(usize, usize)> {
+        assert_eq!(requests.len(), self.inputs(), "one request list per input");
+        let n_in = self.inputs();
+        let n_out = self.outputs();
+        let mut out_matched = vec![false; n_out];
+        let mut in_count = vec![0usize; n_in];
+        let mut matches = Vec::new();
+
+        for iter in 0..iterations.max(1) {
+            // Grant phase: each unmatched output picks one requesting,
+            // non-saturated input, round-robin from its pointer.
+            let mut grants: Vec<Option<usize>> = vec![None; n_out]; // output -> input
+            for out in 0..n_out {
+                if out_matched[out] {
+                    continue;
+                }
+                let start = self.grant_ptr[out];
+                'scan: for k in 0..n_in {
+                    let inp = (start + k) % n_in;
+                    if in_count[inp] >= in_capacity {
+                        continue;
+                    }
+                    if requests[inp].iter().any(|&o| {
+                        assert!(o < n_out, "request to out-of-range output {o}");
+                        o == out
+                    }) {
+                        grants[out] = Some(inp);
+                        break 'scan;
+                    }
+                }
+            }
+
+            // Accept phase: each input accepts up to its remaining
+            // capacity, round-robin over outputs from its pointer.
+            let mut accepted_any = false;
+            #[allow(clippy::needless_range_loop)] // inp indexes two arrays
+            for inp in 0..n_in {
+                let start = self.accept_ptr[inp];
+                for k in 0..n_out {
+                    if in_count[inp] >= in_capacity {
+                        break;
+                    }
+                    let out = (start + k) % n_out;
+                    if grants[out] == Some(inp) {
+                        grants[out] = None;
+                        out_matched[out] = true;
+                        in_count[inp] += 1;
+                        matches.push((inp, out));
+                        accepted_any = true;
+                        if iter == 0 {
+                            // Pointer update rule: one past the accepted
+                            // partner, first iteration only.
+                            self.grant_ptr[out] = (inp + 1) % n_in;
+                            self.accept_ptr[inp] = (out + 1) % n_out;
+                        }
+                    }
+                }
+            }
+            if !accepted_any {
+                break;
+            }
+        }
+        matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut v: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn simple_one_to_one() {
+        let mut a = Islip::new(2, 2);
+        let m = a.allocate(&[vec![0], vec![1]], 1, 1);
+        assert_eq!(sorted(m), vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn conflicting_requests_pick_one() {
+        let mut a = Islip::new(2, 2);
+        let m = a.allocate(&[vec![0], vec![0]], 1, 1);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].1, 0);
+    }
+
+    #[test]
+    fn pointer_rotation_gives_fairness() {
+        // Two inputs fight for output 0 repeatedly; each should win about
+        // half the time thanks to the grant pointer update.
+        let mut a = Islip::new(2, 1);
+        let mut wins = [0usize; 2];
+        for _ in 0..10 {
+            let m = a.allocate(&[vec![0], vec![0]], 1, 1);
+            wins[m[0].0] += 1;
+        }
+        assert_eq!(wins[0], 5);
+        assert_eq!(wins[1], 5);
+    }
+
+    #[test]
+    fn input_capacity_enforced() {
+        let mut a = Islip::new(1, 4);
+        let m = a.allocate(&[vec![0, 1, 2, 3]], 2, 4);
+        assert_eq!(m.len(), 2, "input capacity caps the matches");
+    }
+
+    #[test]
+    fn input_speedup_four_matches_four_outputs() {
+        let mut a = Islip::new(2, 4);
+        let m = a.allocate(&[vec![0, 1, 2, 3], vec![]], 4, 4);
+        assert_eq!(m.len(), 4);
+        assert!(m.iter().all(|&(i, _)| i == 0));
+    }
+
+    #[test]
+    fn multiple_iterations_fill_the_match() {
+        // With one iteration, input 0 may grab output 0 and output 1's
+        // grant to input 0 is wasted while input 1 sits idle; a second
+        // iteration recovers the match.
+        let mut a = Islip::new(2, 2);
+        let m = a.allocate(&[vec![0, 1], vec![0, 1]], 1, 2);
+        assert_eq!(m.len(), 2, "two iterations find the perfect matching");
+    }
+
+    #[test]
+    fn no_requests_no_matches() {
+        let mut a = Islip::new(3, 3);
+        assert!(a.allocate(&[vec![], vec![], vec![]], 4, 2).is_empty());
+    }
+
+    #[test]
+    fn matches_are_conflict_free() {
+        let mut a = Islip::new(5, 4);
+        let reqs: Vec<Vec<usize>> =
+            (0..5).map(|i| (0..4).filter(|o| (i + o) % 2 == 0).collect()).collect();
+        for _ in 0..20 {
+            let m = a.allocate(&reqs, 4, 3);
+            let mut outs: Vec<usize> = m.iter().map(|&(_, o)| o).collect();
+            outs.sort_unstable();
+            outs.dedup();
+            assert_eq!(outs.len(), m.len(), "each output matched at most once");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn out_of_range_request_panics() {
+        let mut a = Islip::new(1, 1);
+        let _ = a.allocate(&[vec![5]], 1, 1);
+    }
+}

@@ -1,0 +1,553 @@
+//! The baseline electrical virtual-channel network simulator (Table 2).
+//!
+//! An input-queued VC router per node: 10 single-flit VCs per port,
+//! credit-based flow control with wait-for-tail credit, separable
+//! iSLIP VC and switch allocation, crossbar input speedup 4, and a 2- or
+//! 3-cycle router pipeline (route lookahead + speculation collapse the
+//! stages; a flit that arrives at cycle *T* departs at *T + delay* and
+//! lands in the next router at *T + delay + 1*, one link cycle later).
+//! Ejection bypasses the
+//! crossbar: a flit reaching its destination router is accepted by the
+//! processor one cycle after arrival. Broadcasts use pre-installed VCTM
+//! trees ([`crate::vctm`]).
+
+use crate::config::ElectricalConfig;
+use crate::islip::Islip;
+use crate::power::EnergyLedger;
+use crate::vctm::{mask_of, tree_fork, TargetMask};
+use phastlane_netsim::mask::NodeMask;
+use phastlane_netsim::geometry::{Direction, Mesh, NodeId, Port};
+use phastlane_netsim::network::Network;
+use phastlane_netsim::nic::Nic;
+use phastlane_netsim::packet::{Delivery, NewPacket, PacketId, PacketKind};
+use phastlane_netsim::routing::xy_first_hop;
+use phastlane_netsim::stats::{EnergyReport, NetworkStats};
+use phastlane_netsim::telemetry::LinkCounters;
+use std::collections::HashMap;
+
+/// Immutable identity of a packet.
+#[derive(Debug, Clone, Copy)]
+struct Core {
+    id: PacketId,
+    src: NodeId,
+    kind: PacketKind,
+    injected_cycle: u64,
+}
+
+/// Routing state a flit carries.
+#[derive(Debug, Clone, Copy)]
+enum Route {
+    Unicast(NodeId),
+    /// A VCTM multicast: remaining targets of this subtree.
+    Tree(TargetMask),
+}
+
+/// One pending output branch of a flit (unicast flits have one; tree
+/// flits fork).
+#[derive(Debug, Clone, Copy)]
+struct Branch {
+    out: Direction,
+    /// Subtree targets carried by this branch (empty for unicast).
+    mask: TargetMask,
+    /// Downstream VC reserved by the VC allocator.
+    out_vc: Option<usize>,
+    done: bool,
+}
+
+/// A flit occupying a VC.
+#[derive(Debug, Clone)]
+struct Flit {
+    core: Core,
+    route: Route,
+    in_port: Port,
+    eligible_at: u64,
+    branches: Vec<Branch>,
+    /// Local delivery pending at this cycle (ejection bypass).
+    eject_at: Option<u64>,
+}
+
+impl Flit {
+    fn finished(&self) -> bool {
+        self.eject_at.is_none() && self.branches.iter().all(|b| b.done)
+    }
+}
+
+/// Per-router state.
+#[derive(Debug)]
+struct Router {
+    /// `vcs[port][vc]`.
+    vcs: Vec<Vec<Option<Flit>>>,
+    /// `credits[dir][vc]`: a free slot at the downstream input port.
+    credits: Vec<Vec<bool>>,
+    /// VC-allocator rotation per output direction (flattened port*V+vc).
+    va_ptr: Vec<usize>,
+    /// Switch allocator state (5 inputs x 4 outputs).
+    sa: Islip,
+    /// Round-robin VC selector per (input port, output dir).
+    vc_sel: Vec<Vec<usize>>,
+    /// Number of occupied VCs (fast-path: idle routers skip every phase).
+    occupied: usize,
+}
+
+impl Router {
+    fn new(cfg: &ElectricalConfig) -> Self {
+        let v = cfg.vcs_per_port;
+        Router {
+            vcs: (0..5).map(|_| vec![None; v]).collect(),
+            credits: (0..4).map(|_| vec![true; v]).collect(),
+            va_ptr: vec![0; 4],
+            sa: Islip::new(5, 4),
+            vc_sel: (0..5).map(|_| vec![0; 4]).collect(),
+            occupied: 0,
+        }
+    }
+}
+
+/// A flit in flight on a link.
+#[derive(Debug)]
+struct Arrival {
+    router: usize,
+    port: usize,
+    vc: usize,
+    flit: Flit,
+}
+
+/// A credit travelling back upstream.
+#[derive(Debug, Clone, Copy)]
+struct CreditReturn {
+    router: usize,
+    dir: usize,
+    vc: usize,
+}
+
+/// The baseline electrical network.
+#[derive(Debug)]
+pub struct ElectricalNetwork {
+    cfg: ElectricalConfig,
+    cycle: u64,
+    routers: Vec<Router>,
+    nics: Vec<Nic<(Core, Route)>>,
+    incoming: Vec<Arrival>,
+    credit_returns: Vec<CreditReturn>,
+    outstanding: HashMap<PacketId, usize>,
+    deliveries: Vec<Delivery>,
+    next_id: u64,
+    /// Sources whose VCTM tree is already installed.
+    warm_trees: std::collections::HashSet<NodeId>,
+    energy: EnergyLedger,
+    stats: NetworkStats,
+    links: LinkCounters,
+}
+
+impl ElectricalNetwork {
+    /// Builds a network from a configuration.
+    pub fn new(cfg: ElectricalConfig) -> Self {
+        assert_eq!(
+            cfg.entries_per_vc, 1,
+            "this model implements the paper's 1-entry-per-VC configuration"
+        );
+        let nodes = cfg.mesh.nodes();
+        let routers = (0..nodes).map(|_| Router::new(&cfg)).collect();
+        let nics = (0..nodes).map(|_| Nic::new(cfg.nic_entries)).collect();
+        let energy = EnergyLedger::new(nodes);
+        ElectricalNetwork {
+            cfg,
+            cycle: 0,
+            routers,
+            nics,
+            incoming: Vec::new(),
+            credit_returns: Vec::new(),
+            outstanding: HashMap::new(),
+            deliveries: Vec::new(),
+            next_id: 0,
+            warm_trees: std::collections::HashSet::new(),
+            energy,
+            stats: NetworkStats::default(),
+            links: LinkCounters::new(),
+        }
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &ElectricalConfig {
+        &self.cfg
+    }
+
+    fn make_flit(&self, at: NodeId, core: Core, route: Route, in_port: Port, now: u64) -> Flit {
+        let mesh = self.cfg.mesh;
+        let (branches, eject) = match route {
+            Route::Unicast(dest) => {
+                if dest == at {
+                    (Vec::new(), true)
+                } else {
+                    let out = xy_first_hop(mesh, at, dest).expect("dest != at");
+                    (vec![Branch { out, mask: NodeMask::EMPTY, out_vc: None, done: false }], false)
+                }
+            }
+            Route::Tree(mask) => {
+                let (forks, deliver) = tree_fork(mesh, core.src, at, mask);
+                let branches = forks
+                    .iter()
+                    .map(|f| Branch { out: f.out, mask: f.submask, out_vc: None, done: false })
+                    .collect();
+                (branches, deliver)
+            }
+        };
+        Flit {
+            core,
+            route,
+            in_port,
+            eligible_at: now + self.cfg.router_delay,
+            branches,
+            eject_at: eject.then_some(now + 1),
+        }
+    }
+
+    fn deliver(
+        outstanding: &mut HashMap<PacketId, usize>,
+        deliveries: &mut Vec<Delivery>,
+        stats: &mut NetworkStats,
+        core: Core,
+        dest: NodeId,
+        now: u64,
+    ) {
+        deliveries.push(Delivery {
+            packet: core.id,
+            src: core.src,
+            dest,
+            injected_cycle: core.injected_cycle,
+            delivered_cycle: now,
+        });
+        stats.delivered += 1;
+        let lat = now - core.injected_cycle;
+        stats.latency.record(lat);
+        stats.latency_by_kind.record(core.kind, lat);
+        let rem = outstanding.get_mut(&core.id).expect("unknown packet delivered");
+        *rem -= 1;
+        if *rem == 0 {
+            outstanding.remove(&core.id);
+        }
+    }
+
+    /// Total occupied VCs (diagnostics).
+    pub fn occupied_vcs(&self) -> usize {
+        self.routers
+            .iter()
+            .map(|r| r.vcs.iter().flatten().filter(|s| s.is_some()).count())
+            .sum()
+    }
+}
+
+impl Network for ElectricalNetwork {
+    fn name(&self) -> String {
+        self.cfg.label()
+    }
+
+    fn mesh(&self) -> Mesh {
+        self.cfg.mesh
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn inject(&mut self, packet: NewPacket) -> Option<PacketId> {
+        let nodes = self.cfg.mesh.nodes();
+        let dests = packet.dests.expand(packet.src, nodes);
+        let id = PacketId(self.next_id);
+        if dests.is_empty() {
+            self.next_id += 1;
+            self.stats.injected += 1;
+            self.stats.delivered += 1;
+            self.deliveries.push(Delivery {
+                packet: id,
+                src: packet.src,
+                dest: packet.src,
+                injected_cycle: self.cycle,
+                delivered_cycle: self.cycle,
+            });
+            return Some(id);
+        }
+        let route = if dests.len() == 1 {
+            Route::Unicast(dests[0])
+        } else {
+            Route::Tree(mask_of(&dests))
+        };
+        let core = Core {
+            id,
+            src: packet.src,
+            kind: packet.kind,
+            injected_cycle: self.cycle,
+        };
+        self.nics[packet.src.index()].try_push((core, route)).ok()?;
+        self.outstanding.insert(id, dests.len());
+        self.stats.injected += 1;
+        self.next_id += 1;
+        Some(id)
+    }
+
+    fn step(&mut self) {
+        let now = self.cycle;
+        let mesh = self.cfg.mesh;
+        let vcs_per_port = self.cfg.vcs_per_port;
+
+        // Phase 1: credits return.
+        for cr in std::mem::take(&mut self.credit_returns) {
+            debug_assert!(!self.routers[cr.router].credits[cr.dir][cr.vc]);
+            self.routers[cr.router].credits[cr.dir][cr.vc] = true;
+        }
+
+        // Phase 2: link arrivals land in their reserved VCs.
+        for a in std::mem::take(&mut self.incoming) {
+            let r = &mut self.routers[a.router];
+            let slot = &mut r.vcs[a.port][a.vc];
+            debug_assert!(slot.is_none(), "reserved VC occupied");
+            self.energy.on_buffer_write();
+            *slot = Some(a.flit);
+            r.occupied += 1;
+        }
+
+        // Phase 3: ejection bypass — deliver flits one cycle after
+        // arrival, without the crossbar.
+        for r_idx in 0..self.routers.len() {
+            if self.routers[r_idx].occupied == 0 {
+                continue;
+            }
+            let here = NodeId(r_idx as u16);
+            for port in 0..5 {
+                for vc in 0..vcs_per_port {
+                    if let Some(flit) = self.routers[r_idx].vcs[port][vc].as_mut() {
+                        if let Some(t) = flit.eject_at {
+                            if t <= now {
+                                flit.eject_at = None;
+                                let core = flit.core;
+                                self.energy.on_buffer_read();
+                                Self::deliver(
+                                    &mut self.outstanding,
+                                    &mut self.deliveries,
+                                    &mut self.stats,
+                                    core,
+                                    here,
+                                    now,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 4: injection — one flit per node per cycle into a free
+        // local-port VC.
+        for r_idx in 0..self.routers.len() {
+            let here = NodeId(r_idx as u16);
+            let local = Port::Local.index();
+            if self.nics[r_idx].is_empty() {
+                continue;
+            }
+            let Some(vc) = (0..vcs_per_port).find(|&v| self.routers[r_idx].vcs[local][v].is_none())
+            else {
+                continue;
+            };
+            let (core, route) = self.nics[r_idx].pop().expect("checked non-empty");
+            let mut flit = self.make_flit(here, core, route, Port::Local, now);
+            if let Route::Tree(_) = route {
+                if self.cfg.vctm_setup_penalty > 0 && self.warm_trees.insert(core.src) {
+                    flit.eligible_at += self.cfg.vctm_setup_penalty;
+                }
+            }
+            self.energy.on_buffer_write();
+            self.routers[r_idx].vcs[local][vc] = Some(flit);
+            self.routers[r_idx].occupied += 1;
+        }
+
+        // Phase 5: VC allocation — grant free downstream VCs to eligible
+        // branches, round-robin per output direction.
+        for r_idx in 0..self.routers.len() {
+            if self.routers[r_idx].occupied == 0 {
+                continue;
+            }
+            for dir in Direction::ALL {
+                let d = Port::Dir(dir).index();
+                if mesh.neighbor(NodeId(r_idx as u16), dir).is_none() {
+                    continue;
+                }
+                // Gather requesters (port, vc, branch index) in flattened
+                // order.
+                let mut requesters: Vec<(usize, usize, usize)> = Vec::new();
+                for port in 0..5 {
+                    for vc in 0..vcs_per_port {
+                        if let Some(f) = self.routers[r_idx].vcs[port][vc].as_ref() {
+                            if f.eligible_at > now {
+                                continue;
+                            }
+                            for (bi, b) in f.branches.iter().enumerate() {
+                                if b.out == dir && b.out_vc.is_none() && !b.done {
+                                    requesters.push((port, vc, bi));
+                                }
+                            }
+                        }
+                    }
+                }
+                if requesters.is_empty() {
+                    continue;
+                }
+                // Rotate requesters to start at the VA pointer.
+                let ptr = self.routers[r_idx].va_ptr[d];
+                let split = requesters
+                    .iter()
+                    .position(|&(p, v, _)| p * vcs_per_port + v >= ptr)
+                    .unwrap_or(0);
+                requesters.rotate_left(split);
+
+                let mut free_vcs: Vec<usize> = (0..vcs_per_port)
+                    .filter(|&v| self.routers[r_idx].credits[d][v])
+                    .collect();
+                free_vcs.reverse(); // pop() yields ascending order
+                for (port, vc, bi) in requesters {
+                    let Some(out_vc) = free_vcs.pop() else { break };
+                    self.routers[r_idx].credits[d][out_vc] = false;
+                    let f = self.routers[r_idx].vcs[port][vc]
+                        .as_mut()
+                        .expect("requester exists");
+                    f.branches[bi].out_vc = Some(out_vc);
+                    self.energy.on_allocation();
+                    self.routers[r_idx].va_ptr[d] = port * vcs_per_port + vc + 1;
+                }
+            }
+        }
+
+        // Phase 6: switch allocation (iSLIP) and traversal.
+        for r_idx in 0..self.routers.len() {
+            if self.routers[r_idx].occupied == 0 {
+                continue;
+            }
+            let here = NodeId(r_idx as u16);
+            // Candidate branch per (input port, output dir), chosen
+            // round-robin over VCs.
+            let mut candidate: [[Option<(usize, usize)>; 4]; 5] = Default::default();
+            let mut requests: Vec<Vec<usize>> = vec![Vec::new(); 5];
+            for port in 0..5 {
+                for dir in Direction::ALL {
+                    let d = Port::Dir(dir).index();
+                    let sel = self.routers[r_idx].vc_sel[port][d];
+                    for k in 0..vcs_per_port {
+                        let vc = (sel + k) % vcs_per_port;
+                        let Some(f) = self.routers[r_idx].vcs[port][vc].as_ref() else {
+                            continue;
+                        };
+                        if f.eligible_at > now {
+                            continue;
+                        }
+                        if let Some(bi) = f
+                            .branches
+                            .iter()
+                            .position(|b| b.out == dir && b.out_vc.is_some() && !b.done)
+                        {
+                            candidate[port][d] = Some((vc, bi));
+                            requests[port].push(d);
+                            break;
+                        }
+                    }
+                }
+            }
+            let matches = {
+                let r = &mut self.routers[r_idx];
+                r.sa.allocate(&requests, self.cfg.input_speedup, self.cfg.islip_iterations)
+            };
+            for (port, d) in matches {
+                let (vc, bi) = candidate[port][d].expect("matched request had a candidate");
+                let dir = match Port::ALL[d] {
+                    Port::Dir(dir) => dir,
+                    Port::Local => unreachable!("outputs are directions"),
+                };
+                let next = mesh.neighbor(here, dir).expect("VA only grants real links");
+                let (core, route_mask, out_vc) = {
+                    let f = self.routers[r_idx].vcs[port][vc]
+                        .as_mut()
+                        .expect("candidate flit exists");
+                    let b = &mut f.branches[bi];
+                    let out_vc = b.out_vc.expect("SA requires an allocated VC");
+                    b.done = true;
+                    (f.core, b.mask, out_vc)
+                };
+                self.energy.on_allocation();
+                self.energy.on_buffer_read();
+                self.energy.on_crossbar();
+                self.energy.on_link();
+                self.links.record(here, dir);
+                self.routers[r_idx].vc_sel[port][d] = (vc + 1) % vcs_per_port;
+                let route = if route_mask.is_empty() {
+                    match self.routers[r_idx].vcs[port][vc].as_ref().unwrap().route {
+                        Route::Unicast(dest) => Route::Unicast(dest),
+                        Route::Tree(_) => unreachable!("tree branches carry masks"),
+                    }
+                } else {
+                    Route::Tree(route_mask)
+                };
+                let in_port = Port::Dir(dir.opposite());
+                let flit = self.make_flit(next, core, route, in_port, now + 1);
+                self.incoming.push(Arrival {
+                    router: next.index(),
+                    port: in_port.index(),
+                    vc: out_vc,
+                    flit,
+                });
+            }
+        }
+
+        // Phase 7: free finished VCs and send credits upstream.
+        for r_idx in 0..self.routers.len() {
+            if self.routers[r_idx].occupied == 0 {
+                continue;
+            }
+            let here = NodeId(r_idx as u16);
+            for port in 0..5 {
+                for vc in 0..vcs_per_port {
+                    let finished = self.routers[r_idx].vcs[port][vc]
+                        .as_ref()
+                        .is_some_and(Flit::finished);
+                    if !finished {
+                        continue;
+                    }
+                    let flit = self.routers[r_idx].vcs[port][vc].take().expect("checked");
+                    self.routers[r_idx].occupied -= 1;
+                    if let Port::Dir(in_dir) = flit.in_port {
+                        let upstream = mesh
+                            .neighbor(here, in_dir)
+                            .expect("flit arrived over a real link");
+                        let up_out = Port::Dir(in_dir.opposite()).index();
+                        self.credit_returns.push(CreditReturn {
+                            router: upstream.index(),
+                            dir: up_out,
+                            vc,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Phase 8: leakage, clock.
+        self.energy.on_cycle();
+        self.cycle += 1;
+    }
+
+    fn drain_deliveries(&mut self) -> Vec<Delivery> {
+        std::mem::take(&mut self.deliveries)
+    }
+
+    fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    fn energy(&self) -> EnergyReport {
+        self.energy.report()
+    }
+
+    fn stats(&self) -> NetworkStats {
+        self.stats.clone()
+    }
+
+    fn link_counters(&self) -> LinkCounters {
+        self.links.clone()
+    }
+}

@@ -1,0 +1,209 @@
+//! Virtual Circuit Tree Multicasting (Jerger et al., ISCA 2008), the
+//! broadcast mechanism the paper adds to its electrical baseline (§4).
+//!
+//! A multicast flit follows a dimension-order tree rooted at its source:
+//! along the source's row in both directions, branching north/south into
+//! each column. At each tree node the flit forks one copy per child
+//! branch whose subtree still contains targets, and delivers locally if
+//! this node is a target. Trees are deterministic from (source, current
+//! node), which models VCTM's steady state where every tree is already
+//! installed — a simplification that *favours the baseline* (no setup
+//! unicasts).
+//!
+//! Target sets are [`NodeMask`] bitsets, sized for meshes up to 256
+//! nodes.
+
+use phastlane_netsim::geometry::{Coord, Direction, Mesh, NodeId};
+use phastlane_netsim::mask::NodeMask;
+
+/// A set of multicast target nodes.
+pub type TargetMask = NodeMask;
+
+/// Builds a mask from a list of nodes.
+pub fn mask_of(nodes: &[NodeId]) -> TargetMask {
+    NodeMask::from_nodes(nodes.iter().copied())
+}
+
+/// Whether `node` is in `mask`.
+pub fn mask_contains(mask: TargetMask, node: NodeId) -> bool {
+    mask.contains(node)
+}
+
+/// Number of targets in a mask.
+pub fn mask_len(mask: TargetMask) -> usize {
+    mask.len()
+}
+
+/// One child branch of the multicast tree at a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeBranch {
+    /// Output direction of the branch.
+    pub out: Direction,
+    /// Targets covered by the branch's subtree.
+    pub submask: TargetMask,
+}
+
+/// The multicast tree decision at node `at` for a tree rooted at `src`:
+/// the child branches (with non-empty subtrees) and whether `at` itself
+/// is a delivery target.
+///
+/// # Panics
+///
+/// Panics if the mesh exceeds the 256-node mask capacity.
+pub fn tree_fork(
+    mesh: Mesh,
+    src: NodeId,
+    at: NodeId,
+    mask: TargetMask,
+) -> (Vec<TreeBranch>, bool) {
+    assert!(
+        mesh.nodes() <= phastlane_netsim::mask::MASK_CAPACITY,
+        "target masks support up to 256 nodes"
+    );
+    let s = mesh.coord(src);
+    let a = mesh.coord(at);
+    let deliver = mask_contains(mask, at);
+
+    let mut branches = Vec::new();
+    let mut push = |out: Direction, pred: &dyn Fn(Coord) -> bool| {
+        let submask = region_mask(mesh, pred).and(&mask);
+        if !submask.is_empty() {
+            branches.push(TreeBranch { out, submask });
+        }
+    };
+
+    if a.y == s.y {
+        // On the source row: row continuation(s) plus column branches.
+        if at == src {
+            push(Direction::East, &|c| c.x > s.x);
+            push(Direction::West, &|c| c.x < s.x);
+        } else if a.x > s.x {
+            push(Direction::East, &|c| c.x > a.x);
+        } else {
+            push(Direction::West, &|c| c.x < a.x);
+        }
+        push(Direction::North, &|c| c.x == a.x && c.y < a.y);
+        push(Direction::South, &|c| c.x == a.x && c.y > a.y);
+    } else if a.y < s.y {
+        // Above the source row: continue north only.
+        push(Direction::North, &|c| c.x == a.x && c.y < a.y);
+    } else {
+        push(Direction::South, &|c| c.x == a.x && c.y > a.y);
+    }
+    (branches, deliver)
+}
+
+fn region_mask(mesh: Mesh, pred: &dyn Fn(Coord) -> bool) -> TargetMask {
+    NodeMask::from_nodes(mesh.iter_nodes().filter(|&n| pred(mesh.coord(n))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn broadcast_mask(mesh: Mesh, src: NodeId) -> TargetMask {
+        mask_of(&mesh.iter_nodes().filter(|&n| n != src).collect::<Vec<_>>())
+    }
+
+    /// Walks the whole tree, asserting every target is delivered exactly
+    /// once and branches never revisit nodes.
+    fn walk(mesh: Mesh, src: NodeId, mask: TargetMask) -> Vec<NodeId> {
+        let mut delivered = Vec::new();
+        let mut frontier = vec![(src, mask)];
+        let mut visited = std::collections::HashSet::new();
+        while let Some((at, m)) = frontier.pop() {
+            assert!(visited.insert((at, m)), "revisited {at}");
+            let (branches, deliver) = tree_fork(mesh, src, at, m);
+            if deliver {
+                delivered.push(at);
+            }
+            // Branch submasks partition the remaining targets.
+            let mut seen = if deliver {
+                NodeMask::from_nodes([at])
+            } else {
+                NodeMask::EMPTY
+            };
+            for b in &branches {
+                assert!(!seen.intersects(&b.submask), "overlapping branch submasks at {at}");
+                seen = seen.or(&b.submask);
+                let next = mesh.neighbor(at, b.out).expect("branch stays in mesh");
+                frontier.push((next, b.submask));
+            }
+            assert_eq!(seen, m, "branches + local delivery must cover the mask at {at}");
+        }
+        delivered.sort_unstable();
+        delivered
+    }
+
+    #[test]
+    fn broadcast_tree_covers_all_nodes_from_every_source() {
+        let mesh = Mesh::PAPER;
+        for src in mesh.iter_nodes() {
+            let mask = broadcast_mask(mesh, src);
+            let delivered = walk(mesh, src, mask);
+            assert_eq!(delivered.len(), 63, "src {src}");
+        }
+    }
+
+    #[test]
+    fn subset_tree_covers_exactly_the_subset() {
+        let mesh = Mesh::PAPER;
+        let targets = [NodeId(3), NodeId(42), NodeId(17), NodeId(60)];
+        let mask = mask_of(&targets);
+        let delivered = walk(mesh, NodeId(9), mask);
+        let mut expect: Vec<NodeId> = targets.to_vec();
+        expect.sort_unstable();
+        assert_eq!(delivered, expect);
+    }
+
+    #[test]
+    fn source_in_mask_is_ignored_by_fork_children() {
+        let mesh = Mesh::PAPER;
+        // A mask containing the source: tree_fork at src reports
+        // deliver=true (caller decides), children exclude it.
+        let mask = mask_of(&[NodeId(0), NodeId(1)]);
+        let (branches, deliver) = tree_fork(mesh, NodeId(0), NodeId(0), mask);
+        assert!(deliver);
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].out, Direction::East);
+        assert_eq!(branches[0].submask, mask_of(&[NodeId(1)]));
+    }
+
+    #[test]
+    fn off_row_nodes_continue_along_column_only() {
+        let mesh = Mesh::PAPER;
+        let src = NodeId(0); // (0,0)
+        let at = mesh.node_at(Coord { x: 0, y: 2 });
+        let mask = broadcast_mask(mesh, src);
+        let (branches, _) = tree_fork(mesh, src, at, mask);
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].out, Direction::South);
+    }
+
+    #[test]
+    fn mask_helpers() {
+        let m = mask_of(&[NodeId(0), NodeId(63)]);
+        assert!(mask_contains(m, NodeId(0)));
+        assert!(mask_contains(m, NodeId(63)));
+        assert!(!mask_contains(m, NodeId(5)));
+        assert_eq!(mask_len(m), 2);
+    }
+
+    #[test]
+    fn empty_mask_no_branches() {
+        let (branches, deliver) = tree_fork(Mesh::PAPER, NodeId(5), NodeId(5), NodeMask::EMPTY);
+        assert!(branches.is_empty());
+        assert!(!deliver);
+    }
+
+    #[test]
+    fn broadcast_tree_covers_a_16x16_mesh() {
+        // "Tens and eventually hundreds of processing cores": the tree
+        // generalizes past 64 nodes.
+        let mesh = Mesh::new(16, 16);
+        let src = NodeId(100);
+        let mask = NodeMask::from_nodes(mesh.iter_nodes().filter(|&n| n != src));
+        let delivered = walk(mesh, src, mask);
+        assert_eq!(delivered.len(), 255);
+    }
+}

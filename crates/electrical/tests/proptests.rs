@@ -1,0 +1,103 @@
+//! Property-based tests of the electrical baseline's allocator and
+//! multicast tree.
+
+use phastlane_electrical::islip::Islip;
+use phastlane_electrical::vctm::{mask_contains, mask_len, mask_of, tree_fork};
+use phastlane_netsim::geometry::{Mesh, NodeId};
+use proptest::prelude::*;
+
+fn arb_requests() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    proptest::collection::vec(proptest::collection::vec(0usize..4, 0..4), 5)
+}
+
+proptest! {
+    /// iSLIP matches are conflict-free: each output granted at most once,
+    /// each input within its capacity, and every match was requested.
+    #[test]
+    fn islip_matches_are_valid(
+        reqs in arb_requests(),
+        capacity in 1usize..5,
+        iterations in 1usize..4,
+        rounds in 1usize..6,
+    ) {
+        let mut alloc = Islip::new(5, 4);
+        for _ in 0..rounds {
+            let matches = alloc.allocate(&reqs, capacity, iterations);
+            let mut out_seen = [false; 4];
+            let mut in_count = [0usize; 5];
+            for &(i, o) in &matches {
+                prop_assert!(reqs[i].contains(&o), "unrequested match ({i},{o})");
+                prop_assert!(!out_seen[o], "output {o} matched twice");
+                out_seen[o] = true;
+                in_count[i] += 1;
+            }
+            for (i, &c) in in_count.iter().enumerate() {
+                prop_assert!(c <= capacity, "input {i} over capacity");
+            }
+        }
+    }
+
+    /// iSLIP is work-conserving for single requests: a lone
+    /// (input, output) request is always granted.
+    #[test]
+    fn islip_grants_lone_request(inp in 0usize..5, out in 0usize..4, rounds in 1usize..8) {
+        let mut alloc = Islip::new(5, 4);
+        let mut reqs: Vec<Vec<usize>> = vec![Vec::new(); 5];
+        reqs[inp].push(out);
+        for _ in 0..rounds {
+            let matches = alloc.allocate(&reqs, 4, 2);
+            prop_assert_eq!(&matches, &vec![(inp, out)]);
+        }
+    }
+
+    /// The VCTM tree partitions any target mask: walking the whole tree
+    /// delivers each masked node exactly once and nothing else.
+    #[test]
+    fn vctm_tree_partitions_any_mask(
+        src in 0u16..64,
+        nodes in proptest::collection::hash_set(0u16..64, 0..30),
+    ) {
+        let mesh = Mesh::PAPER;
+        let src = NodeId(src);
+        let targets: Vec<NodeId> = nodes.into_iter().map(NodeId).collect();
+        let mask = mask_of(&targets);
+        let mut delivered = Vec::new();
+        let mut frontier = vec![(src, mask)];
+        let mut steps = 0;
+        while let Some((at, m)) = frontier.pop() {
+            steps += 1;
+            prop_assert!(steps < 1000, "tree walk diverged");
+            let (branches, deliver) = tree_fork(mesh, src, at, m);
+            if deliver {
+                delivered.push(at);
+            }
+            let mut seen = if deliver {
+                phastlane_netsim::mask::NodeMask::from_nodes([at])
+            } else {
+                phastlane_netsim::mask::NodeMask::EMPTY
+            };
+            for b in &branches {
+                prop_assert!(!seen.intersects(&b.submask), "overlapping branches");
+                seen = seen.or(&b.submask);
+                let next = mesh.neighbor(at, b.out).expect("stays in mesh");
+                frontier.push((next, b.submask));
+            }
+            prop_assert_eq!(seen, m, "branches + local must cover the mask");
+        }
+        delivered.sort_unstable();
+        let mut expect: Vec<NodeId> = targets.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(delivered, expect);
+    }
+
+    /// Mask helpers agree with each other.
+    #[test]
+    fn mask_helpers_consistent(nodes in proptest::collection::hash_set(0u16..64, 0..64)) {
+        let list: Vec<NodeId> = nodes.iter().copied().map(NodeId).collect();
+        let mask = mask_of(&list);
+        prop_assert_eq!(mask_len(mask), list.len());
+        for n in 0..64u16 {
+            prop_assert_eq!(mask_contains(mask, NodeId(n)), nodes.contains(&n));
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! SECDED error protection for packet payloads.
+//!
+//! The Phastlane packet carries "Error Detection/Correction and
+//! miscellaneous bits" alongside the 64-byte cache line (§2.1). This
+//! module implements the standard Hamming(72,64) single-error-correct /
+//! double-error-detect code used for that purpose: each 64-bit payload
+//! word gets seven Hamming check bits plus one overall parity bit, so a
+//! cache line costs 8 x 8 = 64 check bits of the packet's header
+//! overhead.
+//!
+//! Optical links flip bits when a receiver is run close to its
+//! sensitivity floor; SECDED lets the NIC correct the common single
+//! upsets locally and only retransmit on (rare) double errors.
+
+use std::fmt;
+
+/// Number of check bits per 64-bit word (7 Hamming + overall parity).
+pub const CHECK_BITS: u32 = 8;
+
+/// A 64-bit word with its SECDED check byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodeWord {
+    /// The data word.
+    pub data: u64,
+    /// Check bits: low 7 = Hamming syndrome bits, bit 7 = overall parity.
+    pub check: u8,
+}
+
+/// Outcome of decoding a possibly-corrupted code word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// No error detected.
+    Clean(u64),
+    /// A single-bit error was corrected (data or check bit).
+    Corrected(u64),
+    /// An uncorrectable (double) error was detected.
+    Uncorrectable,
+}
+
+impl Decoded {
+    /// The recovered data, if any.
+    pub fn data(self) -> Option<u64> {
+        match self {
+            Decoded::Clean(d) | Decoded::Corrected(d) => Some(d),
+            Decoded::Uncorrectable => None,
+        }
+    }
+}
+
+impl fmt::Display for Decoded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decoded::Clean(_) => f.write_str("clean"),
+            Decoded::Corrected(_) => f.write_str("corrected"),
+            Decoded::Uncorrectable => f.write_str("uncorrectable"),
+        }
+    }
+}
+
+/// Position (1-based, Hamming convention) of the i-th data bit within
+/// the 71-bit Hamming code word: positions 1..=71 that are not powers of
+/// two (the 7 power-of-two positions hold the check bits), which leaves
+/// exactly 64 data positions.
+fn data_positions() -> impl Iterator<Item = u32> {
+    (1u32..=71).filter(|p| !p.is_power_of_two())
+}
+
+/// Computes the seven Hamming check bits over the data word laid out at
+/// the non-power-of-two positions.
+fn hamming_bits(data: u64) -> u8 {
+    let mut check = 0u8;
+    for (i, pos) in data_positions().enumerate() {
+        if data >> i & 1 == 1 {
+            // This data bit participates in every check whose index bit
+            // is set in its position.
+            check ^= (pos & 0x7F) as u8;
+        }
+    }
+    check
+}
+
+/// Encodes a data word.
+pub fn encode(data: u64) -> CodeWord {
+    let hamming = hamming_bits(data);
+    // Overall parity covers data plus the seven Hamming bits.
+    let parity =
+        ((data.count_ones() + u32::from(hamming).count_ones()) & 1) as u8;
+    CodeWord { data, check: hamming | (parity << 7) }
+}
+
+/// Decodes a code word, correcting single-bit errors.
+pub fn decode(cw: CodeWord) -> Decoded {
+    let expect = hamming_bits(cw.data);
+    let syndrome = (expect ^ cw.check) & 0x7F;
+    let parity_now =
+        ((cw.data.count_ones() + u32::from(cw.check & 0x7F).count_ones() + u32::from(cw.check >> 7))
+            & 1) as u8;
+    // parity_now is 0 when total ones (incl. stored parity) are even.
+    let parity_error = parity_now != 0;
+
+    match (syndrome, parity_error) {
+        (0, false) => Decoded::Clean(cw.data),
+        (0, true) => {
+            // The overall parity bit itself flipped.
+            Decoded::Corrected(cw.data)
+        }
+        (s, true) => {
+            // Single error at Hamming position s: either a check bit
+            // (power of two) or a data bit.
+            let pos = u32::from(s);
+            if pos.is_power_of_two() || pos > 71 {
+                // A check bit flipped; data is intact.
+                return Decoded::Corrected(cw.data);
+            }
+            let index = data_positions().position(|p| p == pos);
+            match index {
+                Some(i) => Decoded::Corrected(cw.data ^ (1u64 << i)),
+                None => Decoded::Uncorrectable,
+            }
+        }
+        (_, false) => Decoded::Uncorrectable, // non-zero syndrome, even parity = double error
+    }
+}
+
+/// A protected 64-byte cache line: eight code words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtectedLine {
+    words: [CodeWord; 8],
+}
+
+impl ProtectedLine {
+    /// Encodes a cache line.
+    pub fn encode(line: [u64; 8]) -> Self {
+        ProtectedLine { words: line.map(encode) }
+    }
+
+    /// Decodes, correcting up to one flipped bit per word.
+    ///
+    /// Returns the line and how many words needed correction, or `None`
+    /// if any word had an uncorrectable error.
+    pub fn decode(self) -> Option<([u64; 8], u32)> {
+        let mut out = [0u64; 8];
+        let mut corrected = 0;
+        for (slot, cw) in out.iter_mut().zip(self.words) {
+            match decode(cw) {
+                Decoded::Clean(d) => *slot = d,
+                Decoded::Corrected(d) => {
+                    *slot = d;
+                    corrected += 1;
+                }
+                Decoded::Uncorrectable => return None,
+            }
+        }
+        Some((out, corrected))
+    }
+
+    /// Flips one bit of the stored code: `word` selects the code word,
+    /// `bit` 0..63 a data bit, 64..71 a check bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= 8` or `bit >= 72`.
+    pub fn flip_bit(&mut self, word: usize, bit: u32) {
+        assert!(bit < 72, "bit index out of range");
+        let cw = &mut self.words[word];
+        if bit < 64 {
+            cw.data ^= 1 << bit;
+        } else {
+            cw.check ^= 1 << (bit - 64);
+        }
+    }
+
+    /// Total ECC overhead bits for the line.
+    pub const OVERHEAD_BITS: u32 = 8 * CHECK_BITS;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_roundtrip() {
+        for data in [0u64, u64::MAX, 0xDEAD_BEEF_CAFE_F00D, 1, 1 << 63] {
+            assert_eq!(decode(encode(data)), Decoded::Clean(data));
+        }
+    }
+
+    #[test]
+    fn every_single_data_bit_flip_corrects() {
+        let data = 0xA5A5_5A5A_0F0F_F0F0u64;
+        for bit in 0..64 {
+            let mut cw = encode(data);
+            cw.data ^= 1 << bit;
+            assert_eq!(decode(cw), Decoded::Corrected(data), "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn every_single_check_bit_flip_corrects() {
+        let data = 0x0123_4567_89AB_CDEFu64;
+        for bit in 0..8 {
+            let mut cw = encode(data);
+            cw.check ^= 1 << bit;
+            assert_eq!(decode(cw), Decoded::Corrected(data), "check bit {bit}");
+        }
+    }
+
+    #[test]
+    fn double_errors_detected_not_miscorrected() {
+        let data = 0xFFFF_0000_1234_5678u64;
+        for a in 0..64u32 {
+            for b in (a + 1)..64 {
+                let mut cw = encode(data);
+                cw.data ^= (1 << a) | (1 << b);
+                assert_eq!(
+                    decode(cw),
+                    Decoded::Uncorrectable,
+                    "double flip ({a},{b}) must be detected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn data_plus_check_double_error_detected() {
+        let data = 0x1111_2222_3333_4444u64;
+        for d in [0u32, 17, 63] {
+            for c in 0..7u32 {
+                let mut cw = encode(data);
+                cw.data ^= 1 << d;
+                cw.check ^= 1 << c;
+                assert_eq!(
+                    decode(cw),
+                    Decoded::Uncorrectable,
+                    "data {d} + check {c} must be detected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn protected_line_roundtrip_and_correction() {
+        let line = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let mut p = ProtectedLine::encode(line);
+        assert_eq!(p.decode(), Some((line, 0)));
+        // One flip in each of three different words: all corrected.
+        p.flip_bit(0, 5);
+        p.flip_bit(3, 63);
+        p.flip_bit(7, 70); // a check bit
+        assert_eq!(p.decode(), Some((line, 3)));
+    }
+
+    #[test]
+    fn protected_line_double_flip_fails() {
+        let mut p = ProtectedLine::encode([0xAA; 8]);
+        p.flip_bit(2, 10);
+        p.flip_bit(2, 20);
+        assert_eq!(p.decode(), None);
+    }
+
+    #[test]
+    fn overhead_matches_packet_budget() {
+        // 64 check bits of the packet's 70-bit header/misc budget
+        // (§2.1's "Error Detection/Correction and miscellaneous bits").
+        assert_eq!(ProtectedLine::OVERHEAD_BITS, 64);
+    }
+
+    #[test]
+    fn decoded_accessors() {
+        assert_eq!(Decoded::Clean(7).data(), Some(7));
+        assert_eq!(Decoded::Corrected(9).data(), Some(9));
+        assert_eq!(Decoded::Uncorrectable.data(), None);
+        assert_eq!(Decoded::Uncorrectable.to_string(), "uncorrectable");
+    }
+}

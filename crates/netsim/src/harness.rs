@@ -1,0 +1,583 @@
+//! Workload harnesses: open-loop synthetic traffic and closed-loop trace
+//! replay with inter-message dependencies.
+//!
+//! The paper evaluates both ways (§4): synthetic injection-rate sweeps for
+//! latency/saturation curves (Figure 9), and SPLASH2 traces for network
+//! speedup and power (Figures 10 and 11). Trace replay here is
+//! *dependency-aware*: a response message only becomes eligible once the
+//! request it answers was delivered, so a faster network finishes the
+//! trace sooner — which is what "network speedup" measures.
+
+use crate::geometry::NodeId;
+use crate::network::Network;
+use crate::packet::{DestSet, NewPacket, PacketId, PacketKind};
+use crate::stats::{EnergyReport, LatencyStats};
+use std::collections::{HashMap, VecDeque};
+
+// ---------------------------------------------------------------------------
+// Open-loop synthetic traffic
+// ---------------------------------------------------------------------------
+
+/// A source of synthetic traffic: called once per cycle, returns the
+/// packets generated that cycle (possibly none).
+pub trait SyntheticWorkload {
+    /// Packets generated in `cycle`.
+    fn generate(&mut self, cycle: u64) -> Vec<NewPacket>;
+}
+
+impl<F: FnMut(u64) -> Vec<NewPacket>> SyntheticWorkload for F {
+    fn generate(&mut self, cycle: u64) -> Vec<NewPacket> {
+        self(cycle)
+    }
+}
+
+/// Result of an open-loop run.
+#[derive(Debug, Clone)]
+pub struct SyntheticResult {
+    /// Latency (generation to delivery, per destination) of packets
+    /// generated during the measurement window.
+    pub latency: LatencyStats,
+    /// Packets generated per node per cycle during measurement.
+    pub offered_rate: f64,
+    /// Packets accepted into NICs per node per cycle during measurement.
+    pub accepted_rate: f64,
+    /// Deliveries per node per cycle during measurement.
+    pub delivered_rate: f64,
+    /// Energy spent during the measurement window.
+    pub energy: EnergyReport,
+    /// Number of measured packets still undelivered when the run ended
+    /// (non-zero means the network was saturated).
+    pub unfinished: u64,
+}
+
+/// Options for [`run_synthetic`].
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticOptions {
+    /// Cycles to run before measuring (network warm-up).
+    pub warmup: u64,
+    /// Cycles of the measurement window.
+    pub measure: u64,
+    /// Extra cycles allowed to drain measured packets after generation
+    /// stops.
+    pub drain: u64,
+}
+
+impl Default for SyntheticOptions {
+    fn default() -> Self {
+        SyntheticOptions { warmup: 1_000, measure: 4_000, drain: 8_000 }
+    }
+}
+
+/// Runs a synthetic workload against a network.
+///
+/// Generated packets that do not fit in their NIC are held in an unbounded
+/// per-source queue (the "source queue"); latency is measured from
+/// *generation*, so source queueing delay is included — this is what makes
+/// latency diverge at saturation.
+pub fn run_synthetic<N: Network + ?Sized, W: SyntheticWorkload>(
+    net: &mut N,
+    workload: &mut W,
+    opts: SyntheticOptions,
+) -> SyntheticResult {
+    let nodes = net.mesh().nodes();
+    let mut source_queues: Vec<VecDeque<(NewPacket, u64)>> = vec![VecDeque::new(); nodes];
+    // PacketId -> (generation cycle, measured?)
+    let mut gen_cycle: HashMap<PacketId, (u64, bool)> = HashMap::new();
+    let mut latency = LatencyStats::new();
+    let mut offered = 0u64;
+    let mut accepted = 0u64;
+    let mut delivered = 0u64;
+    let mut measured_outstanding = 0u64;
+
+    let measure_start = opts.warmup;
+    let measure_end = opts.warmup + opts.measure;
+    let hard_end = measure_end + opts.drain;
+    let energy_start_holder = std::cell::Cell::new(None::<EnergyReport>);
+
+    let mut cycle = net.cycle();
+    let base_cycle = cycle;
+    while cycle - base_cycle < hard_end {
+        let rel = cycle - base_cycle;
+        let measuring = rel >= measure_start && rel < measure_end;
+        if rel == measure_start {
+            energy_start_holder.set(Some(net.energy()));
+        }
+
+        // Generate new packets (only until the measurement window closes;
+        // afterwards we just drain).
+        if rel < measure_end {
+            for p in workload.generate(cycle) {
+                if measuring {
+                    offered += 1;
+                }
+                source_queues[p.src.index()].push_back((p, cycle));
+            }
+        }
+
+        // Try to inject from each source queue, in order.
+        for q in &mut source_queues {
+            while let Some((p, gen)) = q.front() {
+                let (p, gen) = (p.clone(), *gen);
+                match net.inject(p) {
+                    Some(id) => {
+                        q.pop_front();
+                        let rel_gen = gen - base_cycle;
+                        let measured = rel_gen >= measure_start && rel_gen < measure_end;
+                        if measured {
+                            accepted += 1;
+                            measured_outstanding += 1;
+                        }
+                        gen_cycle.insert(id, (gen, measured));
+                    }
+                    None => break, // NIC full; retry next cycle
+                }
+            }
+        }
+
+        net.step();
+        cycle = net.cycle();
+
+        for d in net.drain_deliveries() {
+            if let Some(&(gen, measured)) = gen_cycle.get(&d.packet) {
+                if measured {
+                    latency.record(d.delivered_cycle.saturating_sub(gen));
+                    // Throughput counts only deliveries inside the
+                    // measurement window: a saturated network keeps
+                    // delivering during the drain, but that is backlog,
+                    // not sustained throughput.
+                    if d.delivered_cycle - base_cycle < measure_end {
+                        delivered += 1;
+                    }
+                    measured_outstanding -= 1;
+                }
+            }
+        }
+
+        // Early exit once every measured packet has drained.
+        if rel + 1 >= measure_end && measured_outstanding == 0 {
+            break;
+        }
+    }
+
+    let energy_start = energy_start_holder.get().unwrap_or_default();
+    let denom = (nodes as f64) * (opts.measure as f64);
+    SyntheticResult {
+        latency,
+        offered_rate: offered as f64 / denom,
+        accepted_rate: accepted as f64 / denom,
+        delivered_rate: delivered as f64 / denom,
+        energy: net.energy().delta_since(&energy_start),
+        unfinished: measured_outstanding,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop trace replay
+// ---------------------------------------------------------------------------
+
+/// Identifier of a message within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsgId(pub u32);
+
+/// A dependency on an earlier message: either its *full* delivery (every
+/// destination reached) or its delivery at one specific destination.
+///
+/// Per-destination dependencies model coherence accurately: a data
+/// response may be produced as soon as the broadcast request reaches the
+/// owning cache — it does not wait for the request to reach all 63
+/// snoopers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dep {
+    /// The message depended upon.
+    pub msg: MsgId,
+    /// `None` = fully delivered; `Some(node)` = delivered at `node`.
+    pub at: Option<NodeId>,
+}
+
+impl Dep {
+    /// Dependency on full delivery.
+    pub fn full(msg: MsgId) -> Dep {
+        Dep { msg, at: None }
+    }
+
+    /// Dependency on delivery at one destination.
+    pub fn at(msg: MsgId, node: NodeId) -> Dep {
+        Dep { msg, at: Some(node) }
+    }
+}
+
+impl From<MsgId> for Dep {
+    fn from(msg: MsgId) -> Dep {
+        Dep::full(msg)
+    }
+}
+
+/// One message of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMessage {
+    /// Trace-unique id.
+    pub id: MsgId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination(s).
+    pub dests: DestSet,
+    /// Operation kind.
+    pub kind: PacketKind,
+    /// Earliest cycle this message may inject (program order / compute
+    /// time at the source).
+    pub earliest: u64,
+    /// Dependencies that must be satisfied before this message becomes
+    /// eligible (e.g. the request a response answers, or the previous
+    /// outstanding miss of the same core).
+    pub deps: Vec<Dep>,
+    /// Additional think time after the last dependency delivers.
+    pub think: u64,
+}
+
+/// A complete workload trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Messages; ids must be unique and dependencies must refer to
+    /// earlier-listed messages (no cycles).
+    pub messages: Vec<TraceMessage>,
+}
+
+impl Trace {
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Appends another trace's messages, remapping its ids (and internal
+    /// dependencies) past this trace's id space and offsetting its
+    /// `earliest` times by `at`. Useful for composing workload phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either trace fails validation.
+    pub fn append(&mut self, other: &Trace, at: u64) {
+        self.validate().expect("base trace is valid");
+        other.validate().expect("appended trace is valid");
+        let base = self.messages.iter().map(|m| m.id.0 + 1).max().unwrap_or(0);
+        for m in &other.messages {
+            let mut m = m.clone();
+            m.id = MsgId(m.id.0 + base);
+            for d in &mut m.deps {
+                d.msg = MsgId(d.msg.0 + base);
+            }
+            m.earliest += at;
+            self.messages.push(m);
+        }
+    }
+
+    /// Messages of one kind.
+    pub fn of_kind(&self, kind: PacketKind) -> impl Iterator<Item = &TraceMessage> {
+        self.messages.iter().filter(move |m| m.kind == kind)
+    }
+
+    /// Validates id uniqueness and acyclic, backward-pointing deps.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for m in &self.messages {
+            for d in &m.deps {
+                if !seen.contains(&d.msg) {
+                    return Err(format!(
+                        "message {:?} depends on {:?} which does not precede it",
+                        m.id, d.msg
+                    ));
+                }
+            }
+            if !seen.insert(m.id) {
+                return Err(format!("duplicate message id {:?}", m.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of a trace replay.
+#[derive(Debug, Clone)]
+pub struct TraceResult {
+    /// Cycle at which the last message was fully delivered (the trace's
+    /// network-limited completion time).
+    pub completion_cycle: u64,
+    /// Per-destination delivery latencies (from eligibility, i.e. network
+    /// + NIC time only).
+    pub latency: LatencyStats,
+    /// Total energy spent.
+    pub energy: EnergyReport,
+    /// Messages fully delivered.
+    pub completed: u64,
+    /// True if the replay hit the cycle limit before completing.
+    pub timed_out: bool,
+}
+
+/// Options for [`run_trace`].
+#[derive(Debug, Clone, Copy)]
+pub struct TraceOptions {
+    /// Hard cycle limit (guards against livelock in a miscalibrated
+    /// configuration).
+    pub max_cycles: u64,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions { max_cycles: 10_000_000 }
+    }
+}
+
+/// Replays a trace to completion, honouring message dependencies.
+///
+/// # Panics
+///
+/// Panics if the trace fails [`Trace::validate`].
+pub fn run_trace<N: Network + ?Sized>(net: &mut N, trace: &Trace, opts: TraceOptions) -> TraceResult {
+    trace.validate().expect("invalid trace");
+    let energy_start = net.energy();
+    let base_cycle = net.cycle();
+
+    let n = trace.len();
+    let nodes = net.mesh().nodes();
+    let mut dep_remaining: Vec<u32> = Vec::with_capacity(n);
+    // Dependents waiting on a message's full delivery / on one
+    // destination of it.
+    let mut full_deps: HashMap<MsgId, Vec<usize>> = HashMap::new();
+    let mut dest_deps: HashMap<(MsgId, NodeId), Vec<usize>> = HashMap::new();
+    let mut dest_lists: HashMap<MsgId, Vec<NodeId>> = HashMap::with_capacity(n);
+    for m in &trace.messages {
+        dest_lists.insert(m.id, m.dests.expand(m.src, nodes));
+    }
+    for (i, m) in trace.messages.iter().enumerate() {
+        dep_remaining.push(m.deps.len() as u32);
+        for d in &m.deps {
+            match d.at {
+                None => full_deps.entry(d.msg).or_default().push(i),
+                Some(node) => {
+                    assert!(
+                        dest_lists[&d.msg].contains(&node),
+                        "message {:?} depends on {:?} at {node}, which is not a destination",
+                        m.id,
+                        d.msg
+                    );
+                    dest_deps.entry((d.msg, node)).or_default().push(i);
+                }
+            }
+        }
+    }
+
+    // ready_at[i]: cycle at which message i becomes eligible (valid once
+    // dep_remaining[i] == 0). Initialized to `earliest`, bumped as deps
+    // deliver.
+    let mut ready_at: Vec<u64> = trace.messages.iter().map(|m| base_cycle + m.earliest).collect();
+    // Min-heap of (ready_at, index) for dependency-free messages.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+        std::collections::BinaryHeap::new();
+    for i in 0..n {
+        if dep_remaining[i] == 0 {
+            heap.push(std::cmp::Reverse((ready_at[i], i)));
+        }
+    }
+
+    // Per-source stall queues for messages that found the NIC full.
+    let mut stalled: Vec<VecDeque<usize>> = vec![VecDeque::new(); nodes];
+    // In-flight tracking: PacketId -> (msg index, remaining dests, eligible cycle).
+    let mut in_flight: HashMap<PacketId, (usize, usize, u64)> = HashMap::new();
+    let mut latency = LatencyStats::new();
+    let mut completed = 0u64;
+    let mut completion_cycle = base_cycle;
+    let mut timed_out = false;
+
+    let mut cycle = base_cycle;
+    while completed < n as u64 {
+        if cycle - base_cycle >= opts.max_cycles {
+            timed_out = true;
+            break;
+        }
+
+        // Move newly-eligible messages into their source's stall queue.
+        while let Some(&std::cmp::Reverse((t, i))) = heap.peek() {
+            if t > cycle {
+                break;
+            }
+            heap.pop();
+            stalled[trace.messages[i].src.index()].push_back(i);
+        }
+
+        // Try to inject stalled messages in FIFO order per source.
+        for q in &mut stalled {
+            while let Some(&i) = q.front() {
+                let m = &trace.messages[i];
+                let ndests = dest_lists[&m.id].len();
+                if ndests == 0 {
+                    // Degenerate self-send: treat as immediately delivered.
+                    q.pop_front();
+                    completed += 1;
+                    completion_cycle = completion_cycle.max(cycle);
+                    for &dep_i in full_deps.get(&m.id).map(Vec::as_slice).unwrap_or(&[]) {
+                        resolve_dep(
+                            dep_i,
+                            cycle,
+                            &trace.messages,
+                            &mut dep_remaining,
+                            &mut ready_at,
+                            &mut heap,
+                        );
+                    }
+                    continue;
+                }
+                let p = NewPacket { src: m.src, dests: m.dests.clone(), kind: m.kind };
+                match net.inject(p) {
+                    Some(id) => {
+                        q.pop_front();
+                        in_flight.insert(id, (i, ndests, ready_at[i]));
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        net.step();
+        cycle = net.cycle();
+
+        for d in net.drain_deliveries() {
+            if let Some(entry) = in_flight.get_mut(&d.packet) {
+                entry.1 -= 1;
+                latency.record(d.delivered_cycle.saturating_sub(entry.2));
+                let msg_id = trace.messages[entry.0].id;
+                for &dep_i in dest_deps
+                    .get(&(msg_id, d.dest))
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[])
+                {
+                    resolve_dep(
+                        dep_i,
+                        d.delivered_cycle,
+                        &trace.messages,
+                        &mut dep_remaining,
+                        &mut ready_at,
+                        &mut heap,
+                    );
+                }
+                if entry.1 == 0 {
+                    let (i, _, _) = in_flight.remove(&d.packet).expect("entry exists");
+                    completed += 1;
+                    completion_cycle = completion_cycle.max(d.delivered_cycle);
+                    let id = trace.messages[i].id;
+                    for &dep_i in full_deps.get(&id).map(Vec::as_slice).unwrap_or(&[]) {
+                        resolve_dep(
+                            dep_i,
+                            d.delivered_cycle,
+                            &trace.messages,
+                            &mut dep_remaining,
+                            &mut ready_at,
+                            &mut heap,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    TraceResult {
+        completion_cycle: completion_cycle - base_cycle,
+        latency,
+        energy: net.energy().delta_since(&energy_start),
+        completed,
+        timed_out,
+    }
+}
+
+fn resolve_dep(
+    dep_i: usize,
+    delivered_cycle: u64,
+    messages: &[TraceMessage],
+    dep_remaining: &mut [u32],
+    ready_at: &mut [u64],
+    heap: &mut std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+) {
+    let m = &messages[dep_i];
+    ready_at[dep_i] = ready_at[dep_i].max(delivered_cycle + m.think);
+    dep_remaining[dep_i] -= 1;
+    if dep_remaining[dep_i] == 0 {
+        heap.push(std::cmp::Reverse((ready_at[dep_i], dep_i)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_validation_catches_forward_dep() {
+        let t = Trace {
+            messages: vec![TraceMessage {
+                id: MsgId(0),
+                src: NodeId(0),
+                dests: DestSet::Unicast(NodeId(1)),
+                kind: PacketKind::Data,
+                earliest: 0,
+                deps: vec![Dep::full(MsgId(1))],
+                think: 0,
+            }],
+        };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn trace_validation_catches_duplicate_id() {
+        let m = TraceMessage {
+            id: MsgId(0),
+            src: NodeId(0),
+            dests: DestSet::Unicast(NodeId(1)),
+            kind: PacketKind::Data,
+            earliest: 0,
+            deps: vec![],
+            think: 0,
+        };
+        let t = Trace { messages: vec![m.clone(), m] };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn trace_validation_accepts_backward_deps() {
+        let t = Trace {
+            messages: vec![
+                TraceMessage {
+                    id: MsgId(0),
+                    src: NodeId(0),
+                    dests: DestSet::Unicast(NodeId(1)),
+                    kind: PacketKind::ReadRequest,
+                    earliest: 0,
+                    deps: vec![],
+                    think: 0,
+                },
+                TraceMessage {
+                    id: MsgId(1),
+                    src: NodeId(1),
+                    dests: DestSet::Unicast(NodeId(0)),
+                    kind: PacketKind::DataResponse,
+                    earliest: 0,
+                    deps: vec![Dep::full(MsgId(0))],
+                    think: 2,
+                },
+            ],
+        };
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn default_options_are_sane() {
+        let s = SyntheticOptions::default();
+        assert!(s.warmup > 0 && s.measure > 0 && s.drain > 0);
+        assert!(TraceOptions::default().max_cycles > 1_000_000);
+    }
+}

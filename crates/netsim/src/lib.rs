@@ -1,0 +1,53 @@
+//! Shared cycle-accurate network-simulation substrate for the Phastlane
+//! reproduction.
+//!
+//! This crate contains everything the optical (`phastlane-core`) and
+//! electrical (`phastlane-electrical`) simulators have in common, so that
+//! experiments can drive either through one interface:
+//!
+//! * [`geometry`] — 2D mesh, nodes, directions, ports;
+//! * [`routing`] — dimension-order (XY) routing and turn classification;
+//! * [`packet`] — single-flit 80-byte packets, destination sets,
+//!   deliveries;
+//! * [`nic`] — the 50-entry network-interface buffer;
+//! * [`ecc`] — SECDED protection for the 64-byte payload;
+//! * [`mask`] — 256-node bitsets for multicast target tracking;
+//! * [`network`] — the [`network::Network`] trait;
+//! * [`ideal`] — a contention-free reference network (lower bound and
+//!   harness fixture);
+//! * [`harness`] — open-loop synthetic runs and dependency-aware trace
+//!   replay;
+//! * [`sweep`] — injection-rate sweeps and saturation extraction;
+//! * [`stats`] — latency/energy accounting.
+//!
+//! # Example
+//!
+//! Routing a packet across the paper's 8x8 mesh:
+//!
+//! ```
+//! use phastlane_netsim::geometry::{Mesh, NodeId};
+//! use phastlane_netsim::routing::xy_route;
+//!
+//! let mesh = Mesh::PAPER;
+//! let route = xy_route(mesh, NodeId(0), NodeId(63));
+//! assert_eq!(route.len(), 14); // corner to corner
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ecc;
+pub mod geometry;
+pub mod harness;
+pub mod ideal;
+pub mod mask;
+pub mod network;
+pub mod nic;
+pub mod packet;
+pub mod routing;
+pub mod stats;
+pub mod sweep;
+pub mod telemetry;
+
+pub use geometry::{Direction, Mesh, NodeId, Port};
+pub use network::Network;
+pub use packet::{Delivery, DestSet, NewPacket, PacketId, PacketKind};

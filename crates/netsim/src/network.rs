@@ -1,0 +1,91 @@
+//! The [`Network`] abstraction both simulators implement, so that the
+//! harness, traffic generators, and experiment binaries are agnostic to
+//! which network they drive.
+
+use crate::geometry::Mesh;
+use crate::packet::{Delivery, NewPacket, PacketId};
+use crate::stats::{EnergyReport, NetworkStats};
+use crate::telemetry::LinkCounters;
+
+/// A cycle-accurate network simulator.
+///
+/// The drive loop is: call [`inject`](Network::inject) for packets the
+/// workload wants to send this cycle, call [`step`](Network::step) once to
+/// advance one clock, then [`drain_deliveries`](Network::drain_deliveries)
+/// to observe what arrived.
+pub trait Network {
+    /// Short human-readable configuration name (e.g. `"Optical4"`,
+    /// `"Electrical3"`). Matches the labels of Figures 10 and 11.
+    fn name(&self) -> String;
+
+    /// The mesh this network spans.
+    fn mesh(&self) -> Mesh;
+
+    /// Current cycle count (number of completed [`step`](Network::step)s).
+    fn cycle(&self) -> u64;
+
+    /// Attempts to accept a packet into the source node's NIC.
+    ///
+    /// Returns the assigned packet id, or `None` if the NIC is full (the
+    /// caller should retry on a later cycle — this is the back-pressure
+    /// path).
+    fn inject(&mut self, packet: NewPacket) -> Option<PacketId>;
+
+    /// Advances the simulation by one clock cycle.
+    fn step(&mut self);
+
+    /// Returns and clears the deliveries that completed since the last
+    /// call. A multi-destination packet produces one [`Delivery`] per
+    /// destination.
+    fn drain_deliveries(&mut self) -> Vec<Delivery>;
+
+    /// Number of packets accepted but not yet delivered to all of their
+    /// destinations. Zero means the network is idle.
+    fn in_flight(&self) -> usize;
+
+    /// Cumulative energy since construction.
+    fn energy(&self) -> EnergyReport;
+
+    /// Cumulative counters since construction.
+    fn stats(&self) -> NetworkStats;
+
+    /// Per-link traversal telemetry, when the implementation collects it
+    /// (the default is empty counters).
+    fn link_counters(&self) -> LinkCounters {
+        LinkCounters::new()
+    }
+}
+
+/// Blanket impl so `Box<dyn Network>` composes with generic harness code.
+impl<N: Network + ?Sized> Network for Box<N> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn mesh(&self) -> Mesh {
+        (**self).mesh()
+    }
+    fn cycle(&self) -> u64 {
+        (**self).cycle()
+    }
+    fn inject(&mut self, packet: NewPacket) -> Option<PacketId> {
+        (**self).inject(packet)
+    }
+    fn step(&mut self) {
+        (**self).step()
+    }
+    fn drain_deliveries(&mut self) -> Vec<Delivery> {
+        (**self).drain_deliveries()
+    }
+    fn in_flight(&self) -> usize {
+        (**self).in_flight()
+    }
+    fn energy(&self) -> EnergyReport {
+        (**self).energy()
+    }
+    fn stats(&self) -> NetworkStats {
+        (**self).stats()
+    }
+    fn link_counters(&self) -> LinkCounters {
+        (**self).link_counters()
+    }
+}

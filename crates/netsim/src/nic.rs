@@ -1,0 +1,147 @@
+//! The network-interface controller: a finite injection queue per node.
+//!
+//! Both networks use a 50-entry NIC buffer (Tables 1 and 2). Packets that
+//! do not fit are rejected back to the traffic source, which models the
+//! processor stalling on a full NIC.
+
+use std::collections::VecDeque;
+
+/// A finite FIFO injection queue.
+#[derive(Debug, Clone)]
+pub struct Nic<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    rejected: u64,
+    accepted: u64,
+}
+
+/// The paper's NIC buffer depth.
+pub const NIC_ENTRIES: usize = 50;
+
+impl<T> Nic<T> {
+    /// Creates a NIC with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "NIC capacity must be positive");
+        Nic { queue: VecDeque::new(), capacity, rejected: 0, accepted: 0 }
+    }
+
+    /// Attempts to enqueue `item`. Returns `Err(item)` if the NIC is full.
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        if self.queue.len() >= self.capacity {
+            self.rejected += 1;
+            Err(item)
+        } else {
+            self.accepted += 1;
+            self.queue.push_back(item);
+            Ok(())
+        }
+    }
+
+    /// Removes and returns the oldest entry.
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Returns a reference to the oldest entry without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.queue.front()
+    }
+
+    /// Pushes an item back to the *front* (used when a launch must be
+    /// undone, e.g. a Phastlane retransmission).
+    ///
+    /// Unlike [`try_push`](Self::try_push) this never fails: responsibility
+    /// for an in-flight packet was already accounted when it was first
+    /// accepted.
+    pub fn push_front(&mut self, item: T) {
+        self.queue.push_front(item);
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of rejected enqueue attempts.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Number of accepted enqueues.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Iterates over queued entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.queue.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut nic = Nic::new(4);
+        nic.try_push(1).unwrap();
+        nic.try_push(2).unwrap();
+        assert_eq!(nic.pop(), Some(1));
+        assert_eq!(nic.pop(), Some(2));
+        assert_eq!(nic.pop(), None);
+    }
+
+    #[test]
+    fn rejects_when_full() {
+        let mut nic = Nic::new(2);
+        nic.try_push('a').unwrap();
+        nic.try_push('b').unwrap();
+        assert!(nic.is_full());
+        assert_eq!(nic.try_push('c'), Err('c'));
+        assert_eq!(nic.rejected(), 1);
+        assert_eq!(nic.accepted(), 2);
+    }
+
+    #[test]
+    fn push_front_bypasses_capacity() {
+        let mut nic = Nic::new(1);
+        nic.try_push(1).unwrap();
+        nic.push_front(0);
+        assert_eq!(nic.len(), 2);
+        assert_eq!(nic.pop(), Some(0));
+    }
+
+    #[test]
+    fn front_peeks() {
+        let mut nic = Nic::new(2);
+        nic.try_push(7).unwrap();
+        assert_eq!(nic.front(), Some(&7));
+        assert_eq!(nic.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _: Nic<u8> = Nic::new(0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Packet and message types shared by both network implementations.
+//!
+//! Both the Phastlane network and the electrical baseline use single-flit,
+//! 80-byte packets (Tables 1 and 2): a 64-byte cache line plus address,
+//! operation type, source id, ECC, and routing control.
+
+use crate::geometry::NodeId;
+use std::fmt;
+
+/// Total packet size in bytes (one flit).
+pub const PACKET_BYTES: u32 = 80;
+/// Total packet size in bits.
+pub const PACKET_BITS: u32 = PACKET_BYTES * 8;
+
+/// Unique identifier a network assigns to an injected packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The coherence-level operation a packet carries. Only used for
+/// statistics and trace bookkeeping; the networks treat all kinds alike
+/// except for multicast routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// A read (GetS) coherence request — broadcast in a snoopy system.
+    ReadRequest,
+    /// A write/upgrade (GetX) coherence request — broadcast.
+    WriteRequest,
+    /// A data response (cache-to-cache or from a memory controller).
+    DataResponse,
+    /// An invalidate — broadcast.
+    Invalidate,
+    /// A writeback to a memory controller.
+    Writeback,
+    /// Generic point-to-point data (synthetic workloads).
+    Data,
+}
+
+impl PacketKind {
+    /// Whether this kind is broadcast in a snoopy protocol.
+    pub fn is_snoop_broadcast(self) -> bool {
+        matches!(
+            self,
+            PacketKind::ReadRequest | PacketKind::WriteRequest | PacketKind::Invalidate
+        )
+    }
+}
+
+/// Destination set of a packet.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DestSet {
+    /// A single destination.
+    Unicast(NodeId),
+    /// An explicit list of destinations (deduplicated, excludes source).
+    Multicast(Vec<NodeId>),
+    /// Every node except the source.
+    Broadcast,
+}
+
+impl DestSet {
+    /// Expands to the concrete destination list for a given source and
+    /// node count. Destinations equal to `src` are dropped; duplicates in
+    /// a multicast list are dropped.
+    pub fn expand(&self, src: NodeId, nodes: usize) -> Vec<NodeId> {
+        match self {
+            DestSet::Unicast(d) => {
+                if *d == src {
+                    Vec::new()
+                } else {
+                    vec![*d]
+                }
+            }
+            DestSet::Multicast(list) => {
+                let mut out: Vec<NodeId> = Vec::with_capacity(list.len());
+                for &d in list {
+                    if d != src && !out.contains(&d) {
+                        out.push(d);
+                    }
+                }
+                out
+            }
+            DestSet::Broadcast => (0..nodes as u16)
+                .map(NodeId)
+                .filter(|&n| n != src)
+                .collect(),
+        }
+    }
+
+    /// Whether this is a multi-destination set.
+    pub fn is_multi(&self) -> bool {
+        match self {
+            DestSet::Unicast(_) => false,
+            DestSet::Multicast(list) => list.len() > 1,
+            DestSet::Broadcast => true,
+        }
+    }
+}
+
+/// A request to inject one packet, handed to [`crate::network::Network::inject`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NewPacket {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination(s).
+    pub dests: DestSet,
+    /// Operation kind (statistics / multicast handling).
+    pub kind: PacketKind,
+}
+
+impl NewPacket {
+    /// Convenience constructor for a unicast data packet.
+    pub fn unicast(src: NodeId, dst: NodeId) -> Self {
+        NewPacket { src, dests: DestSet::Unicast(dst), kind: PacketKind::Data }
+    }
+
+    /// Convenience constructor for a broadcast packet.
+    pub fn broadcast(src: NodeId, kind: PacketKind) -> Self {
+        NewPacket { src, dests: DestSet::Broadcast, kind }
+    }
+}
+
+/// Record of one packet copy arriving at one destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Delivery {
+    /// The packet.
+    pub packet: PacketId,
+    /// Source node.
+    pub src: NodeId,
+    /// The destination this copy arrived at.
+    pub dest: NodeId,
+    /// Cycle the packet entered the source NIC.
+    pub injected_cycle: u64,
+    /// Cycle this copy was delivered.
+    pub delivered_cycle: u64,
+}
+
+impl Delivery {
+    /// Latency from NIC entry to delivery at this destination.
+    pub fn latency(&self) -> u64 {
+        self.delivered_cycle.saturating_sub(self.injected_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_unicast() {
+        let d = DestSet::Unicast(NodeId(5));
+        assert_eq!(d.expand(NodeId(0), 64), vec![NodeId(5)]);
+        // Self-send collapses to nothing.
+        assert!(d.expand(NodeId(5), 64).is_empty());
+    }
+
+    #[test]
+    fn expand_broadcast_excludes_source() {
+        let d = DestSet::Broadcast.expand(NodeId(3), 8);
+        assert_eq!(d.len(), 7);
+        assert!(!d.contains(&NodeId(3)));
+    }
+
+    #[test]
+    fn expand_multicast_dedups() {
+        let d = DestSet::Multicast(vec![NodeId(1), NodeId(2), NodeId(1), NodeId(0)]);
+        assert_eq!(d.expand(NodeId(0), 8), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn is_multi() {
+        assert!(!DestSet::Unicast(NodeId(1)).is_multi());
+        assert!(DestSet::Broadcast.is_multi());
+        assert!(DestSet::Multicast(vec![NodeId(1), NodeId(2)]).is_multi());
+        assert!(!DestSet::Multicast(vec![NodeId(1)]).is_multi());
+    }
+
+    #[test]
+    fn snoop_broadcast_kinds() {
+        assert!(PacketKind::ReadRequest.is_snoop_broadcast());
+        assert!(PacketKind::Invalidate.is_snoop_broadcast());
+        assert!(!PacketKind::DataResponse.is_snoop_broadcast());
+        assert!(!PacketKind::Data.is_snoop_broadcast());
+    }
+
+    #[test]
+    fn delivery_latency() {
+        let d = Delivery {
+            packet: PacketId(1),
+            src: NodeId(0),
+            dest: NodeId(1),
+            injected_cycle: 10,
+            delivered_cycle: 14,
+        };
+        assert_eq!(d.latency(), 4);
+    }
+
+    #[test]
+    fn packet_size_is_80_bytes() {
+        assert_eq!(PACKET_BITS, 640);
+    }
+}

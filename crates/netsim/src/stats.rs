@@ -1,0 +1,338 @@
+//! Latency, throughput, and energy statistics.
+
+use crate::packet::PacketKind;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Streaming summary of packet latencies, with a log2-bucketed histogram
+/// for percentile estimates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyStats {
+    count: u64,
+    sum: u64,
+    max: u64,
+    min: Option<u64>,
+    /// bucket[i] counts samples with floor(log2(latency)) == i - 1
+    /// (bucket 0 holds latency 0).
+    buckets: [u64; 32],
+}
+
+impl LatencyStats {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: u64) {
+        self.count += 1;
+        self.sum += latency;
+        self.max = self.max.max(latency);
+        self.min = Some(self.min.map_or(latency, |m| m.min(latency)));
+        self.buckets[Self::bucket_of(latency)] += 1;
+    }
+
+    fn bucket_of(latency: u64) -> usize {
+        if latency == 0 {
+            0
+        } else {
+            (64 - latency.leading_zeros()).min(31) as usize
+        }
+    }
+
+    /// Upper bound of a bucket (inclusive).
+    fn bucket_limit(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// An estimate of the `p`-th percentile (0 < p <= 100), as the upper
+    /// bound of the log2 bucket containing that rank — within 2x of the
+    /// true value, and clamped to the exact observed maximum.
+    ///
+    /// Returns `None` when no samples were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_limit(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency, or `None` if no samples were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Maximum latency observed.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Minimum latency observed, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets) {
+            *mine += theirs;
+        }
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "n={} mean={:.2} min={} max={}",
+                self.count,
+                mean,
+                self.min.unwrap_or(0),
+                self.max
+            ),
+            None => f.write_str("n=0"),
+        }
+    }
+}
+
+/// Cumulative energy spent by a network, split by physical mechanism.
+/// All values in picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyReport {
+    /// Electrical dynamic energy: buffers, arbitration, crossbars, drivers.
+    pub dynamic_pj: f64,
+    /// Electrical static (leakage) energy.
+    pub leakage_pj: f64,
+    /// Optical transmit energy: laser power provisioned for launched
+    /// packets (zero for the electrical network).
+    pub laser_pj: f64,
+    /// Link traversal energy (electrical network only; optical links are
+    /// covered by `laser_pj`).
+    pub link_pj: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.dynamic_pj + self.leakage_pj + self.laser_pj + self.link_pj
+    }
+
+    /// Average power in milliwatts over `cycles` at `clock_ghz`.
+    ///
+    /// pJ / (cycles / GHz in ns) = pJ/ns * 1e-9/1e-12 ... directly:
+    /// mW = 1e-3 J/s; pJ / ns = 1e-12 J / 1e-9 s = 1e-3 J/s = 1 mW.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    pub fn average_power_mw(&self, cycles: u64, clock_ghz: f64) -> f64 {
+        assert!(cycles > 0, "cannot average power over zero cycles");
+        let ns = cycles as f64 / clock_ghz;
+        self.total_pj() / ns
+    }
+
+    /// Component-wise difference (`self - other`); used to measure energy
+    /// over a window.
+    pub fn delta_since(&self, other: &EnergyReport) -> EnergyReport {
+        EnergyReport {
+            dynamic_pj: self.dynamic_pj - other.dynamic_pj,
+            leakage_pj: self.leakage_pj - other.leakage_pj,
+            laser_pj: self.laser_pj - other.laser_pj,
+            link_pj: self.link_pj - other.link_pj,
+        }
+    }
+}
+
+/// Latency summaries broken down by packet kind (requests vs responses
+/// vs writebacks behave very differently under coherence workloads).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KindLatency {
+    map: HashMap<PacketKind, LatencyStats>,
+}
+
+impl KindLatency {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample for a kind.
+    pub fn record(&mut self, kind: PacketKind, latency: u64) {
+        self.map.entry(kind).or_default().record(latency);
+    }
+
+    /// The summary for one kind, if any samples were recorded.
+    pub fn get(&self, kind: PacketKind) -> Option<&LatencyStats> {
+        self.map.get(&kind)
+    }
+
+    /// Iterates the recorded kinds.
+    pub fn iter(&self) -> impl Iterator<Item = (PacketKind, &LatencyStats)> {
+        self.map.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Aggregate counters most experiments want.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetworkStats {
+    /// Per-destination delivery latencies.
+    pub latency: LatencyStats,
+    /// Latencies broken down by packet kind.
+    pub latency_by_kind: KindLatency,
+    /// Packets injected (accepted into a NIC).
+    pub injected: u64,
+    /// Per-destination deliveries.
+    pub delivered: u64,
+    /// Packets dropped inside the network (Phastlane only).
+    pub dropped: u64,
+    /// Retransmissions after drops (Phastlane only).
+    pub retransmitted: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary() {
+        let mut s = LatencyStats::new();
+        for v in [4, 8, 6] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), Some(6.0));
+        assert_eq!(s.max(), 8);
+        assert_eq!(s.min(), Some(4));
+    }
+
+    #[test]
+    fn empty_latency_has_no_mean() {
+        assert_eq!(LatencyStats::new().mean(), None);
+        assert_eq!(LatencyStats::new().min(), None);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyStats::new();
+        a.record(2);
+        let mut b = LatencyStats::new();
+        b.record(10);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), Some(6.0));
+        assert_eq!(a.min(), Some(2));
+        assert_eq!(a.max(), 10);
+    }
+
+    #[test]
+    fn energy_total_and_power() {
+        let e = EnergyReport { dynamic_pj: 100.0, leakage_pj: 50.0, laser_pj: 25.0, link_pj: 25.0 };
+        assert_eq!(e.total_pj(), 200.0);
+        // 200 pJ over 100 cycles at 4 GHz = 200 pJ / 25 ns = 8 mW.
+        assert!((e.average_power_mw(100, 4.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_delta() {
+        let a = EnergyReport { dynamic_pj: 10.0, leakage_pj: 5.0, laser_pj: 1.0, link_pj: 2.0 };
+        let b = EnergyReport { dynamic_pj: 4.0, leakage_pj: 2.0, laser_pj: 0.5, link_pj: 1.0 };
+        let d = a.delta_since(&b);
+        assert_eq!(d.dynamic_pj, 6.0);
+        assert_eq!(d.total_pj(), 10.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cycles")]
+    fn power_over_zero_cycles_panics() {
+        let _ = EnergyReport::default().average_power_mw(0, 4.0);
+    }
+
+    #[test]
+    fn percentiles_from_buckets() {
+        let mut s = LatencyStats::new();
+        for v in 1..=1000u64 {
+            s.record(v);
+        }
+        // p50 of 1..=1000 is ~500; log2 bucket upper bound gives <= 1023
+        // and >= 511 (within 2x).
+        let p50 = s.percentile(50.0).unwrap();
+        assert!((256..=1000).contains(&p50), "p50 estimate {p50}");
+        // p100 is clamped to the exact max.
+        assert_eq!(s.percentile(100.0), Some(1000));
+        // A tiny percentile lands in the low buckets.
+        assert!(s.percentile(0.1).unwrap() <= 3);
+        assert_eq!(LatencyStats::new().percentile(99.0), None);
+    }
+
+    #[test]
+    fn percentile_of_constant_distribution() {
+        let mut s = LatencyStats::new();
+        for _ in 0..100 {
+            s.record(7);
+        }
+        assert_eq!(s.percentile(1.0), Some(7));
+        assert_eq!(s.percentile(99.0), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_bounds() {
+        let _ = LatencyStats::new().percentile(0.0);
+    }
+
+    #[test]
+    fn kind_latency_breakdown() {
+        let mut k = KindLatency::new();
+        assert!(k.is_empty());
+        k.record(PacketKind::ReadRequest, 10);
+        k.record(PacketKind::ReadRequest, 20);
+        k.record(PacketKind::DataResponse, 4);
+        assert_eq!(k.get(PacketKind::ReadRequest).unwrap().mean(), Some(15.0));
+        assert_eq!(k.get(PacketKind::DataResponse).unwrap().count(), 1);
+        assert_eq!(k.get(PacketKind::Writeback), None);
+        assert_eq!(k.iter().count(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut s = LatencyStats::new();
+        s.record(5);
+        assert_eq!(format!("{s}"), "n=1 mean=5.00 min=5 max=5");
+        assert_eq!(format!("{}", LatencyStats::new()), "n=0");
+    }
+}

@@ -1,0 +1,114 @@
+//! Injection-rate sweeps: the latency-vs-load curves of Figure 9 and
+//! saturation-bandwidth extraction.
+
+use crate::harness::{run_synthetic, SyntheticOptions, SyntheticResult, SyntheticWorkload};
+use crate::network::Network;
+
+/// One point of a latency-vs-injection-rate curve.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Offered load (packets per node per cycle).
+    pub offered_rate: f64,
+    /// Measured result at this load.
+    pub result: SyntheticResult,
+}
+
+impl SweepPoint {
+    /// Mean packet latency, or `f64::INFINITY` if nothing was delivered.
+    pub fn mean_latency(&self) -> f64 {
+        self.result.latency.mean().unwrap_or(f64::INFINITY)
+    }
+
+    /// Whether the network kept up with the offered load: deliveries
+    /// tracked offered packets and nothing was left stranded.
+    pub fn is_stable(&self) -> bool {
+        self.result.unfinished == 0
+            && self.result.delivered_rate >= 0.90 * self.result.offered_rate
+    }
+}
+
+/// Runs a fresh network at each requested injection rate.
+///
+/// `make_net` builds a new network per rate; `make_workload` builds the
+/// per-rate traffic source (e.g. a Bernoulli process over a permutation
+/// pattern).
+pub fn latency_sweep<N, W>(
+    rates: &[f64],
+    mut make_net: impl FnMut() -> N,
+    mut make_workload: impl FnMut(f64) -> W,
+    opts: SyntheticOptions,
+) -> Vec<SweepPoint>
+where
+    N: Network,
+    W: SyntheticWorkload,
+{
+    rates
+        .iter()
+        .map(|&rate| {
+            let mut net = make_net();
+            let mut workload = make_workload(rate);
+            let result = run_synthetic(&mut net, &mut workload, opts);
+            SweepPoint { offered_rate: rate, result }
+        })
+        .collect()
+}
+
+/// Extracts the saturation throughput from a sweep: the highest offered
+/// rate whose point is still [`stable`](SweepPoint::is_stable). Returns
+/// `None` if no point is stable.
+pub fn saturation_rate(points: &[SweepPoint]) -> Option<f64> {
+    points
+        .iter()
+        .filter(|p| p.is_stable())
+        .map(|p| p.offered_rate)
+        .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::SyntheticResult;
+    use crate::stats::{EnergyReport, LatencyStats};
+
+    fn point(rate: f64, delivered: f64, unfinished: u64) -> SweepPoint {
+        SweepPoint {
+            offered_rate: rate,
+            result: SyntheticResult {
+                latency: LatencyStats::new(),
+                offered_rate: rate,
+                accepted_rate: rate,
+                delivered_rate: delivered,
+                energy: EnergyReport::default(),
+                unfinished,
+            },
+        }
+    }
+
+    #[test]
+    fn saturation_is_last_stable_rate() {
+        let pts = vec![
+            point(0.1, 0.1, 0),
+            point(0.2, 0.2, 0),
+            point(0.3, 0.15, 500), // saturated
+        ];
+        assert_eq!(saturation_rate(&pts), Some(0.2));
+    }
+
+    #[test]
+    fn saturation_none_when_all_unstable() {
+        let pts = vec![point(0.5, 0.1, 100)];
+        assert_eq!(saturation_rate(&pts), None);
+    }
+
+    #[test]
+    fn unstable_when_unfinished() {
+        assert!(!point(0.1, 0.1, 1).is_stable());
+        assert!(point(0.1, 0.095, 0).is_stable());
+        assert!(!point(0.1, 0.05, 0).is_stable());
+    }
+
+    #[test]
+    fn empty_latency_is_infinite() {
+        assert!(point(0.1, 0.1, 0).mean_latency().is_infinite());
+    }
+}

@@ -1,0 +1,154 @@
+//! Link-level telemetry: per-directed-link traversal counters and ASCII
+//! heatmap rendering, for understanding *where* a network congests
+//! (e.g. the column-entry turn ports during Phastlane broadcast storms).
+
+use crate::geometry::{Direction, Mesh, NodeId};
+use std::collections::HashMap;
+
+/// Traversal counters per directed link `(from, direction)`.
+#[derive(Debug, Clone, Default)]
+pub struct LinkCounters {
+    counts: HashMap<(NodeId, Direction), u64>,
+}
+
+impl LinkCounters {
+    /// Creates empty counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one traversal of the link leaving `from` toward `dir`.
+    pub fn record(&mut self, from: NodeId, dir: Direction) {
+        *self.counts.entry((from, dir)).or_default() += 1;
+    }
+
+    /// The count for one link.
+    pub fn get(&self, from: NodeId, dir: Direction) -> u64 {
+        self.counts.get(&(from, dir)).copied().unwrap_or(0)
+    }
+
+    /// Total traversals.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// The `n` busiest links, descending.
+    pub fn hottest(&self, n: usize) -> Vec<((NodeId, Direction), u64)> {
+        let mut v: Vec<_> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Outbound traversals summed per node.
+    pub fn per_node(&self, mesh: Mesh) -> Vec<u64> {
+        let mut out = vec![0u64; mesh.nodes()];
+        for (&(from, _), &c) in &self.counts {
+            if mesh.contains(from) {
+                out[from.index()] += c;
+            }
+        }
+        out
+    }
+
+    /// Renders per-node outbound load as an ASCII intensity grid.
+    pub fn heatmap(&self, mesh: Mesh) -> String {
+        render_heatmap(mesh, &self.per_node(mesh))
+    }
+}
+
+/// Intensity ramp, low to high.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders arbitrary per-node values as a `width x height` intensity
+/// grid (row 0 on top), with the scale printed underneath.
+///
+/// # Panics
+///
+/// Panics if `values.len() != mesh.nodes()`.
+pub fn render_heatmap(mesh: Mesh, values: &[u64]) -> String {
+    assert_eq!(values.len(), mesh.nodes(), "one value per node");
+    let max = values.iter().copied().max().unwrap_or(0);
+    let mut out = String::new();
+    for y in 0..mesh.height() {
+        let mut row = String::new();
+        for x in 0..mesh.width() {
+            let v = values[usize::from(y) * usize::from(mesh.width()) + usize::from(x)];
+            let idx = if max == 0 {
+                0
+            } else {
+                ((v as f64 / max as f64) * (RAMP.len() - 1) as f64).round() as usize
+            };
+            row.push(RAMP[idx] as char);
+            row.push(' ');
+        }
+        out.push_str(row.trim_end());
+        out.push('\n');
+    }
+    out.push_str(&format!("scale: ' '=0 .. '@'={max}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut c = LinkCounters::new();
+        c.record(NodeId(0), Direction::East);
+        c.record(NodeId(0), Direction::East);
+        c.record(NodeId(1), Direction::South);
+        assert_eq!(c.get(NodeId(0), Direction::East), 2);
+        assert_eq!(c.get(NodeId(0), Direction::West), 0);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn hottest_orders_descending() {
+        let mut c = LinkCounters::new();
+        for _ in 0..5 {
+            c.record(NodeId(3), Direction::North);
+        }
+        for _ in 0..9 {
+            c.record(NodeId(7), Direction::West);
+        }
+        c.record(NodeId(1), Direction::East);
+        let h = c.hottest(2);
+        assert_eq!(h[0], ((NodeId(7), Direction::West), 9));
+        assert_eq!(h[1], ((NodeId(3), Direction::North), 5));
+    }
+
+    #[test]
+    fn per_node_sums_outbound() {
+        let mut c = LinkCounters::new();
+        c.record(NodeId(0), Direction::East);
+        c.record(NodeId(0), Direction::South);
+        let v = c.per_node(Mesh::new(2, 2));
+        assert_eq!(v, vec![2, 0, 0, 0]);
+    }
+
+    #[test]
+    fn heatmap_shape_and_scale() {
+        let mesh = Mesh::new(3, 2);
+        let hm = render_heatmap(mesh, &[0, 5, 10, 0, 0, 10]);
+        let lines: Vec<&str> = hm.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // values 0,5,10 map to ' ', '+', '@' on the 10-step ramp.
+        assert_eq!(lines[0], "  + @");
+        assert_eq!(lines[1], "    @");
+        assert!(lines[2].contains("'@'=10"));
+    }
+
+    #[test]
+    fn all_zero_heatmap_is_blank() {
+        let hm = render_heatmap(Mesh::new(2, 1), &[0, 0]);
+        assert!(hm.starts_with('\n'), "blank row trims to empty: {hm:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per node")]
+    fn wrong_length_rejected() {
+        let _ = render_heatmap(Mesh::new(2, 2), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests of the simulation substrate.
+
+use phastlane_netsim::geometry::{Coord, Direction, Mesh, NodeId};
+use phastlane_netsim::packet::DestSet;
+use phastlane_netsim::routing::{classify_turn, xy_first_hop, xy_path_nodes, xy_route, Turn};
+use phastlane_netsim::stats::LatencyStats;
+use proptest::prelude::*;
+
+fn arb_mesh() -> impl Strategy<Value = Mesh> {
+    (1u16..=12, 1u16..=12).prop_map(|(w, h)| Mesh::new(w, h))
+}
+
+fn arb_mesh_and_pair() -> impl Strategy<Value = (Mesh, NodeId, NodeId)> {
+    arb_mesh().prop_flat_map(|mesh| {
+        let n = mesh.nodes() as u16;
+        (Just(mesh), 0..n, 0..n).prop_map(|(m, a, b)| (m, NodeId(a), NodeId(b)))
+    })
+}
+
+proptest! {
+    /// XY routes have exactly Manhattan-distance length and stay inside
+    /// the mesh.
+    #[test]
+    fn route_length_is_manhattan((mesh, src, dst) in arb_mesh_and_pair()) {
+        let route = xy_route(mesh, src, dst);
+        prop_assert_eq!(route.len() as u32, mesh.distance(src, dst));
+        let mut cur = src;
+        for dir in &route {
+            cur = mesh.neighbor(cur, *dir).expect("route stays inside mesh");
+        }
+        prop_assert_eq!(cur, dst);
+    }
+
+    /// XY routes never U-turn and turn at most once.
+    #[test]
+    fn route_turns_at_most_once((mesh, src, dst) in arb_mesh_and_pair()) {
+        let route = xy_route(mesh, src, dst);
+        let mut turns = 0;
+        for w in route.windows(2) {
+            prop_assert_ne!(w[1], w[0].opposite(), "U-turn");
+            if classify_turn(w[0], w[1]) != Turn::Straight {
+                turns += 1;
+            }
+        }
+        prop_assert!(turns <= 1);
+    }
+
+    /// The first hop reported matches the route, and the node path ends
+    /// at the destination.
+    #[test]
+    fn first_hop_and_path_consistent((mesh, src, dst) in arb_mesh_and_pair()) {
+        let route = xy_route(mesh, src, dst);
+        prop_assert_eq!(xy_first_hop(mesh, src, dst), route.first().copied());
+        let path = xy_path_nodes(mesh, src, dst);
+        prop_assert_eq!(path.len(), route.len());
+        if src != dst {
+            prop_assert_eq!(*path.last().unwrap(), dst);
+        }
+    }
+
+    /// Coordinates roundtrip through node ids for any mesh.
+    #[test]
+    fn coord_roundtrip(mesh in arb_mesh()) {
+        for node in mesh.iter_nodes() {
+            let c = mesh.coord(node);
+            prop_assert!(c.x < mesh.width() && c.y < mesh.height());
+            prop_assert_eq!(mesh.node_at(c), node);
+        }
+    }
+
+    /// Distance is a metric: symmetric, zero iff equal, triangle
+    /// inequality.
+    #[test]
+    fn distance_is_a_metric((mesh, a, b) in arb_mesh_and_pair(), c_raw in 0u16..144) {
+        let c = NodeId(c_raw % mesh.nodes() as u16);
+        prop_assert_eq!(mesh.distance(a, b), mesh.distance(b, a));
+        prop_assert_eq!(mesh.distance(a, b) == 0, a == b);
+        prop_assert!(mesh.distance(a, b) <= mesh.distance(a, c) + mesh.distance(c, b));
+    }
+
+    /// Neighbour relationships are involutive and stay in bounds.
+    #[test]
+    fn neighbors_involutive(mesh in arb_mesh()) {
+        for node in mesh.iter_nodes() {
+            for dir in Direction::ALL {
+                if let Some(n) = mesh.neighbor(node, dir) {
+                    prop_assert!(mesh.contains(n));
+                    prop_assert_eq!(mesh.neighbor(n, dir.opposite()), Some(node));
+                    let (ca, cb) = (mesh.coord(node), mesh.coord(n));
+                    prop_assert_eq!(
+                        (i32::from(ca.x) - i32::from(cb.x)).abs()
+                            + (i32::from(ca.y) - i32::from(cb.y)).abs(),
+                        1
+                    );
+                }
+            }
+        }
+    }
+
+    /// DestSet expansion never contains the source, never duplicates,
+    /// and broadcast covers everything else.
+    #[test]
+    fn dest_expansion_invariants(
+        src in 0u16..64,
+        list in proptest::collection::vec(0u16..64, 0..10),
+    ) {
+        let src = NodeId(src);
+        let sets = [
+            DestSet::Broadcast,
+            DestSet::Multicast(list.iter().map(|&d| NodeId(d)).collect()),
+        ];
+        for set in sets {
+            let expanded = set.expand(src, 64);
+            prop_assert!(!expanded.contains(&src));
+            let mut dedup = expanded.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), expanded.len(), "no duplicates");
+            if matches!(set, DestSet::Broadcast) {
+                prop_assert_eq!(expanded.len(), 63);
+            }
+        }
+    }
+
+    /// Merging latency summaries equals recording into one.
+    #[test]
+    fn latency_merge_equivalent(
+        a in proptest::collection::vec(0u64..10_000, 0..40),
+        b in proptest::collection::vec(0u64..10_000, 0..40),
+    ) {
+        let mut merged = LatencyStats::new();
+        let mut left = LatencyStats::new();
+        let mut right = LatencyStats::new();
+        for &v in &a {
+            left.record(v);
+            merged.record(v);
+        }
+        for &v in &b {
+            right.record(v);
+            merged.record(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left, merged);
+    }
+
+    /// Transposing a coordinate twice is the identity (sanity of Coord).
+    #[test]
+    fn coord_transpose_involutive(x in 0u16..12, y in 0u16..12) {
+        let mesh = Mesh::new(12, 12);
+        let n = mesh.node_at(Coord { x, y });
+        let t = mesh.node_at(Coord { x: y, y: x });
+        let tt = {
+            let c = mesh.coord(t);
+            mesh.node_at(Coord { x: c.y, y: c.x })
+        };
+        prop_assert_eq!(tt, n);
+    }
+}
+
+mod ecc_props {
+    use phastlane_netsim::ecc::{decode, encode, Decoded};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Clean code words always decode to themselves.
+        #[test]
+        fn clean_roundtrip(data in any::<u64>()) {
+            prop_assert_eq!(decode(encode(data)), Decoded::Clean(data));
+        }
+
+        /// Any single bit flip (data or check) is corrected back to the
+        /// original data.
+        #[test]
+        fn single_flip_corrected(data in any::<u64>(), bit in 0u32..72) {
+            let mut cw = encode(data);
+            if bit < 64 {
+                cw.data ^= 1 << bit;
+            } else {
+                cw.check ^= 1 << (bit - 64);
+            }
+            prop_assert_eq!(decode(cw), Decoded::Corrected(data));
+        }
+
+        /// Any double flip across data and check bits is detected, never
+        /// silently miscorrected.
+        #[test]
+        fn double_flip_detected(data in any::<u64>(), a in 0u32..72, b in 0u32..72) {
+            prop_assume!(a != b);
+            let mut cw = encode(data);
+            for bit in [a, b] {
+                if bit < 64 {
+                    cw.data ^= 1 << bit;
+                } else {
+                    cw.check ^= 1 << (bit - 64);
+                }
+            }
+            prop_assert_eq!(decode(cw), Decoded::Uncorrectable);
+        }
+    }
+}

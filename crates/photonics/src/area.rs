@@ -1,0 +1,147 @@
+//! Router and processor-die area analysis (§3.3, Figure 8).
+//!
+//! The optical die must not exceed the processor die: each optical router's
+//! footprint must fit within its node's share of the processor die. The
+//! number of wavelengths trades two area components against each other:
+//!
+//! * the internal **turn region** shrinks as WDM degree grows (fewer
+//!   waveguides, and the turn-resonator matrix scales with the square of
+//!   the waveguide count);
+//! * the **ports** grow as WDM degree grows (one resonator/receiver pair
+//!   per wavelength must be attached along each waveguide).
+//!
+//! The paper finds the sweet spot at 64 wavelengths for its packet size,
+//! exactly matching the single-core node area of ~3.5 mm².
+
+use crate::units::SquareMillimeters;
+use crate::wdm::WdmConfig;
+
+/// Processor-die area per node, following the Kumar et al. methodology the
+/// paper adopts: one core with 64 KB L1s, a 2 MB L2, and a memory
+/// controller.
+pub const NODE_AREA_1CORE: SquareMillimeters = SquareMillimeters(3.5);
+/// Two cores sharing an L2.
+pub const NODE_AREA_2CORE: SquareMillimeters = SquareMillimeters(4.5);
+/// Four cores sharing an L2.
+pub const NODE_AREA_4CORE: SquareMillimeters = SquareMillimeters(6.5);
+
+/// Area coefficient of the internal turn region, per waveguide²
+/// (*calibrated*).
+pub const TURN_REGION_MM2_PER_WG2: f64 = 0.001786;
+/// Area coefficient of the four ports, per (wavelength x waveguide)
+/// (*calibrated*).
+pub const PORT_MM2_PER_LAMBDA_WG: f64 = 0.003571;
+/// Fixed area: local receivers, drop-network resonators, inter-router
+/// waveguide routing (*calibrated*).
+pub const FIXED_AREA: SquareMillimeters = SquareMillimeters(0.5);
+
+/// Area breakdown of one optical router (one stacked bar of Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterArea {
+    /// The internal region of turn resonators and crossing waveguides.
+    pub turn_region: SquareMillimeters,
+    /// The four input/output ports lined with resonator/receiver pairs.
+    pub ports: SquareMillimeters,
+    /// Fixed overhead (local port, drop network, link routing).
+    pub fixed: SquareMillimeters,
+}
+
+impl RouterArea {
+    /// Computes the area breakdown for a WDM configuration.
+    pub fn for_wdm(wdm: WdmConfig) -> Self {
+        let w = f64::from(wdm.total_waveguides());
+        let lambda = f64::from(wdm.payload_wdm);
+        RouterArea {
+            turn_region: SquareMillimeters(TURN_REGION_MM2_PER_WG2 * w * w),
+            ports: SquareMillimeters(PORT_MM2_PER_LAMBDA_WG * lambda * w),
+            fixed: FIXED_AREA,
+        }
+    }
+
+    /// Total router area.
+    pub fn total(&self) -> SquareMillimeters {
+        self.turn_region + self.ports + self.fixed
+    }
+
+    /// Whether this router fits within a node of the given area.
+    pub fn fits(&self, node_area: SquareMillimeters) -> bool {
+        self.total().value() <= node_area.value() + 1e-9
+    }
+}
+
+/// Finds the WDM degree in `candidates` with the smallest total router
+/// area (the Figure 8 sweet spot). Returns `None` for an empty slice.
+pub fn area_sweet_spot(candidates: &[WdmConfig]) -> Option<WdmConfig> {
+    candidates.iter().copied().min_by(|a, b| {
+        RouterArea::for_wdm(*a)
+            .total()
+            .value()
+            .total_cmp(&RouterArea::for_wdm(*b).total().value())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweet_spot_is_64_wavelengths() {
+        // Paper: "The area sweet spot is realized with 64 wavelengths for
+        // our packet size."
+        let best = area_sweet_spot(&WdmConfig::SWEEP).unwrap();
+        assert_eq!(best.payload_wdm, 64);
+    }
+
+    #[test]
+    fn wdm64_matches_single_core_node() {
+        // Paper: "For a single core with private L1 and L2 caches, we
+        // estimate that 64 wavelengths are necessary to match the area of
+        // the processor die."
+        let a = RouterArea::for_wdm(WdmConfig::PAPER);
+        assert!(a.fits(NODE_AREA_1CORE), "total {}", a.total());
+        assert!((a.total().value() - 3.5).abs() < 0.15);
+    }
+
+    #[test]
+    fn wdm32_and_128_need_larger_nodes() {
+        // Paper: "With larger dual and quad core nodes, 32 or 128
+        // wavelengths will also meet die size constraints."
+        for wdm in [WdmConfig::new(32), WdmConfig::new(128)] {
+            let a = RouterArea::for_wdm(wdm);
+            assert!(!a.fits(NODE_AREA_1CORE), "{} should exceed 1-core node", wdm.payload_wdm);
+            assert!(a.fits(NODE_AREA_2CORE) || a.fits(NODE_AREA_4CORE));
+        }
+    }
+
+    #[test]
+    fn turn_region_shrinks_with_wavelengths() {
+        // "The total number of waveguides and turn resonators decreases
+        // linearly as the number of wavelengths increases."
+        let t32 = RouterArea::for_wdm(WdmConfig::new(32)).turn_region;
+        let t64 = RouterArea::for_wdm(WdmConfig::new(64)).turn_region;
+        let t128 = RouterArea::for_wdm(WdmConfig::new(128)).turn_region;
+        assert!(t32 > t64 && t64 > t128);
+    }
+
+    #[test]
+    fn ports_grow_with_wavelengths() {
+        // "The length of the input ports increases linearly since more
+        // resonator/receiver pairs must be attached to the same waveguide."
+        let p32 = RouterArea::for_wdm(WdmConfig::new(32)).ports;
+        let p64 = RouterArea::for_wdm(WdmConfig::new(64)).ports;
+        let p128 = RouterArea::for_wdm(WdmConfig::new(128)).ports;
+        assert!(p32 < p64 && p64 < p128);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let a = RouterArea::for_wdm(WdmConfig::PAPER);
+        let sum = a.turn_region + a.ports + a.fixed;
+        assert!((sum.value() - a.total().value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweet_spot_empty_input() {
+        assert_eq!(area_sweet_spot(&[]), None);
+    }
+}

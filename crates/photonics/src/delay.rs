@@ -1,0 +1,391 @@
+//! Critical-path delay analysis of the Phastlane router (§3.1).
+//!
+//! Reproduces Figures 5 and 6: the component delays of the four internal
+//! router operations (Packet Pass, Packet Block, Packet Accept, Packet
+//! Interim Accept), and the maximum number of hops a packet can travel in
+//! one 4 GHz clock cycle under each scaling scenario.
+//!
+//! The paper's findings that this module must (and does) reproduce:
+//!
+//! * the number of wavelengths has little impact on delay;
+//! * most of the delay involves driving the resonators (for the average
+//!   and pessimistic scenarios, where drive delay dominates);
+//! * Packet Pass > Packet Block > Packet Accept;
+//! * 8 / 5 / 4 hops per cycle for optimistic / average / pessimistic
+//!   scaling, independent of the number of wavelengths.
+
+use crate::devices::{Modulator, OpticalReceiver, RingResonator, Waveguide, WAVEGUIDE_DELAY_PS_PER_MM};
+use crate::scaling::Scaling;
+use crate::units::{Millimeters, Picoseconds, TechNode};
+use crate::wdm::WdmConfig;
+use std::fmt;
+
+/// Network clock frequency assumed throughout the paper: 4 GHz.
+pub const CLOCK_GHZ: f64 = 4.0;
+
+/// One clock period at 4 GHz.
+pub const CLOCK_PERIOD: Picoseconds = Picoseconds(250.0);
+
+/// Centre-to-centre distance between adjacent routers.
+///
+/// 64 nodes of ~3.5 mm^2 each (Kumar-methodology core + caches + MC) give a
+/// node pitch of ~1.87 mm.
+pub const HOP_LENGTH: Millimeters = Millimeters(1.87);
+
+/// Register setup/hold plus clock skew budgeted per cycle (*calibrated*).
+pub const REGISTER_AND_SKEW: Picoseconds = Picoseconds(12.0);
+
+/// Extra write-enable generation time for an interim accept over a plain
+/// accept (*calibrated*; the paper notes these signals are off the critical
+/// path).
+pub const INTERIM_WRITE_ENABLE: Picoseconds = Picoseconds(1.0);
+
+/// Physical pitch occupied per waveguide in the router's internal turn
+/// region (*calibrated*).
+pub const INTERNAL_PITCH_MM_PER_WAVEGUIDE: f64 = 0.0168;
+
+/// Physical length occupied per wavelength's resonator/receiver pair along
+/// an input or output port (*calibrated*).
+pub const PORT_PITCH_MM_PER_WAVELENGTH: f64 = 0.00131;
+
+/// The four internal router operations whose critical paths Figure 5
+/// breaks down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouterOp {
+    /// A packet passes to a router output port, forcing contending packets
+    /// to be received at their input ports.
+    PacketPass,
+    /// A packet gets blocked and buffered at the switch.
+    PacketBlock,
+    /// A packet is accepted at its destination.
+    PacketAccept,
+    /// A packet is accepted at an interim node.
+    PacketInterimAccept,
+}
+
+impl RouterOp {
+    /// All operations, in the paper's order.
+    pub const ALL: [RouterOp; 4] = [
+        RouterOp::PacketPass,
+        RouterOp::PacketBlock,
+        RouterOp::PacketAccept,
+        RouterOp::PacketInterimAccept,
+    ];
+}
+
+impl RouterOp {
+    /// Abbreviation used in the paper's Figure 5 (PP, PB, PA, PIA).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            RouterOp::PacketPass => "PP",
+            RouterOp::PacketBlock => "PB",
+            RouterOp::PacketAccept => "PA",
+            RouterOp::PacketInterimAccept => "PIA",
+        }
+    }
+}
+
+impl fmt::Display for RouterOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Component-level breakdown of one critical path (one bar of Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathBreakdown {
+    /// Receiving the packet's Router Control bits.
+    pub receive_control: Picoseconds,
+    /// Driving control/turn resonators (possibly two back-to-back stages).
+    pub drive_resonators: Picoseconds,
+    /// Traversing waveguide inside the router (ports + turn region).
+    pub traverse: Picoseconds,
+    /// Receiving the packet itself (for block/accept paths).
+    pub receive_packet: Picoseconds,
+}
+
+impl PathBreakdown {
+    /// Total path delay.
+    pub fn total(&self) -> Picoseconds {
+        self.receive_control + self.drive_resonators + self.traverse + self.receive_packet
+    }
+}
+
+/// A point in the router design space: WDM degree, scaling scenario, and
+/// technology node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterDesign {
+    /// WDM packaging of the data path.
+    pub wdm: WdmConfig,
+    /// Technology scaling scenario.
+    pub scaling: Scaling,
+    /// Technology node (16 nm in the paper).
+    pub node: TechNode,
+}
+
+impl RouterDesign {
+    /// The paper's design point for a given scaling scenario: 64-way WDM
+    /// at 16 nm.
+    pub fn paper(scaling: Scaling) -> Self {
+        RouterDesign { wdm: WdmConfig::PAPER, scaling, node: TechNode::NM16 }
+    }
+
+    fn receiver(&self) -> OpticalReceiver {
+        OpticalReceiver::new(self.scaling, self.node)
+    }
+
+    fn modulator(&self) -> Modulator {
+        Modulator::new(self.scaling, self.node)
+    }
+
+    fn resonator(&self) -> RingResonator {
+        RingResonator::new(self.scaling)
+    }
+
+    /// Waveguide length of the router's internal turn region.
+    pub fn internal_length(&self) -> Millimeters {
+        Millimeters(f64::from(self.wdm.total_waveguides()) * INTERNAL_PITCH_MM_PER_WAVEGUIDE)
+    }
+
+    /// Waveguide length of one input or output port (the row of
+    /// resonator/receiver pairs, one per wavelength).
+    pub fn port_length(&self) -> Millimeters {
+        Millimeters(f64::from(self.wdm.payload_wdm) * PORT_PITCH_MM_PER_WAVELENGTH)
+    }
+
+    /// Time to traverse the router end to end: input port, turn region,
+    /// output port.
+    pub fn traverse_delay(&self) -> Picoseconds {
+        let mm = self.internal_length().value() + 2.0 * self.port_length().value();
+        Picoseconds(mm * WAVEGUIDE_DELAY_PS_PER_MM)
+    }
+
+    /// Critical-path breakdown for one router operation (Figure 5).
+    pub fn critical_path(&self, op: RouterOp) -> PathBreakdown {
+        let rx = self.receiver().receive_delay();
+        let drive = self.resonator().drive_delay();
+        match op {
+            // (a) receive control; (b) drive C0 Group-1 resonators of the
+            // blocked packets; (c) that signal drives the blocked packets'
+            // receive resonators; (d) traverse the remainder of the switch.
+            RouterOp::PacketPass => PathBreakdown {
+                receive_control: rx,
+                drive_resonators: drive * 2.0,
+                traverse: self.traverse_delay(),
+                receive_packet: Picoseconds(0.0),
+            },
+            // Same as PacketPass but the traverse is replaced by receiving
+            // the blocked packet at its input port.
+            RouterOp::PacketBlock => PathBreakdown {
+                receive_control: rx,
+                drive_resonators: drive * 2.0,
+                traverse: Picoseconds(0.0),
+                receive_packet: rx,
+            },
+            // (a) receive the C0 control; (b) drive the receive resonators;
+            // (c) receive the packet.
+            RouterOp::PacketAccept => PathBreakdown {
+                receive_control: rx,
+                drive_resonators: drive,
+                traverse: Picoseconds(0.0),
+                receive_packet: rx,
+            },
+            RouterOp::PacketInterimAccept => PathBreakdown {
+                receive_control: rx,
+                drive_resonators: drive,
+                traverse: INTERIM_WRITE_ENABLE,
+                receive_packet: rx,
+            },
+        }
+    }
+
+    /// Propagation delay of one inter-router link.
+    pub fn link_delay(&self) -> Picoseconds {
+        Waveguide::new(HOP_LENGTH).propagation_delay()
+    }
+
+    /// End-to-end network delay for a transmission covering `hops` links
+    /// (`hops - 1` intermediate routers), assuming worst-case contention
+    /// at every router.
+    ///
+    /// `hops` links, `hops - 1` Packet Pass traversals, plus modulator
+    /// drive at the source, Packet Accept at the destination, and register
+    /// overhead and clock skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops` is zero.
+    pub fn transmission_delay(&self, hops: u32) -> Picoseconds {
+        assert!(hops > 0, "a transmission covers at least one hop");
+        let pp = self.critical_path(RouterOp::PacketPass).total();
+        let pa = self.critical_path(RouterOp::PacketAccept).total();
+        self.modulator().transmit_delay()
+            + pp * f64::from(hops - 1)
+            + self.link_delay() * f64::from(hops)
+            + pa
+            + REGISTER_AND_SKEW
+    }
+
+    /// The maximum number of hops a packet can travel in a single clock
+    /// cycle (Figure 6). Solves for the largest `H` with
+    /// `transmission_delay(H) <= CLOCK_PERIOD`.
+    pub fn max_hops_per_cycle(&self) -> u32 {
+        let mut hops = 0;
+        while self.transmission_delay(hops + 1) <= CLOCK_PERIOD {
+            hops += 1;
+            if hops > 64 {
+                break; // physically implausible; guard against miscalibration
+            }
+        }
+        hops
+    }
+}
+
+/// Figure 6 as data: max hops per cycle for every (wavelength, scaling)
+/// combination in the paper's sweep.
+pub fn figure6_series(node: TechNode) -> Vec<(WdmConfig, Scaling, u32)> {
+    let mut rows = Vec::new();
+    for wdm in WdmConfig::SWEEP {
+        for scaling in Scaling::ALL {
+            let d = RouterDesign { wdm, scaling, node };
+            rows.push((wdm, scaling, d.max_hops_per_cycle()));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_design(scaling: Scaling) -> RouterDesign {
+        RouterDesign::paper(scaling)
+    }
+
+    #[test]
+    fn max_hops_matches_figure6() {
+        // The paper's headline: 8 / 5 / 4 hops per cycle.
+        assert_eq!(paper_design(Scaling::Optimistic).max_hops_per_cycle(), 8);
+        assert_eq!(paper_design(Scaling::Average).max_hops_per_cycle(), 5);
+        assert_eq!(paper_design(Scaling::Pessimistic).max_hops_per_cycle(), 4);
+    }
+
+    #[test]
+    fn max_hops_independent_of_wavelengths() {
+        // Figure 6: the hop counts hold for 32-, 64-, and 128-way WDM.
+        for wdm in WdmConfig::SWEEP {
+            for (scaling, expect) in [
+                (Scaling::Optimistic, 8),
+                (Scaling::Average, 5),
+                (Scaling::Pessimistic, 4),
+            ] {
+                let d = RouterDesign { wdm, scaling, node: TechNode::NM16 };
+                assert_eq!(
+                    d.max_hops_per_cycle(),
+                    expect,
+                    "wdm={} scaling={scaling}",
+                    wdm.payload_wdm
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pass_exceeds_block_exceeds_accept() {
+        // Paper: "The time to pass through the router exceeds the packet
+        // block time. Accepting a packet is the fastest."
+        for scaling in Scaling::ALL {
+            let d = paper_design(scaling);
+            let pp = d.critical_path(RouterOp::PacketPass).total();
+            let pb = d.critical_path(RouterOp::PacketBlock).total();
+            let pa = d.critical_path(RouterOp::PacketAccept).total();
+            assert!(pp > pb, "{scaling}: PP {pp} <= PB {pb}");
+            assert!(pb > pa, "{scaling}: PB {pb} <= PA {pa}");
+        }
+    }
+
+    #[test]
+    fn wavelengths_have_little_impact_on_delay() {
+        // Figure 5's observation: varying WDM degree changes the critical
+        // paths only marginally (here: < 15 % of the packet-pass delay).
+        for scaling in Scaling::ALL {
+            let totals: Vec<f64> = WdmConfig::SWEEP
+                .iter()
+                .map(|&wdm| {
+                    RouterDesign { wdm, scaling, node: TechNode::NM16 }
+                        .critical_path(RouterOp::PacketPass)
+                        .total()
+                        .value()
+                })
+                .collect();
+            let max = totals.iter().cloned().fold(f64::MIN, f64::max);
+            let min = totals.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(
+                (max - min) / max < 0.15,
+                "{scaling}: PP varies too much with WDM: {totals:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn resonator_drive_dominates_nonoptimistic_paths() {
+        // Figure 5: "most of the delay involves driving the resonators".
+        for scaling in [Scaling::Average, Scaling::Pessimistic] {
+            let bd = paper_design(scaling).critical_path(RouterOp::PacketPass);
+            assert!(
+                bd.drive_resonators.value() > bd.total().value() * 0.5,
+                "{scaling}: drive {} not dominant of {}",
+                bd.drive_resonators,
+                bd.total()
+            );
+        }
+    }
+
+    #[test]
+    fn interim_accept_slightly_slower_than_accept() {
+        let d = paper_design(Scaling::Average);
+        let pa = d.critical_path(RouterOp::PacketAccept).total();
+        let pia = d.critical_path(RouterOp::PacketInterimAccept).total();
+        assert!(pia > pa);
+        assert!((pia - pa).value() <= 2.0);
+    }
+
+    #[test]
+    fn transmission_delay_monotonic_in_hops() {
+        let d = paper_design(Scaling::Average);
+        let mut last = Picoseconds(0.0);
+        for hops in 1..=10 {
+            let t = d.transmission_delay(hops);
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn max_hops_transmission_fits_in_cycle() {
+        for scaling in Scaling::ALL {
+            let d = paper_design(scaling);
+            let h = d.max_hops_per_cycle();
+            assert!(d.transmission_delay(h) <= CLOCK_PERIOD);
+            assert!(d.transmission_delay(h + 1) > CLOCK_PERIOD);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn zero_hop_transmission_rejected() {
+        let _ = paper_design(Scaling::Average).transmission_delay(0);
+    }
+
+    #[test]
+    fn figure6_has_nine_rows() {
+        let rows = figure6_series(TechNode::NM16);
+        assert_eq!(rows.len(), 9);
+    }
+
+    #[test]
+    fn op_abbreviations() {
+        assert_eq!(RouterOp::PacketPass.abbrev(), "PP");
+        assert_eq!(format!("{}", RouterOp::PacketInterimAccept), "PIA");
+    }
+}

@@ -1,0 +1,290 @@
+//! Technology-scaling models for the optical transmit and receive chains.
+//!
+//! The paper (§3.1, Figure 4) starts from the Kirman et al. component-delay
+//! analysis, which scaled each optical transmit and receive component from
+//! 45 nm to 22 nm, and extrapolates to 16 nm by fitting **logarithmic**,
+//! **linear**, and **exponential** functions to that data. The three fits
+//! become the *optimistic*, *average*, and *pessimistic* scaling scenarios:
+//! the logarithmic fit keeps improving fastest at small feature sizes
+//! (optimistic), the exponential fit flattens out (pessimistic).
+//!
+//! The Kirman data is not published in tabular form, so this module carries
+//! anchor points at 45/32/22 nm chosen such that the three fits land on the
+//! endpoints the paper states for 16 nm: transmit 8.0–19.4 ps and receive
+//! 1.8–3.7 ps (see `DESIGN.md`, substitution #2).
+
+use crate::units::{Picoseconds, TechNode};
+use std::fmt;
+
+/// One (technology node, delay) observation used for curve fitting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Anchor {
+    /// Technology node of the observation.
+    pub node: TechNode,
+    /// Aggregate chain delay at that node.
+    pub delay: Picoseconds,
+}
+
+/// Anchor points for the aggregate *transmit* chain (serialization, driver,
+/// modulator), in the spirit of Kirman et al. scaled data.
+pub const TRANSMIT_ANCHORS: [Anchor; 3] = [
+    Anchor { node: TechNode::NM45, delay: Picoseconds(55.0) },
+    Anchor { node: TechNode::NM32, delay: Picoseconds(36.0) },
+    Anchor { node: TechNode::NM22, delay: Picoseconds(24.0) },
+];
+
+/// Anchor points for the aggregate *receive* chain (photodetector,
+/// transimpedance amplifier, deserialization).
+pub const RECEIVE_ANCHORS: [Anchor; 3] = [
+    Anchor { node: TechNode::NM45, delay: Picoseconds(10.0) },
+    Anchor { node: TechNode::NM32, delay: Picoseconds(6.7) },
+    Anchor { node: TechNode::NM22, delay: Picoseconds(4.6) },
+];
+
+/// The three technology-scaling scenarios of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scaling {
+    /// Logarithmic fit: components keep improving quickly (8 hops/cycle).
+    Optimistic,
+    /// Linear fit (5 hops/cycle).
+    Average,
+    /// Exponential fit: improvement flattens out (4 hops/cycle).
+    Pessimistic,
+}
+
+impl Scaling {
+    /// All scenarios, in the order the paper's figures list them.
+    pub const ALL: [Scaling; 3] = [Scaling::Optimistic, Scaling::Average, Scaling::Pessimistic];
+}
+
+impl fmt::Display for Scaling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scaling::Optimistic => "optimistic",
+            Scaling::Average => "average",
+            Scaling::Pessimistic => "pessimistic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fitted one-dimensional model `delay = f(feature size)`.
+///
+/// The three variants mirror the paper's three fit families.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FittedCurve {
+    /// `d = a + b * ln(x)`
+    Logarithmic {
+        /// Intercept.
+        a: f64,
+        /// Slope against `ln(x)`.
+        b: f64,
+    },
+    /// `d = a + b * x`
+    Linear {
+        /// Intercept.
+        a: f64,
+        /// Slope.
+        b: f64,
+    },
+    /// `d = a * e^(b * x)` (fitted in log space)
+    Exponential {
+        /// Scale factor.
+        a: f64,
+        /// Exponent rate.
+        b: f64,
+    },
+}
+
+impl FittedCurve {
+    /// Least-squares fit of the chosen family to the anchor data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two anchors are supplied or all anchors share
+    /// the same node (the fit would be degenerate).
+    pub fn fit(family: Scaling, anchors: &[Anchor]) -> FittedCurve {
+        assert!(anchors.len() >= 2, "need at least two anchors to fit");
+        let xs: Vec<f64> = anchors
+            .iter()
+            .map(|a| match family {
+                Scaling::Optimistic => a.node.nanometers().ln(),
+                Scaling::Average | Scaling::Pessimistic => a.node.nanometers(),
+            })
+            .collect();
+        let ys: Vec<f64> = anchors
+            .iter()
+            .map(|a| match family {
+                Scaling::Pessimistic => a.delay.value().ln(),
+                _ => a.delay.value(),
+            })
+            .collect();
+        let (intercept, slope) = least_squares(&xs, &ys);
+        match family {
+            Scaling::Optimistic => FittedCurve::Logarithmic { a: intercept, b: slope },
+            Scaling::Average => FittedCurve::Linear { a: intercept, b: slope },
+            Scaling::Pessimistic => FittedCurve::Exponential { a: intercept.exp(), b: slope },
+        }
+    }
+
+    /// Evaluates the fitted curve at a technology node.
+    pub fn eval(&self, node: TechNode) -> Picoseconds {
+        let x = node.nanometers();
+        let d = match *self {
+            FittedCurve::Logarithmic { a, b } => a + b * x.ln(),
+            FittedCurve::Linear { a, b } => a + b * x,
+            FittedCurve::Exponential { a, b } => a * (b * x).exp(),
+        };
+        Picoseconds(d)
+    }
+}
+
+/// Ordinary least squares for `y = intercept + slope * x`.
+///
+/// # Panics
+///
+/// Panics if the x values have zero variance.
+fn least_squares(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+    assert!(sxx > 0.0, "anchor nodes must not all be identical");
+    let sxy: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    (mean_y - slope * mean_x, slope)
+}
+
+/// Transmit and receive delays at a node under one scaling scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainDelays {
+    /// Aggregate transmit-chain delay (drive + modulate).
+    pub transmit: Picoseconds,
+    /// Aggregate receive-chain delay (detect + amplify).
+    pub receive: Picoseconds,
+}
+
+/// Computes the transmit/receive chain delays for `scenario` at `node`
+/// by fitting the appropriate curve family to the anchor data.
+///
+/// This is the data behind Figure 4 of the paper.
+pub fn chain_delays(scenario: Scaling, node: TechNode) -> ChainDelays {
+    let tx = FittedCurve::fit(scenario, &TRANSMIT_ANCHORS).eval(node);
+    let rx = FittedCurve::fit(scenario, &RECEIVE_ANCHORS).eval(node);
+    ChainDelays { transmit: tx, receive: rx }
+}
+
+/// Returns the Figure 4 series: delays for every scenario at each node from
+/// 45 nm down to 16 nm. The result is a list of rows
+/// `(node, [(scenario, delays); 3])`.
+pub fn figure4_series() -> Vec<(TechNode, [(Scaling, ChainDelays); 3])> {
+    [TechNode::NM45, TechNode::NM32, TechNode::NM22, TechNode::NM16]
+        .iter()
+        .map(|&node| {
+            let row = [
+                (Scaling::Optimistic, chain_delays(Scaling::Optimistic, node)),
+                (Scaling::Average, chain_delays(Scaling::Average, node)),
+                (Scaling::Pessimistic, chain_delays(Scaling::Pessimistic, node)),
+            ];
+            (node, row)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(actual: f64, expected: f64, tol_frac: f64) -> bool {
+        (actual - expected).abs() <= expected.abs() * tol_frac
+    }
+
+    #[test]
+    fn fits_pass_near_anchor_points() {
+        for scenario in Scaling::ALL {
+            let fit = FittedCurve::fit(scenario, &TRANSMIT_ANCHORS);
+            for anchor in &TRANSMIT_ANCHORS {
+                let predicted = fit.eval(anchor.node).value();
+                // Two-parameter fit over three points: allow modest residual.
+                assert!(
+                    close(predicted, anchor.delay.value(), 0.10),
+                    "{scenario} fit at {} gave {predicted}, anchor {}",
+                    anchor.node,
+                    anchor.delay
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transmit_endpoints_match_paper_range() {
+        // Paper: at 16 nm, transmit delays range 8.0-19.4 ps.
+        let opt = chain_delays(Scaling::Optimistic, TechNode::NM16).transmit.value();
+        let pes = chain_delays(Scaling::Pessimistic, TechNode::NM16).transmit.value();
+        assert!(close(opt, 8.0, 0.15), "optimistic transmit {opt} != ~8.0");
+        assert!(close(pes, 19.4, 0.15), "pessimistic transmit {pes} != ~19.4");
+    }
+
+    #[test]
+    fn receive_endpoints_match_paper_range() {
+        // Paper: at 16 nm, receive delays range 1.8-3.7 ps.
+        let opt = chain_delays(Scaling::Optimistic, TechNode::NM16).receive.value();
+        let pes = chain_delays(Scaling::Pessimistic, TechNode::NM16).receive.value();
+        assert!(close(opt, 1.8, 0.15), "optimistic receive {opt} != ~1.8");
+        assert!(close(pes, 3.7, 0.15), "pessimistic receive {pes} != ~3.7");
+    }
+
+    #[test]
+    fn average_sits_between_extremes() {
+        let d16 = |s| chain_delays(s, TechNode::NM16);
+        let (o, a, p) = (
+            d16(Scaling::Optimistic),
+            d16(Scaling::Average),
+            d16(Scaling::Pessimistic),
+        );
+        assert!(o.transmit < a.transmit && a.transmit < p.transmit);
+        assert!(o.receive < a.receive && a.receive < p.receive);
+    }
+
+    #[test]
+    fn scenarios_agree_on_measured_range() {
+        // Inside the measured 22-45 nm range, the three fits should be close
+        // to one another (they only diverge when extrapolating).
+        for &node in &[TechNode::NM45, TechNode::NM32, TechNode::NM22] {
+            let o = chain_delays(Scaling::Optimistic, node).transmit.value();
+            let p = chain_delays(Scaling::Pessimistic, node).transmit.value();
+            assert!(
+                (o - p).abs() / o < 0.15,
+                "fits diverge too much at {node}: {o} vs {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn delays_shrink_with_technology() {
+        for scenario in Scaling::ALL {
+            let d45 = chain_delays(scenario, TechNode::NM45);
+            let d16 = chain_delays(scenario, TechNode::NM16);
+            assert!(d16.transmit < d45.transmit);
+            assert!(d16.receive < d45.receive);
+        }
+    }
+
+    #[test]
+    fn figure4_has_four_nodes() {
+        let series = figure4_series();
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[0].0, TechNode::NM45);
+        assert_eq!(series[3].0, TechNode::NM16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two anchors")]
+    fn fit_rejects_single_anchor() {
+        let _ = FittedCurve::fit(Scaling::Average, &TRANSMIT_ANCHORS[..1]);
+    }
+}

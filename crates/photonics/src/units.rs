@@ -1,0 +1,245 @@
+//! Physical-quantity newtypes used throughout the photonics models.
+//!
+//! Keeping picoseconds, millimetres, milliwatts, and square millimetres as
+//! distinct types prevents the classic unit-mixup bugs in loss-budget and
+//! delay arithmetic (C-NEWTYPE).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Returns the raw scalar value in the canonical unit.
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value of this quantity.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A time duration in picoseconds.
+    Picoseconds,
+    "ps"
+);
+quantity!(
+    /// A length in millimetres.
+    Millimeters,
+    "mm"
+);
+quantity!(
+    /// An optical or electrical power in milliwatts.
+    Milliwatts,
+    "mW"
+);
+quantity!(
+    /// An area in square millimetres.
+    SquareMillimeters,
+    "mm^2"
+);
+quantity!(
+    /// An energy in picojoules.
+    Picojoules,
+    "pJ"
+);
+
+impl Milliwatts {
+    /// Converts to watts.
+    pub fn as_watts(self) -> f64 {
+        self.0 / 1000.0
+    }
+
+    /// Creates a power from a value in watts.
+    pub fn from_watts(w: f64) -> Self {
+        Self(w * 1000.0)
+    }
+}
+
+impl Picoseconds {
+    /// Converts to nanoseconds.
+    pub fn as_nanos(self) -> f64 {
+        self.0 / 1000.0
+    }
+}
+
+impl Picojoules {
+    /// Energy dissipated by `power` over `time`.
+    ///
+    /// mW x ps = 1e-3 J/s x 1e-12 s = 1e-15 J = 1e-3 pJ.
+    pub fn from_power_time(power: Milliwatts, time: Picoseconds) -> Self {
+        Self(power.0 * time.0 * 1e-3)
+    }
+}
+
+/// A CMOS technology node, identified by its feature size in nanometres.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TechNode(pub u32);
+
+impl TechNode {
+    /// The 45 nm node (first Kirman et al. anchor point).
+    pub const NM45: TechNode = TechNode(45);
+    /// The 32 nm node.
+    pub const NM32: TechNode = TechNode(32);
+    /// The 22 nm node (last anchor point).
+    pub const NM22: TechNode = TechNode(22);
+    /// The 16 nm node that the Phastlane paper targets.
+    pub const NM16: TechNode = TechNode(16);
+
+    /// Feature size in nanometres as a float, for curve fitting.
+    pub fn nanometers(self) -> f64 {
+        f64::from(self.0)
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Picoseconds(10.0);
+        let b = Picoseconds(2.5);
+        assert_eq!((a + b).value(), 12.5);
+        assert_eq!((a - b).value(), 7.5);
+        assert_eq!((a * 2.0).value(), 20.0);
+        assert_eq!((a / 2.0).value(), 5.0);
+        assert_eq!(a / b, 4.0);
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Picoseconds = [1.0, 2.0, 3.0].iter().map(|&v| Picoseconds(v)).sum();
+        assert_eq!(total.value(), 6.0);
+    }
+
+    #[test]
+    fn watts_conversion() {
+        let p = Milliwatts::from_watts(32.0);
+        assert_eq!(p.value(), 32_000.0);
+        assert_eq!(p.as_watts(), 32.0);
+    }
+
+    #[test]
+    fn energy_from_power_time() {
+        // 1 mW for 1000 ps = 1e-3 W * 1e-9 s = 1e-12 J = 1 pJ.
+        let e = Picojoules::from_power_time(Milliwatts(1.0), Picoseconds(1000.0));
+        assert!((e.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_with_precision() {
+        assert_eq!(format!("{:.2}", Picoseconds(3.141_25)), "3.14 ps");
+        assert_eq!(format!("{}", TechNode::NM16), "16nm");
+    }
+
+    #[test]
+    fn min_max_abs() {
+        assert_eq!(Picoseconds(-3.0).abs().value(), 3.0);
+        assert_eq!(Picoseconds(1.0).max(Picoseconds(2.0)).value(), 2.0);
+        assert_eq!(Picoseconds(1.0).min(Picoseconds(2.0)).value(), 1.0);
+    }
+
+    #[test]
+    fn tech_node_ordering() {
+        assert!(TechNode::NM16 < TechNode::NM22);
+        assert_eq!(TechNode::NM45.nanometers(), 45.0);
+    }
+}

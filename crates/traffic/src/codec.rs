@@ -1,0 +1,293 @@
+//! A plain-text trace format, so traces can be saved, inspected, and
+//! replayed without a serialization dependency.
+//!
+//! ```text
+//! # phastlane-trace v1
+//! msg 0 src=3 kind=RR t=120 think=1 deps= dests=*
+//! msg 1 src=9 kind=DR t=120 think=80 deps=0@9 dests=3
+//! msg 2 src=3 kind=WB t=125 think=0 deps= dests=17,42
+//! ```
+//!
+//! `dests` is `*` for broadcast, a single index for unicast, or a
+//! comma-separated list for multicast.
+
+use phastlane_netsim::geometry::NodeId;
+use phastlane_netsim::harness::{Dep, MsgId, Trace, TraceMessage};
+use phastlane_netsim::packet::{DestSet, PacketKind};
+use std::fmt::Write as _;
+
+/// Header line identifying the format.
+pub const HEADER: &str = "# phastlane-trace v1";
+
+/// An error parsing a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn kind_code(kind: PacketKind) -> &'static str {
+    match kind {
+        PacketKind::ReadRequest => "RR",
+        PacketKind::WriteRequest => "WR",
+        PacketKind::DataResponse => "DR",
+        PacketKind::Invalidate => "IN",
+        PacketKind::Writeback => "WB",
+        PacketKind::Data => "DA",
+    }
+}
+
+fn kind_from_code(code: &str) -> Option<PacketKind> {
+    Some(match code {
+        "RR" => PacketKind::ReadRequest,
+        "WR" => PacketKind::WriteRequest,
+        "DR" => PacketKind::DataResponse,
+        "IN" => PacketKind::Invalidate,
+        "WB" => PacketKind::Writeback,
+        "DA" => PacketKind::Data,
+        _ => return None,
+    })
+}
+
+/// Serializes a trace to the text format.
+pub fn encode(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    for m in &trace.messages {
+        let deps: Vec<String> = m
+            .deps
+            .iter()
+            .map(|d| match d.at {
+                None => d.msg.0.to_string(),
+                Some(node) => format!("{}@{}", d.msg.0, node.0),
+            })
+            .collect();
+        let dests = match &m.dests {
+            DestSet::Broadcast => "*".to_string(),
+            DestSet::Unicast(d) => d.0.to_string(),
+            DestSet::Multicast(list) => list
+                .iter()
+                .map(|d| d.0.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        };
+        writeln!(
+            out,
+            "msg {} src={} kind={} t={} think={} deps={} dests={}",
+            m.id.0,
+            m.src.0,
+            kind_code(m.kind),
+            m.earliest,
+            m.think,
+            deps.join(","),
+            dests
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// Parses the text format back into a trace.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] naming the offending line on malformed
+/// input.
+pub fn decode(text: &str) -> Result<Trace, ParseTraceError> {
+    let err = |line: usize, message: String| ParseTraceError { line, message };
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        other => {
+            return Err(err(
+                1,
+                format!("expected header {HEADER:?}, found {:?}", other.map(|(_, l)| l)),
+            ))
+        }
+    }
+
+    let mut messages = Vec::new();
+    for (idx, raw) in lines {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("msg") {
+            return Err(err(lineno, format!("expected 'msg', got {line:?}")));
+        }
+        let id: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err(lineno, "missing or invalid message id".into()))?;
+
+        let mut src = None;
+        let mut kind = None;
+        let mut earliest = None;
+        let mut think = None;
+        let mut deps = Vec::new();
+        let mut dests = None;
+        for field in parts {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| err(lineno, format!("malformed field {field:?}")))?;
+            match key {
+                "src" => {
+                    src = Some(NodeId(value.parse().map_err(|_| {
+                        err(lineno, format!("invalid src {value:?}"))
+                    })?))
+                }
+                "kind" => {
+                    kind = Some(kind_from_code(value).ok_or_else(|| {
+                        err(lineno, format!("unknown kind {value:?}"))
+                    })?)
+                }
+                "t" => {
+                    earliest = Some(value.parse().map_err(|_| {
+                        err(lineno, format!("invalid time {value:?}"))
+                    })?)
+                }
+                "think" => {
+                    think = Some(value.parse().map_err(|_| {
+                        err(lineno, format!("invalid think {value:?}"))
+                    })?)
+                }
+                "deps" => {
+                    for d in value.split(',').filter(|s| !s.is_empty()) {
+                        let dep = match d.split_once('@') {
+                            None => Dep::full(MsgId(d.parse().map_err(|_| {
+                                err(lineno, format!("invalid dep {d:?}"))
+                            })?)),
+                            Some((msg, node)) => Dep::at(
+                                MsgId(msg.parse().map_err(|_| {
+                                    err(lineno, format!("invalid dep {d:?}"))
+                                })?),
+                                NodeId(node.parse().map_err(|_| {
+                                    err(lineno, format!("invalid dep node {d:?}"))
+                                })?),
+                            ),
+                        };
+                        deps.push(dep);
+                    }
+                }
+                "dests" => {
+                    dests = Some(if value == "*" {
+                        DestSet::Broadcast
+                    } else {
+                        let ids: Result<Vec<NodeId>, _> = value
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(|s| s.parse::<u16>().map(NodeId))
+                            .collect();
+                        let ids = ids
+                            .map_err(|_| err(lineno, format!("invalid dests {value:?}")))?;
+                        match ids.len() {
+                            0 => return Err(err(lineno, "empty dests".into())),
+                            1 => DestSet::Unicast(ids[0]),
+                            _ => DestSet::Multicast(ids),
+                        }
+                    })
+                }
+                other => return Err(err(lineno, format!("unknown field {other:?}"))),
+            }
+        }
+        messages.push(TraceMessage {
+            id: MsgId(id),
+            src: src.ok_or_else(|| err(lineno, "missing src".into()))?,
+            dests: dests.ok_or_else(|| err(lineno, "missing dests".into()))?,
+            kind: kind.ok_or_else(|| err(lineno, "missing kind".into()))?,
+            earliest: earliest.ok_or_else(|| err(lineno, "missing t".into()))?,
+            deps,
+            think: think.ok_or_else(|| err(lineno, "missing think".into()))?,
+        });
+    }
+    let trace = Trace { messages };
+    trace
+        .validate()
+        .map_err(|e| err(0, format!("semantic error: {e}")))?;
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coherence::{generate_trace, BenchmarkProfile};
+    use phastlane_netsim::geometry::Mesh;
+
+    fn sample_trace() -> Trace {
+        let profile = BenchmarkProfile {
+            name: "codec-test",
+            misses_per_core: 3,
+            write_fraction: 0.5,
+            shared_fraction: 0.5,
+            writeback_fraction: 0.5,
+            mean_gap: 10.0,
+            barrier_every: 4,
+            hotspot_weight: 0.2,
+            outstanding: 2,
+            active_cores: 64,
+            seed: 99,
+        };
+        generate_trace(Mesh::PAPER, &profile)
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let t = sample_trace();
+        let text = encode(&t);
+        let back = decode(&text).expect("roundtrip decodes");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn header_enforced() {
+        let e = decode("bogus\n").unwrap_err();
+        assert!(e.to_string().contains("header"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = format!("{HEADER}\n\n# comment\nmsg 0 src=1 kind=DA t=5 think=0 deps= dests=2\n");
+        let t = decode(&text).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.messages[0].earliest, 5);
+    }
+
+    #[test]
+    fn malformed_field_reports_line() {
+        let text = format!("{HEADER}\nmsg 0 src=1 kind=XX t=5 think=0 deps= dests=2\n");
+        let e = decode(&text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("kind"));
+    }
+
+    #[test]
+    fn forward_dep_rejected_semantically() {
+        let text =
+            format!("{HEADER}\nmsg 0 src=1 kind=DA t=5 think=0 deps=1 dests=2\n");
+        let e = decode(&text).unwrap_err();
+        assert!(e.message.contains("semantic"));
+    }
+
+    #[test]
+    fn multicast_dests_roundtrip() {
+        let text = format!("{HEADER}\nmsg 0 src=1 kind=IN t=0 think=0 deps= dests=2,3,4\n");
+        let t = decode(&text).unwrap();
+        assert_eq!(
+            t.messages[0].dests,
+            DestSet::Multicast(vec![NodeId(2), NodeId(3), NodeId(4)])
+        );
+    }
+}

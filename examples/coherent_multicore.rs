@@ -1,0 +1,54 @@
+//! A 64-core cache-coherent workload: generate a SPLASH2-style coherence
+//! trace and replay it on both Phastlane and the electrical baseline,
+//! reporting network speedup and power — a miniature of Figures 10/11.
+//!
+//! Run with: `cargo run --release --example coherent_multicore [benchmark]`
+
+use phastlane_repro::electrical::{ElectricalConfig, ElectricalNetwork};
+use phastlane_repro::netsim::harness::{run_trace, TraceOptions};
+use phastlane_repro::netsim::{Mesh, Network};
+use phastlane_repro::optical::{PhastlaneConfig, PhastlaneNetwork};
+use phastlane_repro::traffic::coherence::{generate_trace, summarize};
+use phastlane_repro::traffic::splash2;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "FFT".to_string());
+    let mut profile = splash2::benchmark(&name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name:?}; see Table 3"));
+    // Trim so the example runs in a couple of seconds.
+    profile.misses_per_core = profile.misses_per_core.min(40);
+
+    let trace = generate_trace(Mesh::PAPER, &profile);
+    let mix = summarize(&trace);
+    println!("benchmark {}: {} messages", profile.name, trace.len());
+    println!(
+        "  {} broadcast requests, {} responses, {} writebacks, {} barrier msgs",
+        mix.requests, mix.responses, mix.writebacks, mix.barrier_msgs
+    );
+
+    let mut optical = PhastlaneNetwork::new(PhastlaneConfig::optical4());
+    let mut electrical = ElectricalNetwork::new(ElectricalConfig::electrical3());
+
+    let o = run_trace(&mut optical, &trace, TraceOptions::default());
+    let e = run_trace(&mut electrical, &trace, TraceOptions::default());
+
+    println!("\nOptical4:    completed in {} cycles ({} drops, {} retransmits)",
+        o.completion_cycle,
+        optical.stats().dropped,
+        optical.stats().retransmitted
+    );
+    println!("Electrical3: completed in {} cycles", e.completion_cycle);
+    println!(
+        "network speedup: {:.2}x",
+        e.completion_cycle as f64 / o.completion_cycle as f64
+    );
+
+    let o_mw = o.energy.average_power_mw(o.completion_cycle, 4.0);
+    let e_mw = e.energy.average_power_mw(e.completion_cycle, 4.0);
+    println!(
+        "network power: optical {:.0} mW vs electrical {:.0} mW ({:.0}% less)",
+        o_mw,
+        e_mw,
+        100.0 * (1.0 - o_mw / e_mw)
+    );
+}

@@ -1,0 +1,51 @@
+//! Walk the paper's §3 design-space exploration: scaling fits, critical
+//! paths, hops per cycle, peak optical power, and router area — the
+//! analyses that picked 64-way WDM and a four-hop network.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use phastlane_repro::photonics::area::{area_sweet_spot, RouterArea};
+use phastlane_repro::photonics::delay::{RouterDesign, RouterOp};
+use phastlane_repro::photonics::power::PowerPoint;
+use phastlane_repro::photonics::scaling::{chain_delays, Scaling};
+use phastlane_repro::photonics::units::TechNode;
+use phastlane_repro::photonics::wdm::WdmConfig;
+
+fn main() {
+    println!("== Scaling scenarios at 16nm (Figure 4) ==");
+    for s in Scaling::ALL {
+        let d = chain_delays(s, TechNode::NM16);
+        println!("  {s:12} transmit {:6.2}  receive {:5.2}", d.transmit, d.receive);
+    }
+
+    println!("\n== Critical paths and hops per cycle (Figures 5, 6) ==");
+    for s in Scaling::ALL {
+        let design = RouterDesign::paper(s);
+        let pp = design.critical_path(RouterOp::PacketPass).total();
+        println!(
+            "  {s:12} packet-pass {:6.2}  -> {} hops per 4GHz cycle",
+            pp,
+            design.max_hops_per_cycle()
+        );
+    }
+
+    println!("\n== Peak optical power (Figure 7) ==");
+    for (wdm, hops) in [(64, 4), (64, 5), (128, 4), (128, 5), (32, 4)] {
+        let p = PowerPoint::new(WdmConfig::new(wdm), hops, 0.98);
+        println!(
+            "  {wdm:4}-way WDM, {hops} hops @ 98% crossings: {:6.1} W peak",
+            p.peak_optical_power().as_watts()
+        );
+    }
+
+    println!("\n== Router area (Figure 8) ==");
+    for wdm in WdmConfig::SWEEP {
+        let a = RouterArea::for_wdm(wdm);
+        println!("  {:4}-way WDM: {:5.2} mm^2 total", wdm.payload_wdm, a.total().value());
+    }
+    let best = area_sweet_spot(&WdmConfig::SWEEP).expect("non-empty");
+    println!("  sweet spot: {}-way WDM", best.payload_wdm);
+
+    println!("\nconclusion (paper \u{00a7}3.3): 64-way WDM payload in 10 waveguides,");
+    println!("2 control waveguides at 35-way WDM, 4-hop network at 32 W peak.");
+}

@@ -1,0 +1,57 @@
+//! Demonstrates Phastlane's drop-signal return path and retransmission
+//! (§2.1.2): shrink the electrical buffers to force drops under a
+//! hotspot, watch the drop/backoff/retransmit machinery recover every
+//! packet, and inspect the return-path model directly.
+//!
+//! Run with: `cargo run --release --example drop_signaling`
+
+use phastlane_repro::netsim::geometry::Direction;
+use phastlane_repro::netsim::{Mesh, Network, NewPacket, NodeId};
+use phastlane_repro::optical::dropnet::{ReturnPath, ReturnPathRegistry};
+use phastlane_repro::optical::{BufferDepth, PhastlaneConfig, PhastlaneNetwork};
+
+fn main() {
+    // Part 1: the return path itself. A packet that traversed
+    // n0 -E> n1 -E> n2 -S> n10 and was dropped at n10 signals back over
+    // the exact reverse path in the next cycle.
+    let mesh = Mesh::PAPER;
+    let trail = vec![
+        (NodeId(0), Direction::East),
+        (NodeId(1), Direction::East),
+        (NodeId(2), Direction::South),
+    ];
+    let path = ReturnPath::from_forward_trail(mesh, &trail);
+    println!("forward trail: n0 -E> n1 -E> n2 -S> n10 (dropped at n10)");
+    println!("return path:   {path}");
+    println!("signal reaches the launcher: {}\n", path.destination(mesh));
+
+    let mut registry = ReturnPathRegistry::new();
+    registry.register(&path).expect("first path registers");
+    println!(
+        "registering the same path again: {:?} (footnote 4: return paths\nnever overlap in a cycle)\n",
+        registry.register(&path).map_err(|e| e.to_string())
+    );
+
+    // Part 2: force the machinery end to end. One-entry buffers plus an
+    // all-to-one hotspot guarantee buffer-full drops.
+    let cfg = PhastlaneConfig::with_hops_and_buffers(4, BufferDepth::Finite(1));
+    let mut net = PhastlaneNetwork::new(cfg);
+    let mut sent = 0;
+    for src in mesh.iter_nodes() {
+        if src != NodeId(0) && net.inject(NewPacket::unicast(src, NodeId(0))).is_some() {
+            sent += 1;
+        }
+    }
+    while net.in_flight() > 0 {
+        net.step();
+    }
+    let stats = net.stats();
+    println!("hotspot with 1-entry buffers: {sent} packets sent");
+    println!("  dropped:       {}", stats.dropped);
+    println!("  retransmitted: {}", stats.retransmitted);
+    println!("  delivered:     {} (exactly once each)", stats.delivered);
+    println!("  max latency:   {} cycles", stats.latency.max());
+    assert_eq!(stats.delivered, sent);
+    println!("\nevery drop was signalled within one cycle and recovered by");
+    println!("the source's randomized backoff and resend.");
+}

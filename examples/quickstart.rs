@@ -1,0 +1,60 @@
+//! Quickstart: build a Phastlane network, send a few packets, and watch
+//! them arrive in a single cycle each.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use phastlane_repro::netsim::packet::PacketKind;
+use phastlane_repro::netsim::{Network, NewPacket, NodeId};
+use phastlane_repro::optical::{PhastlaneConfig, PhastlaneNetwork};
+
+fn main() {
+    // The paper's baseline configuration: an 8x8 optical crossbar mesh,
+    // four hops per 4 GHz cycle, ten electrical buffer entries per port.
+    let mut net = PhastlaneNetwork::new(PhastlaneConfig::optical4());
+    println!("network: {}", net.name());
+    println!("mesh:    {}x{}", net.mesh().width(), net.mesh().height());
+
+    // A short unicast: node 0 to node 3 — three hops, one cycle.
+    net.inject(NewPacket::unicast(NodeId(0), NodeId(3)))
+        .expect("NIC has room");
+
+    // A corner-to-corner unicast: 14 hops, so the packet is pipelined
+    // through interim nodes over four cycles (ceil(14 / 4)).
+    net.inject(NewPacket::unicast(NodeId(0), NodeId(63)))
+        .expect("NIC has room");
+
+    // A snoopy coherence broadcast: up to 16 column-multicast messages.
+    net.inject(NewPacket::broadcast(NodeId(27), PacketKind::ReadRequest))
+        .expect("NIC has room");
+
+    // Run until everything is delivered.
+    while net.in_flight() > 0 {
+        net.step();
+    }
+
+    let mut deliveries = net.drain_deliveries();
+    deliveries.sort_by_key(|d| (d.packet, d.dest));
+    println!("\ndeliveries: {}", deliveries.len());
+    for d in deliveries.iter().take(5) {
+        println!(
+            "  {} {} -> {} in {} cycle(s)",
+            d.packet,
+            d.src,
+            d.dest,
+            d.latency()
+        );
+    }
+    println!("  ... ({} more)", deliveries.len().saturating_sub(5));
+
+    let stats = net.stats();
+    println!("\ninjected packets:   {}", stats.injected);
+    println!("deliveries:         {}", stats.delivered);
+    println!("dropped (retried):  {}", stats.dropped);
+    println!("mean latency:       {:.2} cycles", stats.latency.mean().unwrap_or(0.0));
+
+    let e = net.energy();
+    println!(
+        "energy: {:.1} pJ dynamic, {:.1} pJ laser, {:.1} pJ leakage",
+        e.dynamic_pj, e.laser_pj, e.leakage_pj
+    );
+}

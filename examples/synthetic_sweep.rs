@@ -1,0 +1,47 @@
+//! Latency-vs-load curve for one synthetic pattern on one network — a
+//! single panel of Figure 9.
+//!
+//! Run with: `cargo run --release --example synthetic_sweep [pattern]`
+//! where pattern is one of: uniform, bitcomp, bitrev, shuffle, transpose.
+
+use phastlane_repro::netsim::harness::SyntheticOptions;
+use phastlane_repro::netsim::sweep::{latency_sweep, saturation_rate};
+use phastlane_repro::netsim::Mesh;
+use phastlane_repro::optical::{PhastlaneConfig, PhastlaneNetwork};
+use phastlane_repro::traffic::{BernoulliTraffic, Pattern};
+
+fn main() {
+    let pattern = match std::env::args().nth(1).as_deref() {
+        None | Some("transpose") => Pattern::Transpose,
+        Some("uniform") => Pattern::Uniform,
+        Some("bitcomp") => Pattern::BitComplement,
+        Some("bitrev") => Pattern::BitReverse,
+        Some("shuffle") => Pattern::Shuffle,
+        Some(other) => panic!("unknown pattern {other:?}"),
+    };
+
+    let rates = [0.02, 0.05, 0.08, 0.12, 0.16, 0.20, 0.25, 0.30];
+    let opts = SyntheticOptions { warmup: 500, measure: 2_000, drain: 6_000 };
+    println!("pattern: {} on Optical4 (8x8 mesh)\n", pattern.label());
+    println!("{:>6}  {:>10}  {:>10}  {:>9}", "rate", "latency", "delivered", "stable");
+
+    let points = latency_sweep(
+        &rates,
+        || PhastlaneNetwork::new(PhastlaneConfig::optical4()),
+        |rate| BernoulliTraffic::new(Mesh::PAPER, pattern, rate, 0xE7),
+        opts,
+    );
+    for p in &points {
+        println!(
+            "{:>6.2}  {:>10.2}  {:>10.3}  {:>9}",
+            p.offered_rate,
+            p.mean_latency(),
+            p.result.delivered_rate,
+            if p.is_stable() { "yes" } else { "saturated" }
+        );
+    }
+    match saturation_rate(&points) {
+        Some(r) => println!("\nsaturation throughput ~= {r:.2} packets/node/cycle"),
+        None => println!("\nsaturated at every measured rate"),
+    }
+}
