@@ -1,7 +1,8 @@
-//! Criterion benchmarks of the §3 analytic kernels (Figures 4-8) and the
-//! trace generator.
+//! Microbenchmarks of the §3 analytic kernels (Figures 4-8) and the
+//! trace generator. Plain `main` + the in-tree
+//! [`phastlane_bench::timing`] runner; no external bench framework.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use phastlane_bench::timing::bench;
 use phastlane_netsim::geometry::{Mesh, NodeId};
 use phastlane_photonics::delay::figure6_series;
 use phastlane_photonics::power::figure7_grid;
@@ -11,55 +12,29 @@ use phastlane_traffic::coherence::generate_trace;
 use phastlane_traffic::splash2;
 use std::collections::VecDeque;
 
-fn bench_scaling_fits(c: &mut Criterion) {
-    c.bench_function("fig4_scaling_fits", |b| b.iter(figure4_series));
-}
+fn main() {
+    bench("fig4_scaling_fits", figure4_series);
 
-fn bench_max_hops(c: &mut Criterion) {
-    c.bench_function("fig6_max_hops_solver", |b| {
-        b.iter(|| figure6_series(TechNode::NM16))
-    });
-}
+    bench("fig6_max_hops_solver", || figure6_series(TechNode::NM16));
 
-fn bench_power_grid(c: &mut Criterion) {
     let effs = [0.97, 0.975, 0.98, 0.985, 0.99, 0.995];
     let hops = [1, 2, 3, 4, 5, 6, 7, 8];
-    c.bench_function("fig7_power_grid", |b| {
-        b.iter(|| figure7_grid(&effs, &hops))
-    });
-}
+    bench("fig7_power_grid", || figure7_grid(&effs, &hops));
 
-fn bench_plan_build(c: &mut Criterion) {
     let mesh = Mesh::PAPER;
     let targets: VecDeque<NodeId> = [NodeId(63)].into_iter().collect();
-    c.bench_function("plan_build_corner_to_corner", |b| {
-        b.iter(|| phastlane_core::plan::Plan::build(mesh, NodeId(0), &targets, false, 4))
+    bench("plan_build_corner_to_corner", || {
+        phastlane_core::plan::Plan::build(mesh, NodeId(0), &targets, false, 4)
     });
-}
 
-fn bench_multicast_split(c: &mut Criterion) {
-    let mesh = Mesh::PAPER;
-    let targets: Vec<NodeId> = mesh.iter_nodes().filter(|&n| n != NodeId(27)).collect();
-    c.bench_function("broadcast_split_16_messages", |b| {
-        b.iter(|| phastlane_core::multicast::split_multicast(mesh, NodeId(27), &targets))
+    let bc_targets: Vec<NodeId> = mesh.iter_nodes().filter(|&n| n != NodeId(27)).collect();
+    bench("broadcast_split_16_messages", || {
+        phastlane_core::multicast::split_multicast(mesh, NodeId(27), &bc_targets)
     });
-}
 
-fn bench_trace_generation(c: &mut Criterion) {
     let mut profile = splash2::benchmark("Ocean").expect("known benchmark");
     profile.misses_per_core = 20;
-    c.bench_function("generate_ocean_trace_20", |b| {
-        b.iter(|| generate_trace(Mesh::PAPER, &profile))
+    bench("generate_ocean_trace_20", || {
+        generate_trace(Mesh::PAPER, &profile)
     });
 }
-
-criterion_group!(
-    benches,
-    bench_scaling_fits,
-    bench_max_hops,
-    bench_power_grid,
-    bench_plan_build,
-    bench_multicast_split,
-    bench_trace_generation
-);
-criterion_main!(benches);

@@ -1,8 +1,9 @@
-//! Criterion microbenchmarks of the two network simulators: cycle
-//! throughput under load and end-to-end replay of a small coherence
-//! trace (the kernel behind Figures 10 and 11).
+//! Microbenchmarks of the two network simulators: cycle throughput
+//! under load and end-to-end replay of a small coherence trace (the
+//! kernel behind Figures 10 and 11). Plain `main` + the in-tree
+//! [`phastlane_bench::timing`] runner; no external bench framework.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use phastlane_bench::timing::bench;
 use phastlane_bench::Config;
 use phastlane_netsim::harness::{run_trace, TraceOptions};
 use phastlane_netsim::{Mesh, Network, NewPacket, NodeId};
@@ -20,62 +21,49 @@ fn loaded_network(cfg: Config) -> Box<dyn Network> {
     net
 }
 
-fn bench_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("network_step");
+fn bench_step() {
     for cfg in [Config::Optical4, Config::Electrical3] {
-        group.bench_function(cfg.label(), |b| {
-            b.iter_batched(
-                || loaded_network(cfg),
-                |mut net| {
-                    for _ in 0..10 {
-                        net.step();
-                    }
-                    net
-                },
-                BatchSize::SmallInput,
-            );
+        bench(&format!("network_step/{}", cfg.label()), || {
+            let mut net = loaded_network(cfg);
+            for _ in 0..10 {
+                net.step();
+            }
+            net.cycle()
         });
     }
-    group.finish();
 }
 
-fn bench_trace_replay(c: &mut Criterion) {
+fn bench_trace_replay() {
     let mut profile = splash2::benchmark("LU").expect("known benchmark");
     profile.misses_per_core = 4;
     let trace = generate_trace(Mesh::PAPER, &profile);
-    let mut group = c.benchmark_group("trace_replay_lu4");
-    group.sample_size(10);
     for cfg in [Config::Optical4, Config::Electrical3] {
-        group.bench_function(cfg.label(), |b| {
-            b.iter(|| {
-                let mut net = cfg.build();
-                run_trace(&mut net, &trace, TraceOptions::default()).completion_cycle
-            });
+        bench(&format!("trace_replay_lu4/{}", cfg.label()), || {
+            let mut net = cfg.build();
+            run_trace(&mut net, &trace, TraceOptions::default()).completion_cycle
         });
     }
-    group.finish();
 }
 
-fn bench_broadcast(c: &mut Criterion) {
-    let mut group = c.benchmark_group("single_broadcast");
+fn bench_broadcast() {
     for cfg in [Config::Optical4, Config::Electrical3] {
-        group.bench_function(cfg.label(), |b| {
-            b.iter(|| {
-                let mut net = cfg.build();
-                net.inject(NewPacket::broadcast(
-                    NodeId(27),
-                    phastlane_netsim::PacketKind::ReadRequest,
-                ))
-                .expect("NIC room");
-                while net.in_flight() > 0 {
-                    net.step();
-                }
-                net.drain_deliveries().len()
-            });
+        bench(&format!("single_broadcast/{}", cfg.label()), || {
+            let mut net = cfg.build();
+            net.inject(NewPacket::broadcast(
+                NodeId(27),
+                phastlane_netsim::PacketKind::ReadRequest,
+            ))
+            .expect("NIC room");
+            while net.in_flight() > 0 {
+                net.step();
+            }
+            net.drain_deliveries().len()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_step, bench_trace_replay, bench_broadcast);
-criterion_main!(benches);
+fn main() {
+    bench_step();
+    bench_trace_replay();
+    bench_broadcast();
+}

@@ -28,7 +28,8 @@ fn run_with(
     assert!(!r.timed_out);
     (
         r.completion_cycle,
-        r.energy.average_power_mw(r.completion_cycle.max(1), CLOCK_GHZ),
+        r.energy
+            .average_power_mw(r.completion_cycle.max(1), CLOCK_GHZ),
         net.stats().dropped,
     )
 }
@@ -38,8 +39,7 @@ fn main() {
     let widths = [14, 20, 12, 12, 10, 8];
 
     for bench in ["FFT", "Ocean"] {
-        let profile =
-            phastlane_bench::scaled_profile(&splash2::benchmark(bench).unwrap(), scale);
+        let profile = phastlane_bench::scaled_profile(&splash2::benchmark(bench).unwrap(), scale);
         let trace = generate_trace(Mesh::PAPER, &profile);
         println!("=== {} (scale {scale}) ===", profile.name);
         print_row(
@@ -53,8 +53,11 @@ fn main() {
             ],
             &widths,
         );
-        let (base_cycles, _, _) =
-            run_with(ArbitrationPolicy::RotatingPriority, PathPriority::Fixed, &trace);
+        let (base_cycles, _, _) = run_with(
+            ArbitrationPolicy::RotatingPriority,
+            PathPriority::Fixed,
+            &trace,
+        );
         for arb in ArbitrationPolicy::ALL {
             for pp in PathPriority::ALL {
                 let (cycles, mw, drops) = run_with(arb, pp, &trace);
@@ -78,12 +81,16 @@ fn main() {
     // 10-per-buffer partition — same storage either way.
     for bench in ["FFT", "Ocean"] {
         println!("=== buffer management ({bench}, scale {scale}) ===");
-        let profile =
-            phastlane_bench::scaled_profile(&splash2::benchmark(bench).unwrap(), scale);
+        let profile = phastlane_bench::scaled_profile(&splash2::benchmark(bench).unwrap(), scale);
         let trace = generate_trace(Mesh::PAPER, &profile);
         let widths2 = [16usize, 14, 12, 10];
         print_row(
-            &["buffers".into(), "cycles".into(), "power mW".into(), "drops".into()],
+            &[
+                "buffers".into(),
+                "cycles".into(),
+                "power mW".into(),
+                "drops".into(),
+            ],
             &widths2,
         );
         for cfg in [
@@ -93,7 +100,13 @@ fn main() {
         ] {
             let label = cfg.label();
             let mut net = PhastlaneNetwork::new(cfg);
-            let r = run_trace(&mut net, &trace, TraceOptions { max_cycles: 400_000 });
+            let r = run_trace(
+                &mut net,
+                &trace,
+                TraceOptions {
+                    max_cycles: 400_000,
+                },
+            );
             print_row(
                 &[
                     label,
@@ -104,7 +117,8 @@ fn main() {
                     },
                     format!(
                         "{:.0}",
-                        r.energy.average_power_mw(r.completion_cycle.max(1), CLOCK_GHZ)
+                        r.energy
+                            .average_power_mw(r.completion_cycle.max(1), CLOCK_GHZ)
                     ),
                     net.stats().dropped.to_string(),
                 ],

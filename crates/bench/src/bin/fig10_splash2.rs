@@ -42,7 +42,12 @@ fn main() {
             } else {
                 run_on(cfg, &trace)
             };
-            assert!(!out.result.timed_out, "{} timed out on {}", cfg.label(), profile.name);
+            assert!(
+                !out.result.timed_out,
+                "{} timed out on {}",
+                cfg.label(),
+                profile.name
+            );
             let speedup = base_cycles as f64 / out.result.completion_cycle.max(1) as f64;
             geo_means[i] += speedup.ln();
             let mut cell = format!("{speedup:.2}");
@@ -52,7 +57,11 @@ fn main() {
             cells.push(cell);
         }
         count += 1;
-        csv.push(cells.iter().map(|c| c.split(' ').next().unwrap_or(c).to_string()));
+        csv.push(
+            cells
+                .iter()
+                .map(|c| c.split(' ').next().unwrap_or(c).to_string()),
+        );
         print_row(&cells, &widths);
     }
     if let Some(path) = csv_arg() {

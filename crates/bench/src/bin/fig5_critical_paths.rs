@@ -26,7 +26,11 @@ fn main() {
     );
     for scaling in Scaling::ALL {
         for wdm in WdmConfig::SWEEP {
-            let design = RouterDesign { wdm, scaling, node: TechNode::NM16 };
+            let design = RouterDesign {
+                wdm,
+                scaling,
+                node: TechNode::NM16,
+            };
             for op in RouterOp::ALL {
                 let bd = design.critical_path(op);
                 print_row(

@@ -11,7 +11,11 @@ fn main() {
     print_row(&["wdm".into(), "scaling".into(), "hops".into()], &widths);
     for (wdm, scaling, hops) in figure6_series(TechNode::NM16) {
         print_row(
-            &[wdm.payload_wdm.to_string(), scaling.to_string(), hops.to_string()],
+            &[
+                wdm.payload_wdm.to_string(),
+                scaling.to_string(),
+                hops.to_string(),
+            ],
             &widths,
         );
     }

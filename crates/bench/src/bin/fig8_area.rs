@@ -2,7 +2,9 @@
 //! components and the total area.
 
 use phastlane_bench::print_row;
-use phastlane_photonics::area::{area_sweet_spot, RouterArea, NODE_AREA_1CORE, NODE_AREA_2CORE, NODE_AREA_4CORE};
+use phastlane_photonics::area::{
+    area_sweet_spot, RouterArea, NODE_AREA_1CORE, NODE_AREA_2CORE, NODE_AREA_4CORE,
+};
 use phastlane_photonics::wdm::WdmConfig;
 
 fn main() {

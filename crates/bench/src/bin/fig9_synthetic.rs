@@ -17,14 +17,24 @@ fn main() {
     let quick = quick_flag();
     let draw_charts = std::env::args().any(|a| a == "--chart");
     let opts = if quick {
-        SyntheticOptions { warmup: 300, measure: 1_000, drain: 3_000 }
+        SyntheticOptions {
+            warmup: 300,
+            measure: 1_000,
+            drain: 3_000,
+        }
     } else {
-        SyntheticOptions { warmup: 1_000, measure: 4_000, drain: 12_000 }
+        SyntheticOptions {
+            warmup: 1_000,
+            measure: 4_000,
+            drain: 12_000,
+        }
     };
     let rates: Vec<f64> = if quick {
         vec![0.02, 0.06, 0.10, 0.16, 0.22, 0.30]
     } else {
-        vec![0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.13, 0.16, 0.20, 0.24, 0.28, 0.34, 0.40]
+        vec![
+            0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.13, 0.16, 0.20, 0.24, 0.28, 0.34, 0.40,
+        ]
     };
 
     println!("Figure 9: average packet latency (cycles) vs injection rate");

@@ -12,16 +12,27 @@ fn main() {
         let trace = generate_trace(Mesh::PAPER, &profile);
         for cfg in [Config::Optical4, Config::Electrical3] {
             let out = run_on(cfg, &trace);
-            println!("coherence {bench} {} -> {}", cfg.label(), out.result.completion_cycle);
+            println!(
+                "coherence {bench} {} -> {}",
+                cfg.label(),
+                out.result.completion_cycle
+            );
         }
     }
     let mut w = CacheWorkload::write_sharing();
     w.accesses_per_core = 300;
     w.active_cores = 16;
     let (trace, report) = generate_cache_trace(Mesh::PAPER, &w);
-    println!("cachegen misses={} inv={}", report.l2_misses, report.invalidations);
+    println!(
+        "cachegen misses={} inv={}",
+        report.l2_misses, report.invalidations
+    );
     for cfg in [Config::Optical4, Config::Electrical3] {
         let out = run_on(cfg, &trace);
-        println!("cachegen {} -> {}", cfg.label(), out.result.completion_cycle);
+        println!(
+            "cachegen {} -> {}",
+            cfg.label(),
+            out.result.completion_cycle
+        );
     }
 }

@@ -18,9 +18,15 @@ fn run_one(cfg: Config, p: NewPacket) -> (u64, u64) {
 
 fn main() {
     for cfg in [Config::Optical4, Config::Electrical3, Config::Electrical2] {
-        let (ba, bm) = run_one(cfg, NewPacket::broadcast(NodeId(27), PacketKind::ReadRequest));
+        let (ba, bm) = run_one(
+            cfg,
+            NewPacket::broadcast(NodeId(27), PacketKind::ReadRequest),
+        );
         let (ua, um) = run_one(cfg, NewPacket::unicast(NodeId(27), NodeId(5)));
-        let (ca, cm) = run_one(cfg, NewPacket::broadcast(NodeId(0), PacketKind::ReadRequest));
+        let (ca, cm) = run_one(
+            cfg,
+            NewPacket::broadcast(NodeId(0), PacketKind::ReadRequest),
+        );
         println!("{:12} bcast(center) avg={ba} max={bm}; bcast(corner) avg={ca} max={cm}; unicast avg={ua} max={um}", cfg.label());
     }
 }

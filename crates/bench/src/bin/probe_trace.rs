@@ -5,8 +5,13 @@ use phastlane_traffic::coherence::generate_trace;
 use phastlane_traffic::splash2;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "Water-NSquared".into());
-    let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Water-NSquared".into());
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
     let profile = scaled_profile(&splash2::benchmark(&name).unwrap(), scale);
     let trace = generate_trace(Mesh::PAPER, &profile);
     println!("{} scale {scale}: {} messages", profile.name, trace.len());

@@ -49,10 +49,17 @@ fn main() {
         let mesh = Mesh::new(side, side);
 
         // Zero-load-ish uniform latency.
-        let opts = SyntheticOptions { warmup: 200, measure: 800, drain: 3_000 };
+        let opts = SyntheticOptions {
+            warmup: 200,
+            measure: 800,
+            drain: 3_000,
+        };
         let lat = |net: &mut dyn Network| {
             let mut w = BernoulliTraffic::new(mesh, Pattern::Uniform, 0.02, 0x5CA1E);
-            run_synthetic(net, &mut w, opts).latency.mean().unwrap_or(f64::NAN)
+            run_synthetic(net, &mut w, opts)
+                .latency
+                .mean()
+                .unwrap_or(f64::NAN)
         };
         let mut onet = optical(mesh);
         let mut enet = electrical(mesh);
@@ -69,8 +76,11 @@ fn main() {
         let e = run_trace(&mut enet, &trace, TraceOptions::default());
         assert!(!o.timed_out && !e.timed_out);
         let speedup = e.completion_cycle as f64 / o.completion_cycle.max(1) as f64;
-        let pwr_ratio = o.energy.average_power_mw(o.completion_cycle.max(1), CLOCK_GHZ)
-            / e.energy.average_power_mw(e.completion_cycle.max(1), CLOCK_GHZ);
+        let pwr_ratio = o
+            .energy
+            .average_power_mw(o.completion_cycle.max(1), CLOCK_GHZ)
+            / e.energy
+                .average_power_mw(e.completion_cycle.max(1), CLOCK_GHZ);
 
         print_row(
             &[

@@ -11,7 +11,10 @@ fn main() {
     println!("Table 1: optical network configuration");
     println!("  Flits per packet            1 (80 bytes)");
     println!("  Packet payload WDM          {}", o.wdm.payload_wdm);
-    println!("  Packet payload waveguides   {}", o.wdm.payload_waveguides());
+    println!(
+        "  Packet payload waveguides   {}",
+        o.wdm.payload_waveguides()
+    );
     println!("  Routing function            Dimension-Order");
     println!("  Packet control bits         {CONTROL_BITS}");
     println!("  Packet control WDM          {CONTROL_WDM}");

@@ -52,8 +52,7 @@ pub fn render_log_y(series: &[Series], width: usize, height: usize) -> String {
                 continue;
             }
             let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
-            let cy = ((y.ln() - ly_min) / (ly_max - ly_min) * (height - 1) as f64).round()
-                as usize;
+            let cy = ((y.ln() - ly_min) / (ly_max - ly_min) * (height - 1) as f64).round() as usize;
             grid[height - 1 - cy][cx.min(width - 1)] = s.marker;
         }
     }
@@ -92,7 +91,11 @@ mod tests {
     use super::*;
 
     fn series(points: Vec<(f64, f64)>) -> Series {
-        Series { label: "test".into(), marker: '*', points }
+        Series {
+            label: "test".into(),
+            marker: '*',
+            points,
+        }
     }
 
     #[test]
@@ -102,7 +105,11 @@ mod tests {
         let lines: Vec<&str> = chart.lines().collect();
         // 8 grid rows + axis + x labels + legend.
         assert_eq!(lines.len(), 8 + 2 + 1);
-        assert_eq!(chart.matches('*').count(), 3 + 1, "3 points + legend marker");
+        assert_eq!(
+            chart.matches('*').count(),
+            3 + 1,
+            "3 points + legend marker"
+        );
     }
 
     #[test]
@@ -131,8 +138,16 @@ mod tests {
 
     #[test]
     fn multiple_series_use_their_markers() {
-        let a = Series { label: "a".into(), marker: 'o', points: vec![(0.0, 1.0)] };
-        let b = Series { label: "b".into(), marker: 'x', points: vec![(1.0, 2.0)] };
+        let a = Series {
+            label: "a".into(),
+            marker: 'o',
+            points: vec![(0.0, 1.0)],
+        };
+        let b = Series {
+            label: "b".into(),
+            marker: 'x',
+            points: vec![(1.0, 2.0)],
+        };
         let chart = render_log_y(&[a, b], 20, 5);
         assert!(chart.contains('o'));
         assert!(chart.contains('x'));

@@ -7,6 +7,7 @@
 
 pub mod chart;
 pub mod report;
+pub mod timing;
 
 use phastlane_core::{PhastlaneConfig, PhastlaneNetwork};
 use phastlane_electrical::{ElectricalConfig, ElectricalNetwork};
@@ -80,15 +81,9 @@ impl Config {
             Config::Optical4 => Box::new(PhastlaneNetwork::new(PhastlaneConfig::optical4())),
             Config::Optical5 => Box::new(PhastlaneNetwork::new(PhastlaneConfig::optical5())),
             Config::Optical8 => Box::new(PhastlaneNetwork::new(PhastlaneConfig::optical8())),
-            Config::Optical4B32 => {
-                Box::new(PhastlaneNetwork::new(PhastlaneConfig::optical4_b32()))
-            }
-            Config::Optical4B64 => {
-                Box::new(PhastlaneNetwork::new(PhastlaneConfig::optical4_b64()))
-            }
-            Config::Optical4IB => {
-                Box::new(PhastlaneNetwork::new(PhastlaneConfig::optical4_ib()))
-            }
+            Config::Optical4B32 => Box::new(PhastlaneNetwork::new(PhastlaneConfig::optical4_b32())),
+            Config::Optical4B64 => Box::new(PhastlaneNetwork::new(PhastlaneConfig::optical4_b64())),
+            Config::Optical4IB => Box::new(PhastlaneNetwork::new(PhastlaneConfig::optical4_ib())),
             Config::Electrical3 => {
                 Box::new(ElectricalNetwork::new(ElectricalConfig::electrical3()))
             }
@@ -123,7 +118,11 @@ impl RunOutcome {
 pub fn run_on(config: Config, trace: &Trace) -> RunOutcome {
     let mut net = config.build();
     let result = run_trace(&mut net, trace, TraceOptions::default());
-    RunOutcome { config, result, stats: net.stats() }
+    RunOutcome {
+        config,
+        result,
+        stats: net.stats(),
+    }
 }
 
 /// Scales a benchmark's size for quick runs: `1.0` is the full trace.

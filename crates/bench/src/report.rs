@@ -15,7 +15,10 @@ pub struct CsvTable {
 impl CsvTable {
     /// Creates a table with the given column names.
     pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
-        CsvTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        CsvTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

@@ -1,0 +1,89 @@
+//! Minimal wall-clock microbenchmark runner for the `benches/` targets
+//! (which use `harness = false` and plain `main` functions, keeping the
+//! workspace free of external bench frameworks).
+//!
+//! Methodology: run the closure for a warm-up period, then repeat timed
+//! batches and report the **minimum** per-iteration time — the least
+//! noisy point estimate for short deterministic kernels.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall time per measurement batch.
+const BATCH_TARGET: Duration = Duration::from_millis(50);
+/// Number of measured batches; the minimum is reported.
+const BATCHES: u32 = 7;
+
+/// One measured benchmark result.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Best observed nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Total iterations executed across all batches.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Iterations per second at the best observed rate.
+    pub fn per_sec(&self) -> f64 {
+        if self.ns_per_iter > 0.0 {
+            1e9 / self.ns_per_iter
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Times `f`, printing a `name ... ns/iter` line, and returns the
+/// measurement. The closure's return value is passed through
+/// [`black_box`] so the work is not optimized away.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
+    // Warm-up + calibration: find an iteration count filling a batch.
+    let calib_start = Instant::now();
+    let mut calib_iters = 0u64;
+    while calib_start.elapsed() < BATCH_TARGET {
+        black_box(f());
+        calib_iters += 1;
+    }
+    let per_batch = calib_iters.max(1);
+
+    let mut best = f64::INFINITY;
+    let mut total_iters = calib_iters;
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..per_batch {
+            black_box(f());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / per_batch as f64;
+        best = best.min(ns);
+        total_iters += per_batch;
+    }
+
+    let m = Measurement {
+        ns_per_iter: best,
+        iters: total_iters,
+    };
+    println!(
+        "{name:<40} {:>14.1} ns/iter  ({:>12.0} /s)",
+        m.ns_per_iter,
+        m.per_sec()
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut acc = 0u64;
+        let m = bench("noop_add", || {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(m.ns_per_iter >= 0.0);
+        assert!(m.iters > 0);
+        assert!(m.per_sec() > 0.0);
+    }
+}

@@ -27,8 +27,30 @@ impl std::error::Error for ArgError {}
 /// Option keys that take a value; anything else starting with `--` is a
 /// boolean flag.
 pub const VALUE_KEYS: &[&str] = &[
-    "net", "benchmark", "workload", "scale", "pattern", "rate", "rates", "out", "mesh",
-    "hops", "buffers", "seed", "wavelengths", "efficiency", "max-cycles",
+    "net",
+    "benchmark",
+    "workload",
+    "scale",
+    "pattern",
+    "rate",
+    "rates",
+    "out",
+    "mesh",
+    "hops",
+    "buffers",
+    "seed",
+    "wavelengths",
+    "efficiency",
+    "max-cycles",
+    "trace-out",
+    "metrics-out",
+    "report-out",
+    "sample-interval",
+    "ring",
+    "severity",
+    "kind",
+    "node",
+    "limit",
 ];
 
 impl Parsed {

@@ -4,9 +4,11 @@ use crate::args::{ArgError, Parsed};
 use phastlane_core::{PhastlaneConfig, PhastlaneNetwork};
 use phastlane_electrical::{ElectricalConfig, ElectricalNetwork};
 use phastlane_netsim::harness::{
-    run_synthetic, run_trace, SyntheticOptions, Trace, TraceOptions,
+    run_synthetic_observed, run_trace, run_trace_observed, SyntheticOptions, Trace, TraceOptions,
 };
 use phastlane_netsim::network::Network;
+use phastlane_netsim::obs::json::JsonValue;
+use phastlane_netsim::obs::{MetricsCollector, RunReport, Severity, TraceBuffer};
 use phastlane_netsim::{Mesh, NodeId};
 use phastlane_photonics::delay::RouterDesign;
 use phastlane_photonics::power::PowerPoint;
@@ -63,10 +65,12 @@ pub fn parse_mesh(p: &Parsed) -> Result<Mesh, ArgError> {
             let (w, h) = s
                 .split_once('x')
                 .ok_or_else(|| ArgError(format!("--mesh expects WxH, got {s:?}")))?;
-            let w: u16 =
-                w.parse().map_err(|_| ArgError(format!("bad mesh width {w:?}")))?;
-            let h: u16 =
-                h.parse().map_err(|_| ArgError(format!("bad mesh height {h:?}")))?;
+            let w: u16 = w
+                .parse()
+                .map_err(|_| ArgError(format!("bad mesh width {w:?}")))?;
+            let h: u16 = h
+                .parse()
+                .map_err(|_| ArgError(format!("bad mesh height {h:?}")))?;
             if w == 0 || h == 0 {
                 return Err(ArgError("mesh dimensions must be positive".into()));
             }
@@ -75,13 +79,100 @@ pub fn parse_mesh(p: &Parsed) -> Result<Mesh, ArgError> {
     }
 }
 
+/// Observability options shared by `simulate` and `sweep`: where to
+/// export the event trace, metrics series, and run report, plus the
+/// sampling interval and trace bounds.
+struct ObsArgs {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    report_out: Option<String>,
+    sample_interval: u64,
+    ring: Option<usize>,
+    severity: Severity,
+}
+
+fn parse_obs(p: &Parsed) -> Result<ObsArgs, ArgError> {
+    let severity = match p.get("severity") {
+        None => Severity::Debug,
+        Some(s) => Severity::from_name(s)
+            .ok_or_else(|| ArgError(format!("unknown severity {s:?}; try debug, info, warn")))?,
+    };
+    let ring = match p.get("ring") {
+        None => None,
+        Some(_) => {
+            let n: usize = p.get_parsed("ring", 0)?;
+            if n == 0 {
+                return Err(ArgError("--ring requires a positive capacity".into()));
+            }
+            Some(n)
+        }
+    };
+    let sample_interval: u64 = p.get_parsed("sample-interval", 100)?;
+    if sample_interval == 0 {
+        return Err(ArgError("--sample-interval must be positive".into()));
+    }
+    Ok(ObsArgs {
+        trace_out: p.get("trace-out").map(str::to_string),
+        metrics_out: p.get("metrics-out").map(str::to_string),
+        report_out: p.get("report-out").map(str::to_string),
+        sample_interval,
+        ring,
+        severity,
+    })
+}
+
+impl ObsArgs {
+    fn make_buffer(&self) -> TraceBuffer {
+        let b = match self.ring {
+            Some(n) => TraceBuffer::ring(n),
+            None => TraceBuffer::new(),
+        };
+        b.with_min_severity(self.severity)
+    }
+
+    fn make_metrics(&self, nodes: usize) -> Option<MetricsCollector> {
+        self.metrics_out
+            .as_ref()
+            .map(|_| MetricsCollector::new(self.sample_interval, nodes))
+    }
+}
+
+/// Writes a JSON or CSV export, picked by the `.csv` extension.
+fn write_export(
+    path: &str,
+    json: &JsonValue,
+    csv: impl FnOnce() -> String,
+) -> Result<(), ArgError> {
+    let body = if path.ends_with(".csv") {
+        csv()
+    } else {
+        let mut s = json.to_string_pretty();
+        if !s.ends_with('\n') {
+            s.push('\n');
+        }
+        s
+    };
+    std::fs::write(path, body).map_err(|e| ArgError(format!("cannot write {path}: {e}")))
+}
+
+/// Derives a per-rate output path when a sweep covers several rates
+/// (so exports do not overwrite each other).
+fn rate_path(path: &str, rate: f64, multi: bool) -> String {
+    if !multi {
+        return path.to_string();
+    }
+    match path.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}-r{rate}.{ext}"),
+        None => format!("{path}-r{rate}"),
+    }
+}
+
 fn load_benchmark_trace(p: &Parsed, mesh: Mesh) -> Result<(String, Trace), ArgError> {
     let name = p.get("benchmark").unwrap_or("FFT");
     let scale: f64 = p.get_parsed("scale", 0.25)?;
     let mut profile = splash2::benchmark(name)
         .ok_or_else(|| ArgError(format!("unknown benchmark {name:?} (see Table 3)")))?;
-    profile.misses_per_core =
-        ((profile.misses_per_core as f64 * scale).round() as usize).max(2);
+    profile.misses_per_core = ((profile.misses_per_core as f64 * scale).round() as usize).max(2);
     if mesh != Mesh::PAPER {
         profile.active_cores = profile.active_cores.min(mesh.nodes());
     }
@@ -95,10 +186,20 @@ fn load_benchmark_trace(p: &Parsed, mesh: Mesh) -> Result<(String, Trace), ArgEr
 /// Propagates argument errors.
 pub fn cmd_simulate(p: &Parsed) -> Result<String, ArgError> {
     let mesh = parse_mesh(p)?;
+    let obs = parse_obs(p)?;
     let (name, trace) = load_benchmark_trace(p, mesh)?;
     let mut net = build_network(p.get("net").unwrap_or("optical4"), mesh)?;
     let max_cycles: u64 = p.get_parsed("max-cycles", 10_000_000)?;
-    let r = run_trace(&mut net, &trace, TraceOptions { max_cycles });
+    if obs.trace_out.is_some() {
+        net.set_trace(obs.make_buffer());
+    }
+    let mut metrics = obs.make_metrics(mesh.nodes());
+    let r = run_trace_observed(
+        &mut net,
+        &trace,
+        TraceOptions { max_cycles },
+        metrics.as_mut(),
+    );
     let stats = net.stats();
     let mut out = String::new();
     out.push_str(&format!(
@@ -126,6 +227,47 @@ pub fn cmd_simulate(p: &Parsed) -> Result<String, ArgError> {
         r.energy.link_pj,
         r.energy.leakage_pj,
     ));
+    out.push_str(&format!(
+        "sim speed: {:.0} cycles/s ({:.3} s wall)\n",
+        r.perf.cycles_per_sec(),
+        r.perf.wall_seconds
+    ));
+    if let Some(path) = &obs.trace_out {
+        let tb = net.take_trace().unwrap_or_default();
+        write_export(path, &tb.to_json(), || tb.to_csv())?;
+        out.push_str(&format!(
+            "trace: {} events ({} evicted, {} filtered) -> {path}\n",
+            tb.len(),
+            tb.evicted(),
+            tb.filtered()
+        ));
+    }
+    if let (Some(path), Some(m)) = (&obs.metrics_out, metrics) {
+        let series = m.into_series();
+        write_export(path, &series.to_json(), || series.to_csv())?;
+        out.push_str(&format!(
+            "metrics: {} samples -> {path}\n",
+            series.samples.len()
+        ));
+    }
+    if let Some(path) = &obs.report_out {
+        let report = RunReport {
+            network: net.name(),
+            width: mesh.width(),
+            height: mesh.height(),
+            seed: None,
+            cycles: r.completion_cycle,
+            stats,
+            energy: r.energy,
+            perf: r.perf,
+            extra: vec![
+                ("benchmark".into(), JsonValue::Str(name)),
+                ("messages".into(), JsonValue::Uint(trace.len() as u64)),
+            ],
+        };
+        write_export(path, &report.to_json(), || report.to_csv())?;
+        out.push_str(&format!("report -> {path}\n"));
+    }
     Ok(out)
 }
 
@@ -166,14 +308,22 @@ pub fn cmd_compare(p: &Parsed) -> Result<String, ArgError> {
 /// Propagates argument errors.
 pub fn cmd_sweep(p: &Parsed) -> Result<String, ArgError> {
     let mesh = parse_mesh(p)?;
-    let pattern = match p.get("pattern").unwrap_or("uniform").to_ascii_lowercase().as_str() {
+    let pattern = match p
+        .get("pattern")
+        .unwrap_or("uniform")
+        .to_ascii_lowercase()
+        .as_str()
+    {
         "uniform" => Pattern::Uniform,
         "bitcomp" => Pattern::BitComplement,
         "bitrev" => Pattern::BitReverse,
         "shuffle" => Pattern::Shuffle,
         "transpose" => Pattern::Transpose,
         "neighbor" => Pattern::NearestNeighbor,
-        "hotspot" => Pattern::Hotspot { target: NodeId(0), fraction: 0.3 },
+        "hotspot" => Pattern::Hotspot {
+            target: NodeId(0),
+            fraction: 0.3,
+        },
         other => return Err(ArgError(format!("unknown pattern {other:?}"))),
     };
     let rates: Vec<f64> = match p.get("rates") {
@@ -187,25 +337,82 @@ pub fn cmd_sweep(p: &Parsed) -> Result<String, ArgError> {
             .collect::<Result<_, _>>()?,
     };
     let net_name = p.get("net").unwrap_or("optical4");
-    let mut out = format!("{} on {net_name} ({}x{})\n", pattern.label(), mesh.width(), mesh.height());
+    let obs = parse_obs(p)?;
+    let seed: u64 = p.get_parsed("seed", 7)?;
+    let multi = rates.len() > 1;
+    let mut out = format!(
+        "{} on {net_name} ({}x{})\n",
+        pattern.label(),
+        mesh.width(),
+        mesh.height()
+    );
     out.push_str(&format!(
         "{:>8} {:>10} {:>8} {:>10}\n",
         "rate", "latency", "p99", "delivered"
     ));
     for rate in rates {
         let mut net = build_network(net_name, mesh)?;
-        let mut w = BernoulliTraffic::new(mesh, pattern, rate, p.get_parsed("seed", 7u64)?);
-        let r = run_synthetic(
+        if obs.trace_out.is_some() {
+            net.set_trace(obs.make_buffer());
+        }
+        let mut metrics = obs.make_metrics(mesh.nodes());
+        let mut w = BernoulliTraffic::new(mesh, pattern, rate, seed);
+        let r = run_synthetic_observed(
             &mut net,
             &mut w,
-            SyntheticOptions { warmup: 500, measure: 2_000, drain: 6_000 },
+            SyntheticOptions {
+                warmup: 500,
+                measure: 2_000,
+                drain: 6_000,
+            },
+            metrics.as_mut(),
         );
         out.push_str(&format!(
             "{rate:>8.3} {:>10.2} {:>8} {:>10.3}\n",
             r.latency.mean().unwrap_or(f64::NAN),
-            r.latency.percentile(99.0).map_or("-".into(), |v| v.to_string()),
+            r.latency
+                .percentile(99.0)
+                .map_or("-".into(), |v| v.to_string()),
             r.delivered_rate
         ));
+        if let Some(path) = &obs.trace_out {
+            let path = rate_path(path, rate, multi);
+            let tb = net.take_trace().unwrap_or_default();
+            write_export(&path, &tb.to_json(), || tb.to_csv())?;
+            out.push_str(&format!("  trace: {} events -> {path}\n", tb.len()));
+        }
+        if let (Some(path), Some(m)) = (&obs.metrics_out, metrics) {
+            let path = rate_path(path, rate, multi);
+            let series = m.into_series();
+            write_export(&path, &series.to_json(), || series.to_csv())?;
+            out.push_str(&format!(
+                "  metrics: {} samples -> {path}\n",
+                series.samples.len()
+            ));
+        }
+        if let Some(path) = &obs.report_out {
+            let path = rate_path(path, rate, multi);
+            let report = RunReport {
+                network: net.name(),
+                width: mesh.width(),
+                height: mesh.height(),
+                seed: Some(seed),
+                cycles: r.perf.cycles,
+                stats: net.stats(),
+                energy: r.energy,
+                perf: r.perf,
+                extra: vec![
+                    (
+                        "pattern".into(),
+                        JsonValue::Str(pattern.label().to_string()),
+                    ),
+                    ("offered_rate".into(), JsonValue::Num(rate)),
+                    ("delivered_rate".into(), JsonValue::Num(r.delivered_rate)),
+                ],
+            };
+            write_export(&path, &report.to_json(), || report.to_csv())?;
+            out.push_str(&format!("  report -> {path}\n"));
+        }
     }
     Ok(out)
 }
@@ -223,17 +430,19 @@ pub fn cmd_trace(p: &Parsed) -> Result<String, ArgError> {
             let mesh = parse_mesh(p)?;
             let (name, trace) = load_benchmark_trace(p, mesh)?;
             let out_path = p.get("out").unwrap_or("trace.txt").to_string();
-            std::fs::write(&out_path, phastlane_traffic::codec::encode(&trace))
-                .map_err(io_err)?;
-            Ok(format!("{name}: wrote {} messages to {out_path}\n", trace.len()))
+            std::fs::write(&out_path, phastlane_traffic::codec::encode(&trace)).map_err(io_err)?;
+            Ok(format!(
+                "{name}: wrote {} messages to {out_path}\n",
+                trace.len()
+            ))
         }
         Some("info") => {
             let path = p
                 .positional(2)
                 .ok_or_else(|| ArgError("trace info <file>".into()))?;
             let text = std::fs::read_to_string(path).map_err(io_err)?;
-            let trace = phastlane_traffic::codec::decode(&text)
-                .map_err(|e| ArgError(e.to_string()))?;
+            let trace =
+                phastlane_traffic::codec::decode(&text).map_err(|e| ArgError(e.to_string()))?;
             let mix = phastlane_traffic::coherence::summarize(&trace);
             Ok(format!(
                 "{path}: {} messages ({} requests, {} responses, {} writebacks, {} barrier)\n",
@@ -249,8 +458,8 @@ pub fn cmd_trace(p: &Parsed) -> Result<String, ArgError> {
                 .positional(2)
                 .ok_or_else(|| ArgError("trace replay <file> [--net N]".into()))?;
             let text = std::fs::read_to_string(path).map_err(io_err)?;
-            let trace = phastlane_traffic::codec::decode(&text)
-                .map_err(|e| ArgError(e.to_string()))?;
+            let trace =
+                phastlane_traffic::codec::decode(&text).map_err(|e| ArgError(e.to_string()))?;
             let mesh = parse_mesh(p)?;
             let mut net = build_network(p.get("net").unwrap_or("optical4"), mesh)?;
             let r = run_trace(&mut net, &trace, TraceOptions::default());
@@ -267,6 +476,102 @@ pub fn cmd_trace(p: &Parsed) -> Result<String, ArgError> {
     }
 }
 
+/// `phastlane trace-dump`: inspect a JSON event trace written by
+/// `--trace-out` — per-kind histogram plus (optionally filtered) event
+/// listing.
+///
+/// # Errors
+///
+/// Propagates argument, I/O, and parse errors.
+pub fn cmd_trace_dump(p: &Parsed) -> Result<String, ArgError> {
+    let path = p.positional(1).ok_or_else(|| {
+        ArgError("trace-dump <file.json> [--kind K] [--node N] [--limit L] [--counts]".into())
+    })?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let json =
+        phastlane_netsim::obs::json::parse(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    let events = json
+        .get("events")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| ArgError(format!("{path}: not a trace export (no \"events\" array)")))?;
+
+    let kind_filter = match p.get("kind") {
+        None => None,
+        Some(k) => Some(
+            phastlane_netsim::obs::EventKind::from_name(k)
+                .ok_or_else(|| ArgError(format!("unknown event kind {k:?}")))?
+                .name(),
+        ),
+    };
+    let node_filter: Option<u64> = match p.get("node") {
+        None => None,
+        Some(_) => Some(p.get_parsed("node", 0)?),
+    };
+    let limit: usize = p.get_parsed("limit", 40)?;
+
+    let mut out = String::new();
+    let stat = |k: &str| json.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+    out.push_str(&format!(
+        "{path}: {} events retained ({} recorded, {} evicted, {} filtered)\n",
+        events.len(),
+        stat("recorded"),
+        stat("evicted"),
+        stat("filtered"),
+    ));
+
+    // Per-kind histogram over the retained events.
+    let mut counts: Vec<(String, u64)> = Vec::new();
+    for e in events {
+        let kind = e.get("kind").and_then(JsonValue::as_str).unwrap_or("?");
+        match counts.iter_mut().find(|(k, _)| k == kind) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((kind.to_string(), 1)),
+        }
+    }
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    for (kind, c) in &counts {
+        out.push_str(&format!("{kind:>20} {c:>8}\n"));
+    }
+    if p.flag("counts") {
+        return Ok(out);
+    }
+
+    out.push_str(&format!(
+        "\n{:>10} {:>20} {:>5} {:>6} {:>8}\n",
+        "cycle", "kind", "node", "port", "packet"
+    ));
+    let mut shown = 0usize;
+    for e in events {
+        let kind = e.get("kind").and_then(JsonValue::as_str).unwrap_or("?");
+        if kind_filter.is_some_and(|k| k != kind) {
+            continue;
+        }
+        let node = e.get("node").and_then(JsonValue::as_u64);
+        if node_filter.is_some() && node != node_filter {
+            continue;
+        }
+        if shown == limit {
+            out.push_str("... (raise --limit for more)\n");
+            break;
+        }
+        shown += 1;
+        let opt_u = |k: &str| {
+            e.get(k)
+                .and_then(JsonValue::as_u64)
+                .map_or("-".to_string(), |v| v.to_string())
+        };
+        out.push_str(&format!(
+            "{:>10} {kind:>20} {:>5} {:>6} {:>8}\n",
+            opt_u("cycle"),
+            opt_u("node"),
+            e.get("port").and_then(JsonValue::as_str).unwrap_or("-"),
+            opt_u("packet"),
+        ));
+    }
+    Ok(out)
+}
+
 /// `phastlane design`: the §3 analytic models from the command line.
 ///
 /// # Errors
@@ -278,9 +583,16 @@ pub fn cmd_design(p: &Parsed) -> Result<String, ArgError> {
     let hops: u32 = p.get_parsed("hops", 4)?;
     let eff: f64 = p.get_parsed("efficiency", 0.98)?;
     let mut out = String::new();
-    out.push_str(&format!("wavelengths: {wavelengths}, waveguides: {}\n", wdm.total_waveguides()));
+    out.push_str(&format!(
+        "wavelengths: {wavelengths}, waveguides: {}\n",
+        wdm.total_waveguides()
+    ));
     for s in Scaling::ALL {
-        let d = RouterDesign { wdm, scaling: s, node: phastlane_photonics::units::TechNode::NM16 };
+        let d = RouterDesign {
+            wdm,
+            scaling: s,
+            node: phastlane_photonics::units::TechNode::NM16,
+        };
         out.push_str(&format!(
             "{s:12}: {} hops per 4 GHz cycle\n",
             d.max_hops_per_cycle()
@@ -308,13 +620,24 @@ USAGE:
   phastlane trace gen    [--benchmark B] [--scale S] [--out FILE]
   phastlane trace info   FILE
   phastlane trace replay FILE [--net N]
+  phastlane trace-dump FILE.json [--kind K] [--node N] [--limit L] [--counts]
   phastlane design   [--wavelengths W] [--hops H] [--efficiency E]
+
+observability (simulate, sweep):
+  --trace-out FILE      export the cycle-accurate event trace (.json or .csv)
+  --metrics-out FILE    export interval-sampled time-series metrics
+  --report-out FILE     export the structured run report
+  --sample-interval C   metrics window in cycles (default 100)
+  --ring N              keep only the latest N trace events
+  --severity S          trace floor: debug (default), info, warn
 
 networks: optical4 optical5 optical8 optical4b32 optical4b64 optical4ib
           optical4sp50 electrical2 electrical3
 benchmarks: Barnes Cholesky FFT LU Ocean Radix Raytrace
             Water-NSquared Water-Spatial FMM
 patterns: uniform bitcomp bitrev shuffle transpose neighbor hotspot
+event kinds: inject nic_retry optical_transit link_traversal
+             electrical_fallback buffer_overflow drop_return retransmit eject
 "
 }
 
@@ -329,9 +652,12 @@ pub fn dispatch(p: &Parsed) -> Result<String, ArgError> {
         Some("compare") => cmd_compare(p),
         Some("sweep") => cmd_sweep(p),
         Some("trace") => cmd_trace(p),
+        Some("trace-dump") => cmd_trace_dump(p),
         Some("design") => cmd_design(p),
         Some("help") | None => Ok(usage().to_string()),
-        Some(other) => Err(ArgError(format!("unknown command {other:?}; try `phastlane help`"))),
+        Some(other) => Err(ArgError(format!(
+            "unknown command {other:?}; try `phastlane help`"
+        ))),
     }
 }
 
@@ -381,7 +707,15 @@ mod tests {
 
     #[test]
     fn simulate_small_benchmark_runs() {
-        let p = parsed(&["simulate", "--benchmark", "LU", "--scale", "0.02", "--net", "optical4"]);
+        let p = parsed(&[
+            "simulate",
+            "--benchmark",
+            "LU",
+            "--scale",
+            "0.02",
+            "--net",
+            "optical4",
+        ]);
         let out = dispatch(&p).expect("runs");
         assert!(out.contains("LU on Optical4"));
         assert!(out.contains("completion:"));
@@ -415,14 +749,26 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let file = dir.join("t.trace");
         let gen = parsed(&[
-            "trace", "gen", "--benchmark", "FFT", "--scale", "0.02", "--out",
+            "trace",
+            "gen",
+            "--benchmark",
+            "FFT",
+            "--scale",
+            "0.02",
+            "--out",
             file.to_str().unwrap(),
         ]);
         dispatch(&gen).expect("gen");
         let info = parsed(&["trace", "info", file.to_str().unwrap()]);
         let out = dispatch(&info).expect("info");
         assert!(out.contains("messages"));
-        let replay = parsed(&["trace", "replay", file.to_str().unwrap(), "--net", "optical4"]);
+        let replay = parsed(&[
+            "trace",
+            "replay",
+            file.to_str().unwrap(),
+            "--net",
+            "optical4",
+        ]);
         let out = dispatch(&replay).expect("replay");
         assert!(out.contains("cycles"));
     }

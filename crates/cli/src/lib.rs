@@ -1,0 +1,9 @@
+//! `phastlane` — command-line interface to the Phastlane (ISCA 2009)
+//! reproduction: run simulations, sweeps, trace workflows, and the §3
+//! design-space models without writing Rust.
+//!
+//! The binary in `main.rs` is a thin wrapper; everything lives here so
+//! integration tests can drive the real command path in-process.
+
+pub mod args;
+pub mod commands;

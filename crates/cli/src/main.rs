@@ -1,10 +1,6 @@
-//! `phastlane` — command-line interface to the Phastlane (ISCA 2009)
-//! reproduction: run simulations, sweeps, trace workflows, and the §3
-//! design-space models without writing Rust.
+//! Thin binary wrapper; see `lib.rs` for the command implementations.
 
-mod args;
-mod commands;
-
+use phastlane_cli::{args, commands};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

@@ -85,9 +85,15 @@ impl ChannelMap {
     pub fn control_channel(&self, bit: u32) -> Channel {
         assert!(bit < 70, "control bit {bit} out of range");
         if bit < CONTROL_WDM {
-            Channel { waveguide: Waveguide::C0, wavelength: (bit + 1) as u16 }
+            Channel {
+                waveguide: Waveguide::C0,
+                wavelength: (bit + 1) as u16,
+            }
         } else {
-            Channel { waveguide: Waveguide::C1, wavelength: (bit - CONTROL_WDM + 1) as u16 }
+            Channel {
+                waveguide: Waveguide::C1,
+                wavelength: (bit - CONTROL_WDM + 1) as u16,
+            }
         }
     }
 
@@ -109,7 +115,10 @@ impl ChannelMap {
                     })
                 }
             }
-            Waveguide::C1 => Some(Channel { waveguide: Waveguide::C0, ..input }),
+            Waveguide::C1 => Some(Channel {
+                waveguide: Waveguide::C0,
+                ..input
+            }),
             Waveguide::Data(_) => Some(input),
         }
     }
@@ -158,19 +167,31 @@ mod tests {
         let m = map();
         assert_eq!(
             m.payload_channel(0),
-            Channel { waveguide: Waveguide::Data(0), wavelength: 1 }
+            Channel {
+                waveguide: Waveguide::Data(0),
+                wavelength: 1
+            }
         );
         assert_eq!(
             m.payload_channel(63),
-            Channel { waveguide: Waveguide::Data(0), wavelength: 64 }
+            Channel {
+                waveguide: Waveguide::Data(0),
+                wavelength: 64
+            }
         );
         assert_eq!(
             m.payload_channel(64),
-            Channel { waveguide: Waveguide::Data(1), wavelength: 1 }
+            Channel {
+                waveguide: Waveguide::Data(1),
+                wavelength: 1
+            }
         );
         assert_eq!(
             m.payload_channel(639),
-            Channel { waveguide: Waveguide::Data(9), wavelength: 64 }
+            Channel {
+                waveguide: Waveguide::Data(9),
+                wavelength: 64
+            }
         );
     }
 
@@ -189,20 +210,32 @@ mod tests {
         // Group 1 = bits 0..5 on C0 λ1-λ5.
         assert_eq!(
             m.control_channel(0),
-            Channel { waveguide: Waveguide::C0, wavelength: 1 }
+            Channel {
+                waveguide: Waveguide::C0,
+                wavelength: 1
+            }
         );
         assert_eq!(
             m.control_channel(34),
-            Channel { waveguide: Waveguide::C0, wavelength: 35 }
+            Channel {
+                waveguide: Waveguide::C0,
+                wavelength: 35
+            }
         );
         // Group 8 starts C1.
         assert_eq!(
             m.control_channel(35),
-            Channel { waveguide: Waveguide::C1, wavelength: 1 }
+            Channel {
+                waveguide: Waveguide::C1,
+                wavelength: 1
+            }
         );
         assert_eq!(
             m.control_channel(69),
-            Channel { waveguide: Waveguide::C1, wavelength: 35 }
+            Channel {
+                waveguide: Waveguide::C1,
+                wavelength: 35
+            }
         );
     }
 
@@ -212,22 +245,40 @@ mod tests {
         // Group 1 channels vanish.
         for wl in 1..=5 {
             assert_eq!(
-                m.translate(Channel { waveguide: Waveguide::C0, wavelength: wl }),
+                m.translate(Channel {
+                    waveguide: Waveguide::C0,
+                    wavelength: wl
+                }),
                 None
             );
         }
         // C0 λ6 -> outgoing C1 λ1 (frequency translation).
         assert_eq!(
-            m.translate(Channel { waveguide: Waveguide::C0, wavelength: 6 }),
-            Some(Channel { waveguide: Waveguide::C1, wavelength: 1 })
+            m.translate(Channel {
+                waveguide: Waveguide::C0,
+                wavelength: 6
+            }),
+            Some(Channel {
+                waveguide: Waveguide::C1,
+                wavelength: 1
+            })
         );
         // C1 shifts physically into the C0 position, same wavelength.
         assert_eq!(
-            m.translate(Channel { waveguide: Waveguide::C1, wavelength: 12 }),
-            Some(Channel { waveguide: Waveguide::C0, wavelength: 12 })
+            m.translate(Channel {
+                waveguide: Waveguide::C1,
+                wavelength: 12
+            }),
+            Some(Channel {
+                waveguide: Waveguide::C0,
+                wavelength: 12
+            })
         );
         // Data channels pass through.
-        let d = Channel { waveguide: Waveguide::Data(4), wavelength: 9 };
+        let d = Channel {
+            waveguide: Waveguide::Data(4),
+            wavelength: 9,
+        };
         assert_eq!(m.translate(d), Some(d));
     }
 
@@ -247,7 +298,11 @@ mod tests {
                 .filter(|(_, ch)| ch.waveguide == Waveguide::C0 && ch.wavelength <= 5)
                 .map(|&(pos, _)| pos)
                 .collect();
-            assert_eq!(at_group1.len(), 1, "router {router}: exactly one group at Group 1");
+            assert_eq!(
+                at_group1.len(),
+                1,
+                "router {router}: exactly one group at Group 1"
+            );
             assert_eq!(
                 at_group1[0],
                 group_position_for_router(router),
@@ -278,7 +333,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let c = Channel { waveguide: Waveguide::Data(3), wavelength: 17 };
+        let c = Channel {
+            waveguide: Waveguide::Data(3),
+            wavelength: 17,
+        };
         assert_eq!(c.to_string(), "D3:λ17");
         assert_eq!(Waveguide::C0.to_string(), "C0");
     }

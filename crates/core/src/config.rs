@@ -79,7 +79,11 @@ impl BackoffPolicy {
 
 impl Default for BackoffPolicy {
     fn default() -> Self {
-        BackoffPolicy { base: 1, jitter: 4, max_exponent: 5 }
+        BackoffPolicy {
+            base: 1,
+            jitter: 4,
+            max_exponent: 5,
+        }
     }
 }
 
@@ -246,7 +250,11 @@ mod tests {
 
     #[test]
     fn backoff_grows_with_attempts() {
-        let b = BackoffPolicy { base: 1, jitter: 4, max_exponent: 3 };
+        let b = BackoffPolicy {
+            base: 1,
+            jitter: 4,
+            max_exponent: 3,
+        };
         // roll chosen as window-1 to see the maximum delay per attempt.
         let max_delay = |attempt: u32| {
             let window = 4u64 << attempt.min(3);
@@ -260,7 +268,11 @@ mod tests {
 
     #[test]
     fn backoff_zero_jitter() {
-        let b = BackoffPolicy { base: 3, jitter: 0, max_exponent: 2 };
+        let b = BackoffPolicy {
+            base: 3,
+            jitter: 0,
+            max_exponent: 2,
+        };
         assert_eq!(b.delay(5, 12345), 3);
     }
 

@@ -57,7 +57,13 @@ impl ControlGroup {
     /// The five bits in wire order (Straight, Left, Right, Local,
     /// Multicast).
     pub fn bits(&self) -> [bool; 5] {
-        [self.straight, self.left, self.right, self.local, self.multicast]
+        [
+            self.straight,
+            self.left,
+            self.right,
+            self.local,
+            self.multicast,
+        ]
     }
 }
 
@@ -118,7 +124,10 @@ impl RouteControl {
         // responsibility rather than consume the packet (§2.1.3). Model
         // the continuation as one trailing group.
         if plan.ends_at_interim() {
-            groups.push(ControlGroup { local: true, ..ControlGroup::default() });
+            groups.push(ControlGroup {
+                local: true,
+                ..ControlGroup::default()
+            });
         }
         assert!(
             groups.len() <= MAX_GROUPS,
@@ -129,7 +138,10 @@ impl RouteControl {
     }
 
     fn encode_step(step: &PlanStep) -> ControlGroup {
-        let mut g = ControlGroup { multicast: step.tap, ..ControlGroup::default() };
+        let mut g = ControlGroup {
+            multicast: step.tap,
+            ..ControlGroup::default()
+        };
         match step.exit {
             StepExit::Forward(out) => {
                 let entry = step.entry.expect("non-launch steps have an entry");
@@ -170,7 +182,9 @@ impl RouteControl {
     /// λ6–λ35 translate to λ1–λ30 on the outgoing C1, which physically
     /// becomes C0).
     pub fn translate(&self) -> RouteControl {
-        RouteControl { groups: self.groups.iter().skip(1).copied().collect() }
+        RouteControl {
+            groups: self.groups.iter().skip(1).copied().collect(),
+        }
     }
 
     /// Decodes Group 1 relative to the packet's entry direction.
@@ -202,7 +216,10 @@ impl RouteControl {
         } else {
             turn_right(entry)
         };
-        Ok(DecodedAction::Forward { out, tap: g.multicast })
+        Ok(DecodedAction::Forward {
+            out,
+            tap: g.multicast,
+        })
     }
 
     /// The 35 bit values on the C0 waveguide (Groups 1–7), λ1 first.
@@ -276,7 +293,11 @@ mod tests {
             ctl = ctl.translate();
         }
         if plan.ends_at_interim() {
-            assert_eq!(ctl.len(), 1, "continuation sentinel remains after an interim stop");
+            assert_eq!(
+                ctl.len(),
+                1,
+                "continuation sentinel remains after an interim stop"
+            );
         } else {
             assert!(ctl.is_empty(), "all groups consumed");
         }
@@ -338,13 +359,19 @@ mod tests {
 
     #[test]
     fn decode_empty_errors() {
-        let err = RouteControl::default().decode(Direction::North).unwrap_err();
+        let err = RouteControl::default()
+            .decode(Direction::North)
+            .unwrap_err();
         assert!(err.to_string().contains("no control groups"));
     }
 
     #[test]
     fn malformed_group_rejected() {
-        let g = ControlGroup { straight: true, left: true, ..Default::default() };
+        let g = ControlGroup {
+            straight: true,
+            left: true,
+            ..Default::default()
+        };
         assert!(!g.is_well_formed());
         let ctl = RouteControl { groups: vec![g] };
         assert!(ctl.decode(Direction::North).is_err());
@@ -352,7 +379,10 @@ mod tests {
 
     #[test]
     fn stop_only_group_is_well_formed() {
-        let g = ControlGroup { local: true, ..Default::default() };
+        let g = ControlGroup {
+            local: true,
+            ..Default::default()
+        };
         assert!(g.is_well_formed());
         let g2 = ControlGroup::default();
         assert!(!g2.is_well_formed(), "no direction and no local is dead");

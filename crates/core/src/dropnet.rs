@@ -74,7 +74,8 @@ impl ReturnPath {
     /// The node the signal terminates at (the responsible launcher).
     pub fn destination(&self, mesh: Mesh) -> NodeId {
         let &(router, dir) = self.hops.last().expect("return paths have >= 1 hop");
-        mesh.neighbor(router, dir).expect("path stays inside the mesh")
+        mesh.neighbor(router, dir)
+            .expect("path stays inside the mesh")
     }
 
     /// Number of links the signal traverses.
@@ -113,7 +114,11 @@ pub struct ReturnPathOverlap {
 
 impl fmt::Display for ReturnPathOverlap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "return paths overlap on link {}-{}>", self.link.0, self.link.1)
+        write!(
+            f,
+            "return paths overlap on link {}-{}>",
+            self.link.0, self.link.1
+        )
     }
 }
 
@@ -175,7 +180,10 @@ mod tests {
         assert_eq!(rp.len(), 3);
         assert_eq!(rp.destination(mesh()), NodeId(0));
         let hops: Vec<_> = rp.links().collect();
-        assert_eq!(hops, vec![(NodeId(3), West), (NodeId(2), West), (NodeId(1), West)]);
+        assert_eq!(
+            hops,
+            vec![(NodeId(3), West), (NodeId(2), West), (NodeId(1), West)]
+        );
     }
 
     #[test]
@@ -220,7 +228,8 @@ mod tests {
         let a = ReturnPath::from_forward_trail(mesh(), &[(NodeId(0), East)]);
         let b = ReturnPath::from_forward_trail(mesh(), &[(NodeId(2), West)]);
         reg.register(&a).expect("ok");
-        reg.register(&b).expect("opposite senses are distinct links");
+        reg.register(&b)
+            .expect("opposite senses are distinct links");
     }
 
     #[test]
@@ -232,10 +241,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "does not chain")]
     fn broken_trail_rejected() {
-        let _ = ReturnPath::from_forward_trail(
-            mesh(),
-            &[(NodeId(0), East), (NodeId(5), East)],
-        );
+        let _ = ReturnPath::from_forward_trail(mesh(), &[(NodeId(0), East), (NodeId(5), East)]);
     }
 
     #[test]

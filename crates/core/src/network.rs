@@ -31,12 +31,12 @@ use crate::router::{Entry, PacketCore, RouterState};
 use phastlane_netsim::geometry::{Direction, Mesh, NodeId};
 use phastlane_netsim::network::Network;
 use phastlane_netsim::nic::Nic;
+use phastlane_netsim::obs::{EventKind, Obs, TraceBuffer};
 use phastlane_netsim::packet::{Delivery, NewPacket, PacketId};
+use phastlane_netsim::rng::SimRng;
 use phastlane_netsim::routing::{classify_turn, xy_first_hop, Turn};
 use phastlane_netsim::stats::{EnergyReport, NetworkStats};
 use phastlane_netsim::telemetry::LinkCounters;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
 
 /// An in-flight optical packet during one cycle's wavefront.
@@ -81,11 +81,13 @@ pub struct PhastlaneNetwork {
     drop_map: HashMap<u64, VecDeque<NodeId>>,
     energy: EnergyLedger,
     stats: NetworkStats,
-    rng: StdRng,
+    rng: SimRng,
     /// Per-cycle drop-signal link tracker (footnote-4 invariant).
     return_paths: ReturnPathRegistry,
     /// Cumulative per-link traversal counts.
     links: LinkCounters,
+    /// Observability handle: one branch per emit site when disabled.
+    obs: Obs,
 }
 
 impl PhastlaneNetwork {
@@ -94,9 +96,8 @@ impl PhastlaneNetwork {
         let nodes = cfg.mesh.nodes();
         let routers = (0..nodes).map(|_| RouterState::new(cfg.buffers)).collect();
         let nics = (0..nodes).map(|_| Nic::new(cfg.nic_entries)).collect();
-        let energy =
-            EnergyLedger::new(nodes, cfg.wdm, cfg.max_hops, cfg.crossing_efficiency);
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let energy = EnergyLedger::new(nodes, cfg.wdm, cfg.max_hops, cfg.crossing_efficiency);
+        let rng = SimRng::seed_from_u64(cfg.seed);
         PhastlaneNetwork {
             cfg,
             cycle: 0,
@@ -112,6 +113,7 @@ impl PhastlaneNetwork {
             rng,
             return_paths: ReturnPathRegistry::new(),
             links: LinkCounters::new(),
+            obs: Obs::off(),
         }
     }
 
@@ -139,19 +141,26 @@ impl PhastlaneNetwork {
         uid
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn deliver(
         outstanding: &mut HashMap<PacketId, usize>,
         deliveries: &mut Vec<Delivery>,
         stats: &mut NetworkStats,
         energy: &mut EnergyLedger,
+        obs: &mut Obs,
         flight: &mut Flight,
         at: NodeId,
         now: u64,
     ) {
         energy.on_receive();
+        obs.emit(now, EventKind::Eject, at, None, Some(flight.core.id));
         let before = flight.remaining.len();
         flight.remaining.retain(|&t| t != at);
-        debug_assert_eq!(flight.remaining.len() + 1, before, "delivery target {at} not in itinerary");
+        debug_assert_eq!(
+            flight.remaining.len() + 1,
+            before,
+            "delivery target {at} not in itinerary"
+        );
         let delivered_cycle = now + 1;
         deliveries.push(Delivery {
             packet: flight.core.id,
@@ -183,6 +192,7 @@ impl PhastlaneNetwork {
         return_paths: &mut ReturnPathRegistry,
         stats: &mut NetworkStats,
         energy: &mut EnergyLedger,
+        obs: &mut Obs,
         next_uid: &mut u64,
         flight: &mut Flight,
         router: NodeId,
@@ -199,6 +209,13 @@ impl PhastlaneNetwork {
         let qi = RouterState::input_queue(entry_dir);
         let state = &mut routers[router.index()];
         if state.has_room(qi) {
+            obs.emit(
+                now,
+                EventKind::ElectricalFallback,
+                router,
+                Some(entry_dir),
+                Some(flight.core.id),
+            );
             energy.on_receive();
             energy.on_buffer_write();
             let uid = *next_uid;
@@ -214,6 +231,13 @@ impl PhastlaneNetwork {
                 },
             );
         } else {
+            obs.emit(
+                now,
+                EventKind::BufferOverflow,
+                router,
+                Some(entry_dir),
+                Some(flight.core.id),
+            );
             stats.dropped += 1;
             // The drop signal travels the registered return path in the
             // next cycle. Footnote 4: return paths of the same cycle are
@@ -222,7 +246,10 @@ impl PhastlaneNetwork {
             let path = ReturnPath::from_forward_trail(mesh, &flight.trail);
             debug_assert_eq!(path.dropped_at(), router);
             let registered = return_paths.register(&path);
-            debug_assert!(registered.is_ok(), "return paths overlapped: {registered:?}");
+            debug_assert!(
+                registered.is_ok(),
+                "return paths overlapped: {registered:?}"
+            );
             energy.on_drop_signal();
             let prev = drop_map.insert(flight.uid, flight.remaining.clone());
             debug_assert!(prev.is_none(), "one launch cannot drop twice");
@@ -253,6 +280,10 @@ impl Network for PhastlaneNetwork {
             self.next_packet_id += 1;
             self.stats.injected += 1;
             self.stats.delivered += 1;
+            self.obs
+                .emit(self.cycle, EventKind::Inject, packet.src, None, Some(id));
+            self.obs
+                .emit(self.cycle, EventKind::Eject, packet.src, None, Some(id));
             self.deliveries.push(Delivery {
                 packet: id,
                 src: packet.src,
@@ -274,6 +305,8 @@ impl Network for PhastlaneNetwork {
         // All multicast messages of a broadcast enter the NIC atomically.
         let nic = &self.nics[packet.src.index()];
         if nic.len() + messages.len() > nic.capacity() {
+            self.obs
+                .emit(self.cycle, EventKind::NicRetry, packet.src, None, None);
             return None;
         }
         let core = PacketCore {
@@ -285,13 +318,21 @@ impl Network for PhastlaneNetwork {
         };
         for targets in messages {
             let uid = self.fresh_uid();
-            let entry = Entry { uid, core, targets, ready_at: self.cycle, attempts: 0 };
+            let entry = Entry {
+                uid,
+                core,
+                targets,
+                ready_at: self.cycle,
+                attempts: 0,
+            };
             let pushed = self.nics[packet.src.index()].try_push(entry);
             assert!(pushed.is_ok(), "capacity verified above");
         }
         self.outstanding.insert(id, dests.len());
         self.stats.injected += 1;
         self.next_packet_id += 1;
+        self.obs
+            .emit(self.cycle, EventKind::Inject, packet.src, None, Some(id));
         Some(id)
     }
 
@@ -301,20 +342,38 @@ impl Network for PhastlaneNetwork {
         self.return_paths.clear();
 
         // Phase 1: confirm or revert last cycle's launches.
-        for state in &mut self.routers {
+        for (r_idx, state) in self.routers.iter_mut().enumerate() {
             for (qi, mut entry) in state.take_launched() {
                 if let Some(remaining) = self.drop_map.remove(&entry.uid) {
+                    let launcher = NodeId(r_idx as u16);
+                    self.obs.emit(
+                        now,
+                        EventKind::DropReturn,
+                        launcher,
+                        None,
+                        Some(entry.core.id),
+                    );
                     entry.targets = remaining;
-                    let roll = self.rng.gen::<u64>();
+                    let roll = self.rng.gen_u64();
                     entry.ready_at = now + self.cfg.backoff.delay(entry.attempts, roll);
                     entry.attempts += 1;
                     self.stats.retransmitted += 1;
+                    self.obs.emit(
+                        now,
+                        EventKind::Retransmit,
+                        launcher,
+                        None,
+                        Some(entry.core.id),
+                    );
                     state.push(qi, entry);
                 }
                 // else: confirmed — the slot simply frees.
             }
         }
-        debug_assert!(self.drop_map.is_empty(), "drop signal with no matching launch");
+        debug_assert!(
+            self.drop_map.is_empty(),
+            "drop signal with no matching launch"
+        );
 
         // Phase 2: NIC -> local buffer.
         let local_q = RouterState::local_queue();
@@ -338,8 +397,7 @@ impl Network for PhastlaneNetwork {
             let rotation = self.routers[r_idx].rotate();
             let order = {
                 let state = &self.routers[r_idx];
-                let heads =
-                    [0, 1, 2, 3, 4].map(|q| state.head(q));
+                let heads = [0, 1, 2, 3, 4].map(|q| state.head(q));
                 self.cfg.arbitration.queue_order(rotation, heads)
             };
             let mut launches = 0u32;
@@ -350,7 +408,9 @@ impl Network for PhastlaneNetwork {
                     if launches >= 4 {
                         break;
                     }
-                    let Some(head) = self.routers[r_idx].head(qi) else { continue };
+                    let Some(head) = self.routers[r_idx].head(qi) else {
+                        continue;
+                    };
                     if head.ready_at > now {
                         continue;
                     }
@@ -375,9 +435,20 @@ impl Network for PhastlaneNetwork {
                     );
                     claims.insert(
                         (here, out),
-                        Claim { flight: flights.len(), step: 0, rank: (0, 0) },
+                        Claim {
+                            flight: flights.len(),
+                            step: 0,
+                            rank: (0, 0),
+                        },
                     );
                     self.links.record(here, out);
+                    self.obs.emit(
+                        now,
+                        EventKind::OpticalTransit,
+                        here,
+                        Some(out),
+                        Some(entry.core.id),
+                    );
                     flights.push(Flight {
                         uid: entry.uid,
                         core: entry.core,
@@ -395,7 +466,11 @@ impl Network for PhastlaneNetwork {
         }
 
         // Phase 4: optical wavefront, hop by hop within the cycle.
-        let max_len = flights.iter().map(|f| f.plan.steps().len()).max().unwrap_or(0);
+        let max_len = flights
+            .iter()
+            .map(|f| f.plan.steps().len())
+            .max()
+            .unwrap_or(0);
         for s in 1..max_len {
             for fi in 0..flights.len() {
                 if !flights[fi].alive || flights[fi].plan.steps().len() <= s {
@@ -408,6 +483,7 @@ impl Network for PhastlaneNetwork {
                         &mut self.deliveries,
                         &mut self.stats,
                         &mut self.energy,
+                        &mut self.obs,
                         &mut flights[fi],
                         step.router,
                         now,
@@ -421,21 +497,51 @@ impl Network for PhastlaneNetwork {
                             Turn::Left => 2,
                             Turn::Right => 3,
                         };
-                        let rank =
-                            self.cfg.path_priority.rank(turn_class, entry_dir as u8, now);
+                        let rank = self
+                            .cfg
+                            .path_priority
+                            .rank(turn_class, entry_dir as u8, now);
                         let key = (step.router, out);
                         match claims.get(&key).copied() {
                             None => {
-                                claims.insert(key, Claim { flight: fi, step: s, rank });
+                                claims.insert(
+                                    key,
+                                    Claim {
+                                        flight: fi,
+                                        step: s,
+                                        rank,
+                                    },
+                                );
                                 flights[fi].trail.push((step.router, out));
                                 self.links.record(step.router, out);
+                                self.obs.emit(
+                                    now,
+                                    EventKind::OpticalTransit,
+                                    step.router,
+                                    Some(out),
+                                    Some(flights[fi].core.id),
+                                );
                             }
                             Some(c) if c.step == s && rank < c.rank => {
                                 // This packet's control bits force the
                                 // incumbent (a lower-priority turn) to be
                                 // received at its input port.
-                                claims.insert(key, Claim { flight: fi, step: s, rank });
+                                claims.insert(
+                                    key,
+                                    Claim {
+                                        flight: fi,
+                                        step: s,
+                                        rank,
+                                    },
+                                );
                                 flights[fi].trail.push((step.router, out));
+                                self.obs.emit(
+                                    now,
+                                    EventKind::OpticalTransit,
+                                    step.router,
+                                    Some(out),
+                                    Some(flights[fi].core.id),
+                                );
                                 let loser_step = flights[c.flight].plan.steps()[s];
                                 let loser_entry =
                                     loser_step.entry.expect("incumbent arrived via a link");
@@ -449,6 +555,7 @@ impl Network for PhastlaneNetwork {
                                     &mut self.return_paths,
                                     &mut self.stats,
                                     &mut self.energy,
+                                    &mut self.obs,
                                     &mut self.next_uid,
                                     &mut flights[c.flight],
                                     loser_step.router,
@@ -464,6 +571,7 @@ impl Network for PhastlaneNetwork {
                                     &mut self.return_paths,
                                     &mut self.stats,
                                     &mut self.energy,
+                                    &mut self.obs,
                                     &mut self.next_uid,
                                     &mut flights[fi],
                                     step.router,
@@ -479,6 +587,7 @@ impl Network for PhastlaneNetwork {
                             &mut self.deliveries,
                             &mut self.stats,
                             &mut self.energy,
+                            &mut self.obs,
                             &mut flights[fi],
                             step.router,
                             now,
@@ -495,6 +604,7 @@ impl Network for PhastlaneNetwork {
                             &mut self.return_paths,
                             &mut self.stats,
                             &mut self.energy,
+                            &mut self.obs,
                             &mut self.next_uid,
                             &mut flights[fi],
                             step.router,
@@ -529,5 +639,17 @@ impl Network for PhastlaneNetwork {
 
     fn link_counters(&self) -> LinkCounters {
         self.links.clone()
+    }
+
+    fn set_trace(&mut self, trace: TraceBuffer) {
+        self.obs = Obs::with_trace(trace);
+    }
+
+    fn take_trace(&mut self) -> Option<TraceBuffer> {
+        self.obs.take()
+    }
+
+    fn buffer_occupancy(&self) -> u64 {
+        self.buffered_packets() as u64
     }
 }

@@ -129,7 +129,12 @@ impl Plan {
             // A target reached mid-flight is a tap; the final Accept
             // consumes the packet at the last target directly.
             let tap = multicast && is_target && exit != StepExit::Stop(StopKind::Accept);
-            steps.push(PlanStep { router: node, entry: Some(dir), tap, exit });
+            steps.push(PlanStep {
+                router: node,
+                entry: Some(dir),
+                tap,
+                exit,
+            });
         }
         Plan { steps }
     }
@@ -227,7 +232,10 @@ mod tests {
         // First two are taps, last is an accept.
         let taps: Vec<bool> = p.steps()[1..].iter().map(|s| s.tap).collect();
         assert_eq!(taps, vec![true, true, false]);
-        assert_eq!(p.steps().last().unwrap().exit, StepExit::Stop(StopKind::Accept));
+        assert_eq!(
+            p.steps().last().unwrap().exit,
+            StepExit::Stop(StopKind::Accept)
+        );
     }
 
     #[test]

@@ -42,9 +42,7 @@ impl ArbitrationPolicy {
             ArbitrationPolicy::OldestFirst => {
                 let mut order = [0usize, 1, 2, 3, 4];
                 // Sort by the head's injection cycle; empty queues last.
-                order.sort_by_key(|&q| {
-                    heads[q].map_or(u64::MAX, |e| e.core.injected_cycle)
-                });
+                order.sort_by_key(|&q| heads[q].map_or(u64::MAX, |e| e.core.injected_cycle));
                 order
             }
         }
@@ -147,8 +145,7 @@ mod tests {
         let e_new = entry(100);
         let e_old = entry(5);
         let e_mid = entry(50);
-        let heads: [Option<&Entry>; 5] =
-            [Some(&e_new), None, Some(&e_old), Some(&e_mid), None];
+        let heads: [Option<&Entry>; 5] = [Some(&e_new), None, Some(&e_old), Some(&e_mid), None];
         let order = ArbitrationPolicy::OldestFirst.queue_order([0, 1, 2, 3, 4], heads);
         assert_eq!(&order[..3], &[2, 3, 0], "oldest heads first");
     }
@@ -156,9 +153,15 @@ mod tests {
     #[test]
     fn fixed_path_priority_prefers_straight() {
         let p = PathPriority::Fixed;
-        assert!(p.rank(1, 3, 7) < p.rank(2, 0, 7), "straight beats left regardless of port");
+        assert!(
+            p.rank(1, 3, 7) < p.rank(2, 0, 7),
+            "straight beats left regardless of port"
+        );
         assert!(p.rank(2, 1, 7) < p.rank(3, 0, 7), "left beats right");
-        assert!(p.rank(1, 0, 7) < p.rank(1, 1, 7), "ties broken by port order");
+        assert!(
+            p.rank(1, 0, 7) < p.rank(1, 1, 7),
+            "ties broken by port order"
+        );
     }
 
     #[test]
@@ -181,7 +184,10 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert_eq!(ArbitrationPolicy::RotatingPriority.to_string(), "rotating-priority");
+        assert_eq!(
+            ArbitrationPolicy::RotatingPriority.to_string(),
+            "rotating-priority"
+        );
         assert_eq!(PathPriority::RoundRobin.to_string(), "round-robin");
     }
 }

@@ -48,9 +48,8 @@ impl EnergyLedger {
         // Laser power provisioned per launch: every packet channel (plus
         // the return path) must overcome the worst-case path losses.
         let channels = f64::from(wdm.packet_channels() + RETURN_PATH_BITS);
-        let per_channel_mw =
-            phastlane_photonics::devices::OpticalReceiver::SENSITIVITY.value()
-                / point.path_transmission();
+        let per_channel_mw = phastlane_photonics::devices::OpticalReceiver::SENSITIVITY.value()
+            / point.path_transmission();
         let laser_mw = channels * per_channel_mw;
         // mW * ps * 1e-3 = pJ
         let laser_pj_per_launch = laser_mw * CLOCK_PERIOD.value() * 1e-3;
@@ -147,11 +146,10 @@ mod tests {
         assert!(r.dynamic_pj > 0.0);
         assert!(r.laser_pj > 0.0);
         assert!(r.leakage_pj > 0.0);
-        let expected_dynamic = (E_MOD_PJ_PER_BIT + E_RX_PJ_PER_BIT
-            + E_BUF_WRITE_PJ_PER_BIT
-            + E_BUF_READ_PJ_PER_BIT)
-            * PACKET_CHANNEL_BITS
-            + E_DROP_SIGNAL_PJ;
+        let expected_dynamic =
+            (E_MOD_PJ_PER_BIT + E_RX_PJ_PER_BIT + E_BUF_WRITE_PJ_PER_BIT + E_BUF_READ_PJ_PER_BIT)
+                * PACKET_CHANNEL_BITS
+                + E_DROP_SIGNAL_PJ;
         assert!((r.dynamic_pj - expected_dynamic).abs() < 1e-9);
     }
 

@@ -105,7 +105,9 @@ impl RouterState {
 
     /// Removes and returns the head of a queue, marking it launched.
     pub fn launch_head(&mut self, queue: usize) -> &Entry {
-        let e = self.queues[queue].pop_front().expect("launch_head on empty queue");
+        let e = self.queues[queue]
+            .pop_front()
+            .expect("launch_head on empty queue");
         self.launched.push((queue, e));
         &self.launched.last().expect("just pushed").1
     }

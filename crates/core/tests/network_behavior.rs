@@ -21,21 +21,31 @@ fn run_until_idle(net: &mut PhastlaneNetwork, max_cycles: u64) {
 #[test]
 fn adjacent_hop_takes_one_cycle() {
     let mut net = PhastlaneNetwork::new(PhastlaneConfig::optical4());
-    net.inject(NewPacket::unicast(NodeId(0), NodeId(1))).unwrap();
+    net.inject(NewPacket::unicast(NodeId(0), NodeId(1)))
+        .unwrap();
     run_until_idle(&mut net, 10);
     let d = net.drain_deliveries();
     assert_eq!(d.len(), 1);
-    assert_eq!(d[0].latency(), 1, "an unblocked neighbour hop completes in one cycle");
+    assert_eq!(
+        d[0].latency(),
+        1,
+        "an unblocked neighbour hop completes in one cycle"
+    );
 }
 
 #[test]
 fn max_hops_distance_takes_one_cycle() {
     // Four hops straight east in one cycle on Optical4.
     let mut net = PhastlaneNetwork::new(PhastlaneConfig::optical4());
-    net.inject(NewPacket::unicast(NodeId(0), NodeId(4))).unwrap();
+    net.inject(NewPacket::unicast(NodeId(0), NodeId(4)))
+        .unwrap();
     run_until_idle(&mut net, 10);
     let d = net.drain_deliveries();
-    assert_eq!(d[0].latency(), 1, "max_hops distance still fits in a single cycle");
+    assert_eq!(
+        d[0].latency(),
+        1,
+        "max_hops distance still fits in a single cycle"
+    );
 }
 
 #[test]
@@ -49,7 +59,8 @@ fn corner_to_corner_latency_scales_with_hop_limit() {
     ] {
         let label = cfg.label();
         let mut net = PhastlaneNetwork::new(cfg);
-        net.inject(NewPacket::unicast(NodeId(0), NodeId(63))).unwrap();
+        net.inject(NewPacket::unicast(NodeId(0), NodeId(63)))
+            .unwrap();
         run_until_idle(&mut net, 20);
         let d = net.drain_deliveries();
         assert_eq!(d[0].latency(), expect, "{label}: corner-to-corner latency");
@@ -105,7 +116,10 @@ fn straight_beats_turn_under_contention() {
     let lat_a = d.iter().find(|x| x.packet == a).unwrap().latency();
     let lat_b = d.iter().find(|x| x.packet == b).unwrap().latency();
     assert_eq!(lat_a, 1, "straight packet is unimpeded");
-    assert!(lat_b > 1, "turning packet was received and buffered, then relaunched");
+    assert!(
+        lat_b > 1,
+        "turning packet was received and buffered, then relaunched"
+    );
     let stats = net.stats();
     assert_eq!(stats.dropped, 0, "buffers had room; nothing dropped");
 }
@@ -130,8 +144,14 @@ fn full_buffers_drop_and_retransmit() {
     let d = net.drain_deliveries();
     assert_eq!(d.len(), expected);
     let stats = net.stats();
-    assert!(stats.dropped > 0, "1-entry buffers under a hotspot must drop");
-    assert_eq!(stats.retransmitted, stats.dropped, "every drop is retransmitted");
+    assert!(
+        stats.dropped > 0,
+        "1-entry buffers under a hotspot must drop"
+    );
+    assert_eq!(
+        stats.retransmitted, stats.dropped,
+        "every drop is retransmitted"
+    );
 }
 
 #[test]
@@ -150,7 +170,9 @@ fn infinite_buffers_never_drop() {
 #[test]
 fn self_send_delivers_immediately() {
     let mut net = PhastlaneNetwork::new(PhastlaneConfig::optical4());
-    let id = net.inject(NewPacket::unicast(NodeId(5), NodeId(5))).unwrap();
+    let id = net
+        .inject(NewPacket::unicast(NodeId(5), NodeId(5)))
+        .unwrap();
     assert_eq!(net.in_flight(), 0);
     let d = net.drain_deliveries();
     assert_eq!(d.len(), 1);
@@ -173,7 +195,10 @@ fn nic_backpressure_rejects_when_full() {
             accepted += 1;
         }
     }
-    assert_eq!(accepted, 3, "3 x 16 = 48 entries fit, the fourth broadcast must wait");
+    assert_eq!(
+        accepted, 3,
+        "3 x 16 = 48 entries fit, the fourth broadcast must wait"
+    );
     run_until_idle(&mut net, 500);
     assert_eq!(net.drain_deliveries().len(), 63 * 3);
 }
@@ -190,7 +215,8 @@ fn energy_accrues_with_traffic() {
     assert_eq!(idle_e.laser_pj, 0.0);
 
     let mut busy = PhastlaneNetwork::new(PhastlaneConfig::optical4());
-    busy.inject(NewPacket::unicast(NodeId(0), NodeId(63))).unwrap();
+    busy.inject(NewPacket::unicast(NodeId(0), NodeId(63)))
+        .unwrap();
     run_until_idle(&mut busy, 100);
     let busy_e = busy.energy();
     assert!(busy_e.dynamic_pj > 0.0);
@@ -201,7 +227,8 @@ fn energy_accrues_with_traffic() {
 fn eight_hop_config_spends_more_laser_energy_per_packet() {
     let run = |cfg: PhastlaneConfig| {
         let mut net = PhastlaneNetwork::new(cfg);
-        net.inject(NewPacket::unicast(NodeId(0), NodeId(7))).unwrap();
+        net.inject(NewPacket::unicast(NodeId(0), NodeId(7)))
+            .unwrap();
         run_until_idle(&mut net, 100);
         net.energy().laser_pj
     };
@@ -236,7 +263,11 @@ fn deliveries_conserve_across_configs() {
         }
         run_until_idle(&mut net, 2_000);
         let d = net.drain_deliveries();
-        assert_eq!(d.len(), injected, "{label}: all packets delivered exactly once");
+        assert_eq!(
+            d.len(),
+            injected,
+            "{label}: all packets delivered exactly once"
+        );
     }
 }
 
@@ -260,8 +291,7 @@ fn shared_pool_conserves_and_reduces_drops_at_moderate_load() {
         (net.drain_deliveries().len(), injected, net.stats().dropped)
     };
     let (delivered_static, injected_static, drops_static) = run(PhastlaneConfig::optical4());
-    let (delivered_pool, injected_pool, drops_pool) =
-        run(PhastlaneConfig::optical4_shared_pool());
+    let (delivered_pool, injected_pool, drops_pool) = run(PhastlaneConfig::optical4_shared_pool());
     assert_eq!(delivered_static, injected_static);
     assert_eq!(delivered_pool, injected_pool);
     assert!(
@@ -286,8 +316,14 @@ fn occupancy_heatmap_reflects_buffered_packets() {
     net.step();
     if net.buffered_packets() > 0 {
         let busy = net.occupancy_heatmap();
-        assert!(!busy.contains("'@'=0"), "non-zero scale once buffers fill:\n{busy}");
+        assert!(
+            !busy.contains("'@'=0"),
+            "non-zero scale once buffers fill:\n{busy}"
+        );
     }
     run_until_idle(&mut net, 5_000);
-    assert!(net.occupancy_heatmap().contains("'@'=0"), "drains back to blank");
+    assert!(
+        net.occupancy_heatmap().contains("'@'=0"),
+        "drains back to blank"
+    );
 }

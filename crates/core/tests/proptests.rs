@@ -1,57 +1,82 @@
-//! Property-based tests of the Phastlane building blocks: flight plans,
-//! control-bit encoding, multicast splitting, and drop return paths.
+//! Randomized property tests of the Phastlane building blocks: flight
+//! plans, control-bit encoding, multicast splitting, and drop return
+//! paths. Cases come from the in-tree deterministic [`SimRng`].
 
 use phastlane_core::control::{DecodedAction, RouteControl};
 use phastlane_core::dropnet::{ReturnPath, ReturnPathRegistry};
 use phastlane_core::multicast::split_multicast;
 use phastlane_core::plan::{Plan, StepExit, StopKind};
 use phastlane_netsim::geometry::{Mesh, NodeId};
-use proptest::prelude::*;
+use phastlane_netsim::rng::SimRng;
 use std::collections::VecDeque;
 
 fn mesh() -> Mesh {
     Mesh::PAPER
 }
 
-fn arb_pair() -> impl Strategy<Value = (NodeId, NodeId)> {
-    (0u16..64, 0u16..64)
-        .prop_filter("distinct", |(a, b)| a != b)
-        .prop_map(|(a, b)| (NodeId(a), NodeId(b)))
-}
-
-fn arb_targets() -> impl Strategy<Value = (NodeId, Vec<NodeId>)> {
-    (0u16..64, proptest::collection::hash_set(0u16..64, 1..20)).prop_map(|(src, set)| {
-        (
-            NodeId(src),
-            set.into_iter().filter(|&d| d != src).map(NodeId).collect(),
-        )
-    })
-}
-
-proptest! {
-    /// Unicast plans: segment length respects the hop limit; the plan
-    /// either accepts at the destination or stops at an interim node
-    /// exactly `max_hops` in.
-    #[test]
-    fn unicast_plan_respects_hop_limit((src, dst) in arb_pair(), max_hops in 1u32..9) {
-        let targets: VecDeque<NodeId> = [dst].into_iter().collect();
-        let plan = Plan::build(mesh(), src, &targets, false, max_hops);
-        prop_assert!(plan.hops() <= max_hops);
-        let dist = mesh().distance(src, dst);
-        if dist <= max_hops {
-            prop_assert!(!plan.ends_at_interim());
-            prop_assert_eq!(plan.deliveries(), vec![dst]);
-        } else {
-            prop_assert!(plan.ends_at_interim());
-            prop_assert_eq!(plan.hops(), max_hops);
-            prop_assert!(plan.deliveries().is_empty());
+/// Two distinct nodes of the 8x8 paper mesh.
+fn random_pair(rng: &mut SimRng) -> (NodeId, NodeId) {
+    let a = rng.gen_range(0u16..64);
+    loop {
+        let b = rng.gen_range(0u16..64);
+        if b != a {
+            return (NodeId(a), NodeId(b));
         }
     }
+}
 
-    /// Control encoding roundtrips: decoding group 1 at each router and
-    /// frequency-translating reproduces the plan exactly.
-    #[test]
-    fn control_roundtrip((src, dst) in arb_pair(), max_hops in 1u32..15) {
+/// A source plus a deduplicated non-empty multicast target set
+/// excluding the source.
+fn random_targets(rng: &mut SimRng) -> (NodeId, Vec<NodeId>) {
+    let src = NodeId(rng.gen_range(0u16..64));
+    loop {
+        let mut set = std::collections::BTreeSet::new();
+        for _ in 0..rng.gen_range(1usize..20) {
+            set.insert(rng.gen_range(0u16..64));
+        }
+        let targets: Vec<NodeId> = set
+            .into_iter()
+            .filter(|&d| d != src.0)
+            .map(NodeId)
+            .collect();
+        if !targets.is_empty() {
+            return (src, targets);
+        }
+    }
+}
+
+/// Unicast plans: segment length respects the hop limit; the plan
+/// either accepts at the destination or stops at an interim node
+/// exactly `max_hops` in.
+#[test]
+fn unicast_plan_respects_hop_limit() {
+    let mut rng = SimRng::seed_from_u64(0x00C0_4E01);
+    for _ in 0..256 {
+        let (src, dst) = random_pair(&mut rng);
+        let max_hops = rng.gen_range(1u32..9);
+        let targets: VecDeque<NodeId> = [dst].into_iter().collect();
+        let plan = Plan::build(mesh(), src, &targets, false, max_hops);
+        assert!(plan.hops() <= max_hops);
+        let dist = mesh().distance(src, dst);
+        if dist <= max_hops {
+            assert!(!plan.ends_at_interim());
+            assert_eq!(plan.deliveries(), vec![dst]);
+        } else {
+            assert!(plan.ends_at_interim());
+            assert_eq!(plan.hops(), max_hops);
+            assert!(plan.deliveries().is_empty());
+        }
+    }
+}
+
+/// Control encoding roundtrips: decoding group 1 at each router and
+/// frequency-translating reproduces the plan exactly.
+#[test]
+fn control_roundtrip() {
+    let mut rng = SimRng::seed_from_u64(0x00C0_4E02);
+    for _ in 0..256 {
+        let (src, dst) = random_pair(&mut rng);
+        let max_hops = rng.gen_range(1u32..15);
         let targets: VecDeque<NodeId> = [dst].into_iter().collect();
         let plan = Plan::build(mesh(), src, &targets, false, max_hops);
         let mut ctl = RouteControl::encode(&plan);
@@ -59,47 +84,50 @@ proptest! {
             let entry = step.entry.expect("hop steps have entries");
             let action = ctl.decode(entry).expect("well-formed control");
             match step.exit {
-                StepExit::Forward(out) => prop_assert_eq!(
-                    action,
-                    DecodedAction::Forward { out, tap: step.tap }
-                ),
-                StepExit::Stop(StopKind::Accept) => {
-                    prop_assert_eq!(action, DecodedAction::Accept)
+                StepExit::Forward(out) => {
+                    assert_eq!(action, DecodedAction::Forward { out, tap: step.tap })
                 }
-                StepExit::Stop(StopKind::Interim) => prop_assert_eq!(
-                    action,
-                    DecodedAction::InterimStop { tap: step.tap }
-                ),
+                StepExit::Stop(StopKind::Accept) => {
+                    assert_eq!(action, DecodedAction::Accept)
+                }
+                StepExit::Stop(StopKind::Interim) => {
+                    assert_eq!(action, DecodedAction::InterimStop { tap: step.tap })
+                }
             }
             ctl = ctl.translate();
         }
     }
+}
 
-    /// Multicast splitting covers each target exactly once, every message
-    /// builds a valid plan, and the message count never exceeds the
-    /// paper's 16.
-    #[test]
-    fn multicast_split_partitions((src, targets) in arb_targets()) {
-        prop_assume!(!targets.is_empty());
+/// Multicast splitting covers each target exactly once, every message
+/// builds a valid plan, and the message count never exceeds the
+/// paper's 16.
+#[test]
+fn multicast_split_partitions() {
+    let mut rng = SimRng::seed_from_u64(0x00C0_4E03);
+    for _ in 0..128 {
+        let (src, targets) = random_targets(&mut rng);
         let messages = split_multicast(mesh(), src, &targets);
-        prop_assert!(messages.len() <= 16);
+        assert!(messages.len() <= 16);
         let mut covered: Vec<NodeId> = messages.iter().flatten().copied().collect();
         covered.sort_unstable();
         let mut expected = targets.clone();
         expected.sort_unstable();
-        prop_assert_eq!(covered, expected);
+        assert_eq!(covered, expected);
         for msg in &messages {
             // Every message must be plannable (ordering contract).
             let plan = Plan::build(mesh(), src, msg, true, 14);
-            prop_assert!(plan.hops() >= 1);
+            assert!(plan.hops() >= 1);
         }
     }
+}
 
-    /// A full-length multicast plan delivers exactly the message's
-    /// targets.
-    #[test]
-    fn multicast_plan_delivers_targets((src, targets) in arb_targets()) {
-        prop_assume!(!targets.is_empty());
+/// A full-length multicast plan delivers exactly the message's targets.
+#[test]
+fn multicast_plan_delivers_targets() {
+    let mut rng = SimRng::seed_from_u64(0x00C0_4E04);
+    for _ in 0..128 {
+        let (src, targets) = random_targets(&mut rng);
         for msg in split_multicast(mesh(), src, &targets) {
             let plan = Plan::build(mesh(), src, &msg, true, 14);
             if !plan.ends_at_interim() {
@@ -107,16 +135,20 @@ proptest! {
                 delivered.sort_unstable();
                 let mut expect: Vec<NodeId> = msg.iter().copied().collect();
                 expect.sort_unstable();
-                prop_assert_eq!(delivered, expect);
+                assert_eq!(delivered, expect);
             }
         }
     }
+}
 
-    /// Return paths terminate at the launching node and have the same
-    /// length as the forward trail; paths from disjoint forward paths
-    /// never collide in the registry.
-    #[test]
-    fn return_path_reverses_forward((src, dst) in arb_pair()) {
+/// Return paths terminate at the launching node and have the same
+/// length as the forward trail; paths from disjoint forward paths never
+/// collide in the registry.
+#[test]
+fn return_path_reverses_forward() {
+    let mut rng = SimRng::seed_from_u64(0x00C0_4E05);
+    for _ in 0..256 {
+        let (src, dst) = random_pair(&mut rng);
         let targets: VecDeque<NodeId> = [dst].into_iter().collect();
         let plan = Plan::build(mesh(), src, &targets, false, 8);
         let trail: Vec<_> = plan
@@ -127,13 +159,15 @@ proptest! {
                 StepExit::Stop(_) => None,
             })
             .collect();
-        prop_assume!(!trail.is_empty());
+        if trail.is_empty() {
+            continue;
+        }
         let rp = ReturnPath::from_forward_trail(mesh(), &trail);
-        prop_assert_eq!(rp.len(), trail.len());
-        prop_assert_eq!(rp.destination(mesh()), src);
+        assert_eq!(rp.len(), trail.len());
+        assert_eq!(rp.destination(mesh()), src);
         let mut reg = ReturnPathRegistry::new();
-        prop_assert!(reg.register(&rp).is_ok());
+        assert!(reg.register(&rp).is_ok());
         // Registering the same path again must collide.
-        prop_assert!(reg.register(&rp).is_err());
+        assert!(reg.register(&rp).is_err());
     }
 }

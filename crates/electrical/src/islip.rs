@@ -23,7 +23,10 @@ impl Islip {
     /// Panics if either dimension is zero.
     pub fn new(n_in: usize, n_out: usize) -> Self {
         assert!(n_in > 0 && n_out > 0, "iSLIP dimensions must be positive");
-        Islip { grant_ptr: vec![0; n_out], accept_ptr: vec![0; n_in] }
+        Islip {
+            grant_ptr: vec![0; n_out],
+            accept_ptr: vec![0; n_in],
+        }
     }
 
     /// Number of inputs.
@@ -189,8 +192,9 @@ mod tests {
     #[test]
     fn matches_are_conflict_free() {
         let mut a = Islip::new(5, 4);
-        let reqs: Vec<Vec<usize>> =
-            (0..5).map(|i| (0..4).filter(|o| (i + o) % 2 == 0).collect()).collect();
+        let reqs: Vec<Vec<usize>> = (0..5)
+            .map(|i| (0..4).filter(|o| (i + o) % 2 == 0).collect())
+            .collect();
         for _ in 0..20 {
             let m = a.allocate(&reqs, 4, 3);
             let mut outs: Vec<usize> = m.iter().map(|&(_, o)| o).collect();

@@ -15,10 +15,11 @@ use crate::config::ElectricalConfig;
 use crate::islip::Islip;
 use crate::power::EnergyLedger;
 use crate::vctm::{mask_of, tree_fork, TargetMask};
-use phastlane_netsim::mask::NodeMask;
 use phastlane_netsim::geometry::{Direction, Mesh, NodeId, Port};
+use phastlane_netsim::mask::NodeMask;
 use phastlane_netsim::network::Network;
 use phastlane_netsim::nic::Nic;
+use phastlane_netsim::obs::{EventKind, Obs, TraceBuffer};
 use phastlane_netsim::packet::{Delivery, NewPacket, PacketId, PacketKind};
 use phastlane_netsim::routing::xy_first_hop;
 use phastlane_netsim::stats::{EnergyReport, NetworkStats};
@@ -137,6 +138,8 @@ pub struct ElectricalNetwork {
     energy: EnergyLedger,
     stats: NetworkStats,
     links: LinkCounters,
+    /// Observability handle: one branch per emit site when disabled.
+    obs: Obs,
 }
 
 impl ElectricalNetwork {
@@ -164,6 +167,7 @@ impl ElectricalNetwork {
             energy,
             stats: NetworkStats::default(),
             links: LinkCounters::new(),
+            obs: Obs::off(),
         }
     }
 
@@ -180,14 +184,27 @@ impl ElectricalNetwork {
                     (Vec::new(), true)
                 } else {
                     let out = xy_first_hop(mesh, at, dest).expect("dest != at");
-                    (vec![Branch { out, mask: NodeMask::EMPTY, out_vc: None, done: false }], false)
+                    (
+                        vec![Branch {
+                            out,
+                            mask: NodeMask::EMPTY,
+                            out_vc: None,
+                            done: false,
+                        }],
+                        false,
+                    )
                 }
             }
             Route::Tree(mask) => {
                 let (forks, deliver) = tree_fork(mesh, core.src, at, mask);
                 let branches = forks
                     .iter()
-                    .map(|f| Branch { out: f.out, mask: f.submask, out_vc: None, done: false })
+                    .map(|f| Branch {
+                        out: f.out,
+                        mask: f.submask,
+                        out_vc: None,
+                        done: false,
+                    })
                     .collect();
                 (branches, deliver)
             }
@@ -206,10 +223,12 @@ impl ElectricalNetwork {
         outstanding: &mut HashMap<PacketId, usize>,
         deliveries: &mut Vec<Delivery>,
         stats: &mut NetworkStats,
+        obs: &mut Obs,
         core: Core,
         dest: NodeId,
         now: u64,
     ) {
+        obs.emit(now, EventKind::Eject, dest, None, Some(core.id));
         deliveries.push(Delivery {
             packet: core.id,
             src: core.src,
@@ -221,7 +240,9 @@ impl ElectricalNetwork {
         let lat = now - core.injected_cycle;
         stats.latency.record(lat);
         stats.latency_by_kind.record(core.kind, lat);
-        let rem = outstanding.get_mut(&core.id).expect("unknown packet delivered");
+        let rem = outstanding
+            .get_mut(&core.id)
+            .expect("unknown packet delivered");
         *rem -= 1;
         if *rem == 0 {
             outstanding.remove(&core.id);
@@ -258,6 +279,10 @@ impl Network for ElectricalNetwork {
             self.next_id += 1;
             self.stats.injected += 1;
             self.stats.delivered += 1;
+            self.obs
+                .emit(self.cycle, EventKind::Inject, packet.src, None, Some(id));
+            self.obs
+                .emit(self.cycle, EventKind::Eject, packet.src, None, Some(id));
             self.deliveries.push(Delivery {
                 packet: id,
                 src: packet.src,
@@ -278,10 +303,19 @@ impl Network for ElectricalNetwork {
             kind: packet.kind,
             injected_cycle: self.cycle,
         };
-        self.nics[packet.src.index()].try_push((core, route)).ok()?;
+        if self.nics[packet.src.index()]
+            .try_push((core, route))
+            .is_err()
+        {
+            self.obs
+                .emit(self.cycle, EventKind::NicRetry, packet.src, None, None);
+            return None;
+        }
         self.outstanding.insert(id, dests.len());
         self.stats.injected += 1;
         self.next_id += 1;
+        self.obs
+            .emit(self.cycle, EventKind::Inject, packet.src, None, Some(id));
         Some(id)
     }
 
@@ -325,6 +359,7 @@ impl Network for ElectricalNetwork {
                                     &mut self.outstanding,
                                     &mut self.deliveries,
                                     &mut self.stats,
+                                    &mut self.obs,
                                     core,
                                     here,
                                     now,
@@ -475,6 +510,13 @@ impl Network for ElectricalNetwork {
                 self.energy.on_crossbar();
                 self.energy.on_link();
                 self.links.record(here, dir);
+                self.obs.emit(
+                    now,
+                    EventKind::LinkTraversal,
+                    here,
+                    Some(dir),
+                    Some(core.id),
+                );
                 self.routers[r_idx].vc_sel[port][d] = (vc + 1) % vcs_per_port;
                 let route = if route_mask.is_empty() {
                     match self.routers[r_idx].vcs[port][vc].as_ref().unwrap().route {
@@ -549,5 +591,17 @@ impl Network for ElectricalNetwork {
 
     fn link_counters(&self) -> LinkCounters {
         self.links.clone()
+    }
+
+    fn set_trace(&mut self, trace: TraceBuffer) {
+        self.obs = Obs::with_trace(trace);
+    }
+
+    fn take_trace(&mut self) -> Option<TraceBuffer> {
+        self.obs.take()
+    }
+
+    fn buffer_occupancy(&self) -> u64 {
+        self.occupied_vcs() as u64
     }
 }

@@ -50,12 +50,7 @@ pub struct TreeBranch {
 /// # Panics
 ///
 /// Panics if the mesh exceeds the 256-node mask capacity.
-pub fn tree_fork(
-    mesh: Mesh,
-    src: NodeId,
-    at: NodeId,
-    mask: TargetMask,
-) -> (Vec<TreeBranch>, bool) {
+pub fn tree_fork(mesh: Mesh, src: NodeId, at: NodeId, mask: TargetMask) -> (Vec<TreeBranch>, bool) {
     assert!(
         mesh.nodes() <= phastlane_netsim::mask::MASK_CAPACITY,
         "target masks support up to 256 nodes"
@@ -124,12 +119,18 @@ mod tests {
                 NodeMask::EMPTY
             };
             for b in &branches {
-                assert!(!seen.intersects(&b.submask), "overlapping branch submasks at {at}");
+                assert!(
+                    !seen.intersects(&b.submask),
+                    "overlapping branch submasks at {at}"
+                );
                 seen = seen.or(&b.submask);
                 let next = mesh.neighbor(at, b.out).expect("branch stays in mesh");
                 frontier.push((next, b.submask));
             }
-            assert_eq!(seen, m, "branches + local delivery must cover the mask at {at}");
+            assert_eq!(
+                seen, m,
+                "branches + local delivery must cover the mask at {at}"
+            );
         }
         delivered.sort_unstable();
         delivered

@@ -25,7 +25,11 @@ fn zero_load_latency_is_delay_per_hop_plus_ejection() {
         (ElectricalConfig::electrical2(), 2),
     ] {
         for hops in [1u64, 4, 7, 14] {
-            let dst = if hops <= 7 { NodeId(hops as u16) } else { NodeId(63) };
+            let dst = if hops <= 7 {
+                NodeId(hops as u16)
+            } else {
+                NodeId(63)
+            };
             let mut net = ElectricalNetwork::new(cfg.clone());
             net.inject(NewPacket::unicast(NodeId(0), dst)).unwrap();
             run_until_idle(&mut net, 200);
@@ -44,7 +48,8 @@ fn zero_load_latency_is_delay_per_hop_plus_ejection() {
 fn two_cycle_router_is_faster() {
     let run = |cfg| {
         let mut net = ElectricalNetwork::new(cfg);
-        net.inject(NewPacket::unicast(NodeId(0), NodeId(63))).unwrap();
+        net.inject(NewPacket::unicast(NodeId(0), NodeId(63)))
+            .unwrap();
         run_until_idle(&mut net, 200);
         net.drain_deliveries()[0].latency()
     };
@@ -105,7 +110,11 @@ fn sustained_stream_through_one_link() {
     let mut done = 0;
     let mut last_cycle = 0;
     while done < 200 {
-        if sent < 200 && net.inject(NewPacket::unicast(NodeId(0), NodeId(1))).is_some() {
+        if sent < 200
+            && net
+                .inject(NewPacket::unicast(NodeId(0), NodeId(1)))
+                .is_some()
+        {
             sent += 1;
         }
         net.step();
@@ -130,24 +139,34 @@ fn all_vcs_drain_after_burst() {
         }
     }
     run_until_idle(&mut net, 2_000);
-    assert_eq!(net.occupied_vcs(), 0, "every VC must free after the burst drains");
+    assert_eq!(
+        net.occupied_vcs(),
+        0,
+        "every VC must free after the burst drains"
+    );
 }
 
 #[test]
 fn energy_accrues_and_links_dominate_long_paths() {
     let mut net = ElectricalNetwork::new(ElectricalConfig::electrical3());
-    net.inject(NewPacket::unicast(NodeId(0), NodeId(63))).unwrap();
+    net.inject(NewPacket::unicast(NodeId(0), NodeId(63)))
+        .unwrap();
     run_until_idle(&mut net, 200);
     let e = net.energy();
     assert!(e.dynamic_pj > 0.0);
-    assert!(e.link_pj > e.dynamic_pj, "14 links outweigh buffer/xbar energy");
+    assert!(
+        e.link_pj > e.dynamic_pj,
+        "14 links outweigh buffer/xbar energy"
+    );
     assert_eq!(e.laser_pj, 0.0, "no optics in the baseline");
 }
 
 #[test]
 fn self_send_delivers_immediately() {
     let mut net = ElectricalNetwork::new(ElectricalConfig::electrical3());
-    let id = net.inject(NewPacket::unicast(NodeId(5), NodeId(5))).unwrap();
+    let id = net
+        .inject(NewPacket::unicast(NodeId(5), NodeId(5)))
+        .unwrap();
     assert_eq!(net.in_flight(), 0);
     let d = net.drain_deliveries();
     assert_eq!(d[0].packet, id);

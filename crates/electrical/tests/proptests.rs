@@ -1,72 +1,94 @@
-//! Property-based tests of the electrical baseline's allocator and
-//! multicast tree.
+//! Randomized property tests of the electrical baseline's allocator and
+//! multicast tree, driven by the in-tree deterministic [`SimRng`].
 
 use phastlane_electrical::islip::Islip;
 use phastlane_electrical::vctm::{mask_contains, mask_len, mask_of, tree_fork};
 use phastlane_netsim::geometry::{Mesh, NodeId};
-use proptest::prelude::*;
+use phastlane_netsim::rng::SimRng;
 
-fn arb_requests() -> impl Strategy<Value = Vec<Vec<usize>>> {
-    proptest::collection::vec(proptest::collection::vec(0usize..4, 0..4), 5)
+/// 5 inputs, each requesting 0..4 of the 4 outputs.
+fn random_requests(rng: &mut SimRng) -> Vec<Vec<usize>> {
+    (0..5)
+        .map(|_| {
+            let n = rng.gen_range(0usize..4);
+            (0..n).map(|_| rng.gen_range(0usize..4)).collect()
+        })
+        .collect()
 }
 
-proptest! {
-    /// iSLIP matches are conflict-free: each output granted at most once,
-    /// each input within its capacity, and every match was requested.
-    #[test]
-    fn islip_matches_are_valid(
-        reqs in arb_requests(),
-        capacity in 1usize..5,
-        iterations in 1usize..4,
-        rounds in 1usize..6,
-    ) {
+fn random_node_set(rng: &mut SimRng, max_len: usize) -> std::collections::BTreeSet<u16> {
+    let n = rng.gen_range(0usize..max_len);
+    let mut set = std::collections::BTreeSet::new();
+    for _ in 0..n {
+        set.insert(rng.gen_range(0u16..64));
+    }
+    set
+}
+
+/// iSLIP matches are conflict-free: each output granted at most once,
+/// each input within its capacity, and every match was requested.
+#[test]
+fn islip_matches_are_valid() {
+    let mut rng = SimRng::seed_from_u64(0x00E1_EC01);
+    for _ in 0..256 {
+        let reqs = random_requests(&mut rng);
+        let capacity = rng.gen_range(1usize..5);
+        let iterations = rng.gen_range(1usize..4);
+        let rounds = rng.gen_range(1usize..6);
         let mut alloc = Islip::new(5, 4);
         for _ in 0..rounds {
             let matches = alloc.allocate(&reqs, capacity, iterations);
             let mut out_seen = [false; 4];
             let mut in_count = [0usize; 5];
             for &(i, o) in &matches {
-                prop_assert!(reqs[i].contains(&o), "unrequested match ({i},{o})");
-                prop_assert!(!out_seen[o], "output {o} matched twice");
+                assert!(reqs[i].contains(&o), "unrequested match ({i},{o})");
+                assert!(!out_seen[o], "output {o} matched twice");
                 out_seen[o] = true;
                 in_count[i] += 1;
             }
             for (i, &c) in in_count.iter().enumerate() {
-                prop_assert!(c <= capacity, "input {i} over capacity");
+                assert!(c <= capacity, "input {i} over capacity");
             }
         }
     }
+}
 
-    /// iSLIP is work-conserving for single requests: a lone
-    /// (input, output) request is always granted.
-    #[test]
-    fn islip_grants_lone_request(inp in 0usize..5, out in 0usize..4, rounds in 1usize..8) {
-        let mut alloc = Islip::new(5, 4);
-        let mut reqs: Vec<Vec<usize>> = vec![Vec::new(); 5];
-        reqs[inp].push(out);
-        for _ in 0..rounds {
-            let matches = alloc.allocate(&reqs, 4, 2);
-            prop_assert_eq!(&matches, &vec![(inp, out)]);
+/// iSLIP is work-conserving for single requests: a lone
+/// (input, output) request is always granted.
+#[test]
+fn islip_grants_lone_request() {
+    for inp in 0usize..5 {
+        for out in 0usize..4 {
+            for rounds in 1usize..8 {
+                let mut alloc = Islip::new(5, 4);
+                let mut reqs: Vec<Vec<usize>> = vec![Vec::new(); 5];
+                reqs[inp].push(out);
+                for _ in 0..rounds {
+                    let matches = alloc.allocate(&reqs, 4, 2);
+                    assert_eq!(&matches, &vec![(inp, out)]);
+                }
+            }
         }
     }
+}
 
-    /// The VCTM tree partitions any target mask: walking the whole tree
-    /// delivers each masked node exactly once and nothing else.
-    #[test]
-    fn vctm_tree_partitions_any_mask(
-        src in 0u16..64,
-        nodes in proptest::collection::hash_set(0u16..64, 0..30),
-    ) {
+/// The VCTM tree partitions any target mask: walking the whole tree
+/// delivers each masked node exactly once and nothing else.
+#[test]
+fn vctm_tree_partitions_any_mask() {
+    let mut rng = SimRng::seed_from_u64(0x00E1_EC03);
+    for _ in 0..128 {
         let mesh = Mesh::PAPER;
-        let src = NodeId(src);
-        let targets: Vec<NodeId> = nodes.into_iter().map(NodeId).collect();
+        let src = NodeId(rng.gen_range(0u16..64));
+        let nodes = random_node_set(&mut rng, 30);
+        let targets: Vec<NodeId> = nodes.iter().copied().map(NodeId).collect();
         let mask = mask_of(&targets);
         let mut delivered = Vec::new();
         let mut frontier = vec![(src, mask)];
         let mut steps = 0;
         while let Some((at, m)) = frontier.pop() {
             steps += 1;
-            prop_assert!(steps < 1000, "tree walk diverged");
+            assert!(steps < 1000, "tree walk diverged");
             let (branches, deliver) = tree_fork(mesh, src, at, m);
             if deliver {
                 delivered.push(at);
@@ -77,27 +99,31 @@ proptest! {
                 phastlane_netsim::mask::NodeMask::EMPTY
             };
             for b in &branches {
-                prop_assert!(!seen.intersects(&b.submask), "overlapping branches");
+                assert!(!seen.intersects(&b.submask), "overlapping branches");
                 seen = seen.or(&b.submask);
                 let next = mesh.neighbor(at, b.out).expect("stays in mesh");
                 frontier.push((next, b.submask));
             }
-            prop_assert_eq!(seen, m, "branches + local must cover the mask");
+            assert_eq!(seen, m, "branches + local must cover the mask");
         }
         delivered.sort_unstable();
         let mut expect: Vec<NodeId> = targets.clone();
         expect.sort_unstable();
-        prop_assert_eq!(delivered, expect);
+        assert_eq!(delivered, expect);
     }
+}
 
-    /// Mask helpers agree with each other.
-    #[test]
-    fn mask_helpers_consistent(nodes in proptest::collection::hash_set(0u16..64, 0..64)) {
+/// Mask helpers agree with each other.
+#[test]
+fn mask_helpers_consistent() {
+    let mut rng = SimRng::seed_from_u64(0x00E1_EC04);
+    for _ in 0..128 {
+        let nodes = random_node_set(&mut rng, 64);
         let list: Vec<NodeId> = nodes.iter().copied().map(NodeId).collect();
         let mask = mask_of(&list);
-        prop_assert_eq!(mask_len(mask), list.len());
+        assert_eq!(mask_len(mask), list.len());
         for n in 0..64u16 {
-            prop_assert_eq!(mask_contains(mask, NodeId(n)), nodes.contains(&n));
+            assert_eq!(mask_contains(mask, NodeId(n)), nodes.contains(&n));
         }
     }
 }

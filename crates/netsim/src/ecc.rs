@@ -83,18 +83,21 @@ fn hamming_bits(data: u64) -> u8 {
 pub fn encode(data: u64) -> CodeWord {
     let hamming = hamming_bits(data);
     // Overall parity covers data plus the seven Hamming bits.
-    let parity =
-        ((data.count_ones() + u32::from(hamming).count_ones()) & 1) as u8;
-    CodeWord { data, check: hamming | (parity << 7) }
+    let parity = ((data.count_ones() + u32::from(hamming).count_ones()) & 1) as u8;
+    CodeWord {
+        data,
+        check: hamming | (parity << 7),
+    }
 }
 
 /// Decodes a code word, correcting single-bit errors.
 pub fn decode(cw: CodeWord) -> Decoded {
     let expect = hamming_bits(cw.data);
     let syndrome = (expect ^ cw.check) & 0x7F;
-    let parity_now =
-        ((cw.data.count_ones() + u32::from(cw.check & 0x7F).count_ones() + u32::from(cw.check >> 7))
-            & 1) as u8;
+    let parity_now = ((cw.data.count_ones()
+        + u32::from(cw.check & 0x7F).count_ones()
+        + u32::from(cw.check >> 7))
+        & 1) as u8;
     // parity_now is 0 when total ones (incl. stored parity) are even.
     let parity_error = parity_now != 0;
 
@@ -131,7 +134,9 @@ pub struct ProtectedLine {
 impl ProtectedLine {
     /// Encodes a cache line.
     pub fn encode(line: [u64; 8]) -> Self {
-        ProtectedLine { words: line.map(encode) }
+        ProtectedLine {
+            words: line.map(encode),
+        }
     }
 
     /// Decodes, correcting up to one flipped bit per word.

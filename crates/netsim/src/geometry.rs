@@ -57,8 +57,12 @@ pub enum Direction {
 
 impl Direction {
     /// All four directions.
-    pub const ALL: [Direction; 4] =
-        [Direction::North, Direction::South, Direction::East, Direction::West];
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::South,
+        Direction::East,
+        Direction::West,
+    ];
 
     /// The opposite direction.
     pub fn opposite(self) -> Direction {
@@ -138,7 +142,10 @@ pub struct Mesh {
 
 impl Mesh {
     /// The paper's 8x8, 64-node configuration.
-    pub const PAPER: Mesh = Mesh { width: 8, height: 8 };
+    pub const PAPER: Mesh = Mesh {
+        width: 8,
+        height: 8,
+    };
 
     /// Creates a mesh of the given dimensions.
     ///
@@ -176,8 +183,16 @@ impl Mesh {
     ///
     /// Panics if `node` is out of range.
     pub fn coord(self, node: NodeId) -> Coord {
-        assert!(self.contains(node), "node {node} outside {}x{} mesh", self.width, self.height);
-        Coord { x: node.0 % self.width, y: node.0 / self.width }
+        assert!(
+            self.contains(node),
+            "node {node} outside {}x{} mesh",
+            self.width,
+            self.height
+        );
+        Coord {
+            x: node.0 % self.width,
+            y: node.0 / self.width,
+        }
     }
 
     /// Node at a coordinate.

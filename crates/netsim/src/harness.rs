@@ -10,9 +10,11 @@
 
 use crate::geometry::NodeId;
 use crate::network::Network;
+use crate::obs::{MetricsCollector, PerfProfile};
 use crate::packet::{DestSet, NewPacket, PacketId, PacketKind};
 use crate::stats::{EnergyReport, LatencyStats};
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 // ---------------------------------------------------------------------------
 // Open-loop synthetic traffic
@@ -48,6 +50,8 @@ pub struct SyntheticResult {
     /// Number of measured packets still undelivered when the run ended
     /// (non-zero means the network was saturated).
     pub unfinished: u64,
+    /// Simulator throughput over the whole run (warmup + measure + drain).
+    pub perf: PerfProfile,
 }
 
 /// Options for [`run_synthetic`].
@@ -64,7 +68,11 @@ pub struct SyntheticOptions {
 
 impl Default for SyntheticOptions {
     fn default() -> Self {
-        SyntheticOptions { warmup: 1_000, measure: 4_000, drain: 8_000 }
+        SyntheticOptions {
+            warmup: 1_000,
+            measure: 4_000,
+            drain: 8_000,
+        }
     }
 }
 
@@ -79,6 +87,25 @@ pub fn run_synthetic<N: Network + ?Sized, W: SyntheticWorkload>(
     workload: &mut W,
     opts: SyntheticOptions,
 ) -> SyntheticResult {
+    run_synthetic_observed(net, workload, opts, None)
+}
+
+/// [`run_synthetic`] with an optional time-series metrics collector.
+///
+/// When `metrics` is given, the harness feeds it per-cycle offered,
+/// accepted, and NIC-rejection counts plus every delivery's latency, and
+/// closes sample windows on the collector's interval (cycle numbers are
+/// relative to the start of the run). The collector's network-counter
+/// snapshots (`dropped`, `retransmitted`, occupancy) are only queried on
+/// window boundaries, so sampling adds no per-cycle cost beyond a few
+/// counter increments.
+pub fn run_synthetic_observed<N: Network + ?Sized, W: SyntheticWorkload>(
+    net: &mut N,
+    workload: &mut W,
+    opts: SyntheticOptions,
+    mut metrics: Option<&mut MetricsCollector>,
+) -> SyntheticResult {
+    let wall_start = Instant::now();
     let nodes = net.mesh().nodes();
     let mut source_queues: Vec<VecDeque<(NewPacket, u64)>> = vec![VecDeque::new(); nodes];
     // PacketId -> (generation cycle, measured?)
@@ -110,6 +137,9 @@ pub fn run_synthetic<N: Network + ?Sized, W: SyntheticWorkload>(
                 if measuring {
                     offered += 1;
                 }
+                if let Some(m) = metrics.as_deref_mut() {
+                    m.on_offered(1);
+                }
                 source_queues[p.src.index()].push_back((p, cycle));
             }
         }
@@ -128,8 +158,16 @@ pub fn run_synthetic<N: Network + ?Sized, W: SyntheticWorkload>(
                             measured_outstanding += 1;
                         }
                         gen_cycle.insert(id, (gen, measured));
+                        if let Some(m) = metrics.as_deref_mut() {
+                            m.on_accepted(1);
+                        }
                     }
-                    None => break, // NIC full; retry next cycle
+                    None => {
+                        if let Some(m) = metrics.as_deref_mut() {
+                            m.on_rejected(1);
+                        }
+                        break; // NIC full; retry next cycle
+                    }
                 }
             }
         }
@@ -139,6 +177,9 @@ pub fn run_synthetic<N: Network + ?Sized, W: SyntheticWorkload>(
 
         for d in net.drain_deliveries() {
             if let Some(&(gen, measured)) = gen_cycle.get(&d.packet) {
+                if let Some(m) = metrics.as_deref_mut() {
+                    m.on_delivered(d.delivered_cycle.saturating_sub(gen));
+                }
                 if measured {
                     latency.record(d.delivered_cycle.saturating_sub(gen));
                     // Throughput counts only deliveries inside the
@@ -153,10 +194,35 @@ pub fn run_synthetic<N: Network + ?Sized, W: SyntheticWorkload>(
             }
         }
 
+        if let Some(m) = metrics.as_deref_mut() {
+            if m.at_boundary(rel) {
+                let st = net.stats();
+                m.end_cycle(
+                    rel,
+                    st.dropped,
+                    st.retransmitted,
+                    net.in_flight() as u64,
+                    net.buffer_occupancy(),
+                );
+            }
+        }
+
         // Early exit once every measured packet has drained.
         if rel + 1 >= measure_end && measured_outstanding == 0 {
             break;
         }
+    }
+
+    if let Some(m) = metrics {
+        let st = net.stats();
+        let rel = cycle - base_cycle;
+        m.finish(
+            rel.saturating_sub(1),
+            st.dropped,
+            st.retransmitted,
+            net.in_flight() as u64,
+            net.buffer_occupancy(),
+        );
     }
 
     let energy_start = energy_start_holder.get().unwrap_or_default();
@@ -168,6 +234,7 @@ pub fn run_synthetic<N: Network + ?Sized, W: SyntheticWorkload>(
         delivered_rate: delivered as f64 / denom,
         energy: net.energy().delta_since(&energy_start),
         unfinished: measured_outstanding,
+        perf: PerfProfile::new(cycle - base_cycle, wall_start.elapsed()),
     }
 }
 
@@ -202,7 +269,10 @@ impl Dep {
 
     /// Dependency on delivery at one destination.
     pub fn at(msg: MsgId, node: NodeId) -> Dep {
-        Dep { msg, at: Some(node) }
+        Dep {
+            msg,
+            at: Some(node),
+        }
     }
 }
 
@@ -319,6 +389,8 @@ pub struct TraceResult {
     pub completed: u64,
     /// True if the replay hit the cycle limit before completing.
     pub timed_out: bool,
+    /// Simulator throughput over the replay.
+    pub perf: PerfProfile,
 }
 
 /// Options for [`run_trace`].
@@ -331,7 +403,9 @@ pub struct TraceOptions {
 
 impl Default for TraceOptions {
     fn default() -> Self {
-        TraceOptions { max_cycles: 10_000_000 }
+        TraceOptions {
+            max_cycles: 10_000_000,
+        }
     }
 }
 
@@ -340,8 +414,24 @@ impl Default for TraceOptions {
 /// # Panics
 ///
 /// Panics if the trace fails [`Trace::validate`].
-pub fn run_trace<N: Network + ?Sized>(net: &mut N, trace: &Trace, opts: TraceOptions) -> TraceResult {
+pub fn run_trace<N: Network + ?Sized>(
+    net: &mut N,
+    trace: &Trace,
+    opts: TraceOptions,
+) -> TraceResult {
+    run_trace_observed(net, trace, opts, None)
+}
+
+/// [`run_trace`] with an optional time-series metrics collector (see
+/// [`run_synthetic_observed`] for the sampling contract).
+pub fn run_trace_observed<N: Network + ?Sized>(
+    net: &mut N,
+    trace: &Trace,
+    opts: TraceOptions,
+    mut metrics: Option<&mut MetricsCollector>,
+) -> TraceResult {
     trace.validate().expect("invalid trace");
+    let wall_start = Instant::now();
     let energy_start = net.energy();
     let base_cycle = net.cycle();
 
@@ -377,7 +467,11 @@ pub fn run_trace<N: Network + ?Sized>(net: &mut N, trace: &Trace, opts: TraceOpt
     // ready_at[i]: cycle at which message i becomes eligible (valid once
     // dep_remaining[i] == 0). Initialized to `earliest`, bumped as deps
     // deliver.
-    let mut ready_at: Vec<u64> = trace.messages.iter().map(|m| base_cycle + m.earliest).collect();
+    let mut ready_at: Vec<u64> = trace
+        .messages
+        .iter()
+        .map(|m| base_cycle + m.earliest)
+        .collect();
     // Min-heap of (ready_at, index) for dependency-free messages.
     let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
         std::collections::BinaryHeap::new();
@@ -410,6 +504,9 @@ pub fn run_trace<N: Network + ?Sized>(net: &mut N, trace: &Trace, opts: TraceOpt
             }
             heap.pop();
             stalled[trace.messages[i].src.index()].push_back(i);
+            if let Some(m) = metrics.as_deref_mut() {
+                m.on_offered(1);
+            }
         }
 
         // Try to inject stalled messages in FIFO order per source.
@@ -434,13 +531,25 @@ pub fn run_trace<N: Network + ?Sized>(net: &mut N, trace: &Trace, opts: TraceOpt
                     }
                     continue;
                 }
-                let p = NewPacket { src: m.src, dests: m.dests.clone(), kind: m.kind };
+                let p = NewPacket {
+                    src: m.src,
+                    dests: m.dests.clone(),
+                    kind: m.kind,
+                };
                 match net.inject(p) {
                     Some(id) => {
                         q.pop_front();
                         in_flight.insert(id, (i, ndests, ready_at[i]));
+                        if let Some(m) = metrics.as_deref_mut() {
+                            m.on_accepted(1);
+                        }
                     }
-                    None => break,
+                    None => {
+                        if let Some(m) = metrics.as_deref_mut() {
+                            m.on_rejected(1);
+                        }
+                        break;
+                    }
                 }
             }
         }
@@ -452,6 +561,9 @@ pub fn run_trace<N: Network + ?Sized>(net: &mut N, trace: &Trace, opts: TraceOpt
             if let Some(entry) = in_flight.get_mut(&d.packet) {
                 entry.1 -= 1;
                 latency.record(d.delivered_cycle.saturating_sub(entry.2));
+                if let Some(m) = metrics.as_deref_mut() {
+                    m.on_delivered(d.delivered_cycle.saturating_sub(entry.2));
+                }
                 let msg_id = trace.messages[entry.0].id;
                 for &dep_i in dest_deps
                     .get(&(msg_id, d.dest))
@@ -485,6 +597,31 @@ pub fn run_trace<N: Network + ?Sized>(net: &mut N, trace: &Trace, opts: TraceOpt
                 }
             }
         }
+
+        if let Some(m) = metrics.as_deref_mut() {
+            let rel = cycle - base_cycle;
+            if rel > 0 && m.at_boundary(rel - 1) {
+                let st = net.stats();
+                m.end_cycle(
+                    rel - 1,
+                    st.dropped,
+                    st.retransmitted,
+                    net.in_flight() as u64,
+                    net.buffer_occupancy(),
+                );
+            }
+        }
+    }
+
+    if let Some(m) = metrics {
+        let st = net.stats();
+        m.finish(
+            (cycle - base_cycle).saturating_sub(1),
+            st.dropped,
+            st.retransmitted,
+            net.in_flight() as u64,
+            net.buffer_occupancy(),
+        );
     }
 
     TraceResult {
@@ -493,6 +630,7 @@ pub fn run_trace<N: Network + ?Sized>(net: &mut N, trace: &Trace, opts: TraceOpt
         energy: net.energy().delta_since(&energy_start),
         completed,
         timed_out,
+        perf: PerfProfile::new(cycle - base_cycle, wall_start.elapsed()),
     }
 }
 
@@ -543,7 +681,9 @@ mod tests {
             deps: vec![],
             think: 0,
         };
-        let t = Trace { messages: vec![m.clone(), m] };
+        let t = Trace {
+            messages: vec![m.clone(), m],
+        };
         assert!(t.validate().is_err());
     }
 

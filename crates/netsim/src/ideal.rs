@@ -104,11 +104,7 @@ impl Network for IdealNetwork {
     fn step(&mut self) {
         self.cycle += 1;
         // Deliver everything due by the new cycle.
-        let due: Vec<u64> = self
-            .pending
-            .range(..=self.cycle)
-            .map(|(&c, _)| c)
-            .collect();
+        let due: Vec<u64> = self.pending.range(..=self.cycle).map(|(&c, _)| c).collect();
         let mut finished: std::collections::HashMap<PacketId, usize> =
             std::collections::HashMap::new();
         for c in due {
@@ -122,11 +118,7 @@ impl Network for IdealNetwork {
         // A packet leaves flight when none of its deliveries remain
         // anywhere in the pending map.
         for (id, _) in finished {
-            let still_pending = self
-                .pending
-                .values()
-                .flatten()
-                .any(|d| d.packet == id);
+            let still_pending = self.pending.values().flatten().any(|d| d.packet == id);
             if !still_pending {
                 self.in_flight -= 1;
             }
@@ -159,7 +151,8 @@ mod tests {
     #[test]
     fn latency_is_exact() {
         let mut net = IdealNetwork::new(Mesh::PAPER, 2, 1);
-        net.inject(NewPacket::unicast(NodeId(0), NodeId(63))).unwrap();
+        net.inject(NewPacket::unicast(NodeId(0), NodeId(63)))
+            .unwrap();
         while net.in_flight() > 0 {
             net.step();
         }
@@ -190,7 +183,8 @@ mod tests {
         let mut net = IdealNetwork::new(Mesh::PAPER, 1, 1);
         net.inject(NewPacket::broadcast(NodeId(9), PacketKind::ReadRequest))
             .unwrap();
-        net.inject(NewPacket::unicast(NodeId(0), NodeId(1))).unwrap();
+        net.inject(NewPacket::unicast(NodeId(0), NodeId(1)))
+            .unwrap();
         assert_eq!(net.in_flight(), 2);
         for _ in 0..100 {
             net.step();

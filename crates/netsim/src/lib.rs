@@ -18,7 +18,10 @@
 //! * [`harness`] — open-loop synthetic runs and dependency-aware trace
 //!   replay;
 //! * [`sweep`] — injection-rate sweeps and saturation extraction;
-//! * [`stats`] — latency/energy accounting.
+//! * [`stats`] — latency/energy accounting;
+//! * [`rng`] — the in-tree deterministic PRNG (no external crates);
+//! * [`obs`] — the observability layer: event traces, time-series
+//!   metrics, structured run reports.
 //!
 //! # Example
 //!
@@ -42,7 +45,9 @@ pub mod ideal;
 pub mod mask;
 pub mod network;
 pub mod nic;
+pub mod obs;
 pub mod packet;
+pub mod rng;
 pub mod routing;
 pub mod stats;
 pub mod sweep;

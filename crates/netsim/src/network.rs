@@ -3,6 +3,7 @@
 //! which network they drive.
 
 use crate::geometry::Mesh;
+use crate::obs::TraceBuffer;
 use crate::packet::{Delivery, NewPacket, PacketId};
 use crate::stats::{EnergyReport, NetworkStats};
 use crate::telemetry::LinkCounters;
@@ -54,6 +55,27 @@ pub trait Network {
     fn link_counters(&self) -> LinkCounters {
         LinkCounters::new()
     }
+
+    /// Attaches an event trace; subsequent cycles record
+    /// [`crate::obs::SimEvent`]s into it. The default implementation
+    /// discards the buffer (networks without observability support simply
+    /// stay silent).
+    fn set_trace(&mut self, trace: TraceBuffer) {
+        let _ = trace;
+    }
+
+    /// Detaches and returns the event trace attached via
+    /// [`set_trace`](Network::set_trace), if any. Tracing stops.
+    fn take_trace(&mut self) -> Option<TraceBuffer> {
+        None
+    }
+
+    /// Total packets/flits currently held in router-side buffers
+    /// (electrical VCs, or Phastlane's electrical fallback buffers).
+    /// NIC-side queues are excluded. The default reports zero.
+    fn buffer_occupancy(&self) -> u64 {
+        0
+    }
 }
 
 /// Blanket impl so `Box<dyn Network>` composes with generic harness code.
@@ -87,5 +109,14 @@ impl<N: Network + ?Sized> Network for Box<N> {
     }
     fn link_counters(&self) -> LinkCounters {
         (**self).link_counters()
+    }
+    fn set_trace(&mut self, trace: TraceBuffer) {
+        (**self).set_trace(trace)
+    }
+    fn take_trace(&mut self) -> Option<TraceBuffer> {
+        (**self).take_trace()
+    }
+    fn buffer_occupancy(&self) -> u64 {
+        (**self).buffer_occupancy()
     }
 }

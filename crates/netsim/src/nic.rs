@@ -26,7 +26,12 @@ impl<T> Nic<T> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "NIC capacity must be positive");
-        Nic { queue: VecDeque::new(), capacity, rejected: 0, accepted: 0 }
+        Nic {
+            queue: VecDeque::new(),
+            capacity,
+            rejected: 0,
+            accepted: 0,
+        }
     }
 
     /// Attempts to enqueue `item`. Returns `Err(item)` if the NIC is full.

@@ -1,0 +1,415 @@
+//! Interval-sampled time-series metrics.
+//!
+//! Aggregate end-of-run numbers hide the paper's most interesting
+//! dynamics: the onset of congestion, drop storms after a hotspot forms,
+//! buffer occupancy ramping toward saturation. A [`MetricsCollector`]
+//! attached to a harness run closes that gap by flushing a
+//! [`MetricSample`] every `interval` cycles into a [`MetricsSeries`],
+//! which exports as JSON or CSV.
+//!
+//! The collector is deliberately decoupled from the [`crate::network::Network`]
+//! trait: the harness feeds it plain numbers (`offered`, `accepted`,
+//! `delivered(latency)`, then `end_cycle(...)` with cumulative counters),
+//! so it works identically for the optical and electrical simulators and
+//! costs nothing when not attached.
+
+use crate::obs::json::JsonValue;
+use crate::stats::LatencyStats;
+
+/// One sample window of the time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// First cycle covered by this window (inclusive).
+    pub cycle_start: u64,
+    /// Last cycle covered by this window (inclusive).
+    pub cycle_end: u64,
+    /// Packets the workload wanted to inject during the window.
+    pub offered: u64,
+    /// Packets the network accepted into a NIC during the window.
+    pub accepted: u64,
+    /// Per-destination deliveries completed during the window.
+    pub delivered: u64,
+    /// Mean latency of deliveries in the window (`None` if none).
+    pub mean_latency: Option<f64>,
+    /// Estimated p50 latency of deliveries in the window.
+    pub p50_latency: Option<u64>,
+    /// Estimated p99 latency of deliveries in the window.
+    pub p99_latency: Option<u64>,
+    /// Packets dropped in the network during the window.
+    pub dropped: u64,
+    /// Retransmissions issued during the window.
+    pub retried: u64,
+    /// NIC-side injection rejections during the window.
+    pub nic_rejected: u64,
+    /// Packets in flight at the end of the window.
+    pub in_flight: u64,
+    /// Total buffered flits/packets across routers at the end of the
+    /// window (electrical VC occupancy, or Phastlane fallback buffers).
+    pub buffer_occupancy: u64,
+}
+
+impl MetricSample {
+    /// Offered load in packets/node/cycle given the run geometry.
+    pub fn offered_rate(&self, nodes: usize) -> f64 {
+        self.offered as f64 / (self.cycles() * nodes as u64) as f64
+    }
+
+    /// Accepted load in packets/node/cycle given the run geometry.
+    pub fn accepted_rate(&self, nodes: usize) -> f64 {
+        self.accepted as f64 / (self.cycles() * nodes as u64) as f64
+    }
+
+    fn cycles(&self) -> u64 {
+        self.cycle_end - self.cycle_start + 1
+    }
+
+    /// Column header matching [`to_csv_row`](Self::to_csv_row).
+    pub const CSV_HEADER: &'static str = "cycle_start,cycle_end,offered,accepted,delivered,\
+mean_latency,p50_latency,p99_latency,dropped,retried,nic_rejected,in_flight,buffer_occupancy";
+
+    /// One CSV row; empty cells for absent latency figures.
+    pub fn to_csv_row(&self) -> String {
+        let opt_f = |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_default();
+        let opt_u = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_default();
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.cycle_start,
+            self.cycle_end,
+            self.offered,
+            self.accepted,
+            self.delivered,
+            opt_f(self.mean_latency),
+            opt_u(self.p50_latency),
+            opt_u(self.p99_latency),
+            self.dropped,
+            self.retried,
+            self.nic_rejected,
+            self.in_flight,
+            self.buffer_occupancy,
+        )
+    }
+
+    /// Structured JSON form (insertion-ordered, deterministic).
+    pub fn to_json(&self) -> JsonValue {
+        let opt_f = |v: Option<f64>| v.map(JsonValue::Num).unwrap_or(JsonValue::Null);
+        let opt_u = |v: Option<u64>| v.map(JsonValue::Uint).unwrap_or(JsonValue::Null);
+        JsonValue::Obj(vec![
+            ("cycle_start".into(), JsonValue::Uint(self.cycle_start)),
+            ("cycle_end".into(), JsonValue::Uint(self.cycle_end)),
+            ("offered".into(), JsonValue::Uint(self.offered)),
+            ("accepted".into(), JsonValue::Uint(self.accepted)),
+            ("delivered".into(), JsonValue::Uint(self.delivered)),
+            ("mean_latency".into(), opt_f(self.mean_latency)),
+            ("p50_latency".into(), opt_u(self.p50_latency)),
+            ("p99_latency".into(), opt_u(self.p99_latency)),
+            ("dropped".into(), JsonValue::Uint(self.dropped)),
+            ("retried".into(), JsonValue::Uint(self.retried)),
+            ("nic_rejected".into(), JsonValue::Uint(self.nic_rejected)),
+            ("in_flight".into(), JsonValue::Uint(self.in_flight)),
+            (
+                "buffer_occupancy".into(),
+                JsonValue::Uint(self.buffer_occupancy),
+            ),
+        ])
+    }
+}
+
+/// A completed time series plus the geometry needed to normalize it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSeries {
+    /// Sampling interval in cycles.
+    pub interval: u64,
+    /// Node count of the mesh the run used.
+    pub nodes: usize,
+    /// The samples, in cycle order.
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSeries {
+    /// Structured JSON form.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("interval".into(), JsonValue::Uint(self.interval)),
+            ("nodes".into(), JsonValue::Uint(self.nodes as u64)),
+            (
+                "samples".into(),
+                JsonValue::Arr(self.samples.iter().map(MetricSample::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// CSV form with header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(MetricSample::CSV_HEADER);
+        out.push('\n');
+        for s in &self.samples {
+            out.push_str(&s.to_csv_row());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Accumulates per-window counters and flushes samples on interval
+/// boundaries.
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    interval: u64,
+    nodes: usize,
+    window_start: u64,
+    offered: u64,
+    accepted: u64,
+    nic_rejected: u64,
+    latency: LatencyStats,
+    // Cumulative counters from the last flush, to turn totals into deltas.
+    last_dropped: u64,
+    last_retried: u64,
+    samples: Vec<MetricSample>,
+}
+
+impl MetricsCollector {
+    /// Creates a collector sampling every `interval` cycles on a mesh of
+    /// `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: u64, nodes: usize) -> Self {
+        assert!(interval > 0, "sample interval must be positive");
+        MetricsCollector {
+            interval,
+            nodes,
+            window_start: 0,
+            offered: 0,
+            accepted: 0,
+            nic_rejected: 0,
+            latency: LatencyStats::new(),
+            last_dropped: 0,
+            last_retried: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Notes `n` offered injections this cycle.
+    #[inline]
+    pub fn on_offered(&mut self, n: u64) {
+        self.offered += n;
+    }
+
+    /// Notes `n` accepted injections this cycle.
+    #[inline]
+    pub fn on_accepted(&mut self, n: u64) {
+        self.accepted += n;
+    }
+
+    /// Notes `n` NIC rejections this cycle.
+    #[inline]
+    pub fn on_rejected(&mut self, n: u64) {
+        self.nic_rejected += n;
+    }
+
+    /// Notes one delivery with its latency.
+    #[inline]
+    pub fn on_delivered(&mut self, latency: u64) {
+        self.latency.record(latency);
+    }
+
+    /// Whether closing `cycle` would fill the current window — callers
+    /// use this to fetch (possibly expensive) cumulative network counters
+    /// only when a flush is due.
+    #[inline]
+    pub fn at_boundary(&self, cycle: u64) -> bool {
+        cycle + 1 >= self.window_start + self.interval
+    }
+
+    /// Closes cycle `cycle`; flushes a sample when the window fills.
+    ///
+    /// `dropped_total` and `retried_total` are *cumulative* network
+    /// counters — the collector differences them itself. `in_flight` and
+    /// `buffer_occupancy` are instantaneous snapshots.
+    pub fn end_cycle(
+        &mut self,
+        cycle: u64,
+        dropped_total: u64,
+        retried_total: u64,
+        in_flight: u64,
+        buffer_occupancy: u64,
+    ) {
+        if cycle + 1 >= self.window_start + self.interval {
+            self.flush(
+                cycle,
+                dropped_total,
+                retried_total,
+                in_flight,
+                buffer_occupancy,
+            );
+        }
+    }
+
+    /// Flushes a trailing partial window, if any activity is pending.
+    pub fn finish(
+        &mut self,
+        cycle: u64,
+        dropped_total: u64,
+        retried_total: u64,
+        in_flight: u64,
+        buffer_occupancy: u64,
+    ) {
+        if cycle >= self.window_start {
+            self.flush(
+                cycle,
+                dropped_total,
+                retried_total,
+                in_flight,
+                buffer_occupancy,
+            );
+        }
+    }
+
+    fn flush(
+        &mut self,
+        cycle: u64,
+        dropped_total: u64,
+        retried_total: u64,
+        in_flight: u64,
+        buffer_occupancy: u64,
+    ) {
+        let latency = std::mem::take(&mut self.latency);
+        self.samples.push(MetricSample {
+            cycle_start: self.window_start,
+            cycle_end: cycle,
+            offered: std::mem::take(&mut self.offered),
+            accepted: std::mem::take(&mut self.accepted),
+            delivered: latency.count(),
+            mean_latency: latency.mean(),
+            p50_latency: (latency.count() > 0)
+                .then(|| latency.percentile(50.0))
+                .flatten(),
+            p99_latency: (latency.count() > 0)
+                .then(|| latency.percentile(99.0))
+                .flatten(),
+            dropped: dropped_total - self.last_dropped,
+            retried: retried_total - self.last_retried,
+            nic_rejected: std::mem::take(&mut self.nic_rejected),
+            in_flight,
+            buffer_occupancy,
+        });
+        self.last_dropped = dropped_total;
+        self.last_retried = retried_total;
+        self.window_start = cycle + 1;
+    }
+
+    /// Finalizes into the exported series.
+    pub fn into_series(self) -> MetricsSeries {
+        MetricsSeries {
+            interval: self.interval,
+            nodes: self.nodes,
+            samples: self.samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_flush_on_interval() {
+        let mut c = MetricsCollector::new(10, 16);
+        for cycle in 0..25 {
+            c.on_offered(2);
+            c.on_accepted(1);
+            if cycle % 5 == 0 {
+                c.on_delivered(cycle + 3);
+            }
+            c.end_cycle(cycle, cycle / 10, 0, 4, 7);
+        }
+        c.finish(24, 2, 0, 4, 7);
+        let series = c.into_series();
+        assert_eq!(series.samples.len(), 3);
+        let s0 = &series.samples[0];
+        assert_eq!((s0.cycle_start, s0.cycle_end), (0, 9));
+        assert_eq!(s0.offered, 20);
+        assert_eq!(s0.accepted, 10);
+        assert_eq!(s0.delivered, 2); // cycles 0 and 5
+        let s2 = &series.samples[2];
+        assert_eq!((s2.cycle_start, s2.cycle_end), (20, 24));
+        assert_eq!(s2.offered, 10);
+    }
+
+    #[test]
+    fn cumulative_counters_become_deltas() {
+        let mut c = MetricsCollector::new(4, 4);
+        for cycle in 0..8 {
+            c.end_cycle(cycle, (cycle + 1) * 3, cycle + 1, 0, 0);
+        }
+        let series = c.into_series();
+        assert_eq!(series.samples.len(), 2);
+        assert_eq!(series.samples[0].dropped, 12); // totals 3..12
+        assert_eq!(series.samples[1].dropped, 12); // totals 15..24
+        assert_eq!(series.samples[0].retried, 4);
+        assert_eq!(series.samples[1].retried, 4);
+    }
+
+    #[test]
+    fn empty_window_has_no_latency() {
+        let mut c = MetricsCollector::new(2, 4);
+        c.end_cycle(0, 0, 0, 0, 0);
+        c.end_cycle(1, 0, 0, 0, 0);
+        let series = c.into_series();
+        assert_eq!(series.samples.len(), 1);
+        assert_eq!(series.samples[0].mean_latency, None);
+        assert_eq!(series.samples[0].p99_latency, None);
+    }
+
+    #[test]
+    fn rates_normalize_by_nodes_and_cycles() {
+        let s = MetricSample {
+            cycle_start: 0,
+            cycle_end: 9,
+            offered: 40,
+            accepted: 20,
+            delivered: 0,
+            mean_latency: None,
+            p50_latency: None,
+            p99_latency: None,
+            dropped: 0,
+            retried: 0,
+            nic_rejected: 0,
+            in_flight: 0,
+            buffer_occupancy: 0,
+        };
+        assert!((s.offered_rate(4) - 1.0).abs() < 1e-12);
+        assert!((s.accepted_rate(4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_and_json_round() {
+        let mut c = MetricsCollector::new(5, 4);
+        for cycle in 0..5 {
+            c.on_offered(1);
+            c.on_accepted(1);
+            c.on_delivered(10);
+            c.end_cycle(cycle, 0, 0, 1, 2);
+        }
+        let series = c.into_series();
+        let csv = series.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(MetricSample::CSV_HEADER));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("0,4,5,5,5,10.000,"), "{row}");
+
+        let json = series.to_json();
+        assert_eq!(json.get("interval").unwrap().as_u64(), Some(5));
+        assert_eq!(json.get("samples").unwrap().as_arr().unwrap().len(), 1);
+        // Serialization is parseable and stable.
+        let text = json.to_string_compact();
+        assert_eq!(crate::obs::json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_rejected() {
+        let _ = MetricsCollector::new(0, 4);
+    }
+}

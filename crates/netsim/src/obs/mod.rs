@@ -1,0 +1,34 @@
+//! Observability: structured event traces, time-series metrics, and
+//! run reports — zero-cost when disabled.
+//!
+//! The paper's congestion story (Figs. 9–11) lives in *where* and *when*
+//! packets fall back to electrical buffers, overflow, and retransmit.
+//! End-of-run aggregates cannot show that, so this module provides three
+//! progressively heavier views:
+//!
+//! 1. [`event`] — a per-event structured trace ([`SimEvent`]) collected
+//!    into a [`TraceBuffer`] (unbounded or ring mode) with severity
+//!    filtering;
+//! 2. [`metrics`] — interval-sampled time series ([`MetricsSeries`]):
+//!    offered/accepted/delivered load, latency percentiles, buffer
+//!    occupancy, drops and retries per sample window;
+//! 3. [`report`] — a structured run report ([`RunReport`]) with a
+//!    simulator performance profile ([`PerfProfile`]), exportable as
+//!    JSON or CSV through the dependency-free [`json`] serializer.
+//!
+//! # Cost model
+//!
+//! Networks own an [`Obs`] handle that is `Off` by default. Every emit
+//! site compiles to one branch on an `Option` discriminant when tracing
+//! is disabled; no event values are constructed. Metric sampling lives
+//! in the harness, not the per-cycle network loops, and only runs when a
+//! collector is attached.
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod report;
+
+pub use event::{EventKind, Obs, Severity, SimEvent, TraceBuffer};
+pub use metrics::{MetricSample, MetricsCollector, MetricsSeries};
+pub use report::{PerfProfile, RunReport};

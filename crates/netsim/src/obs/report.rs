@@ -1,0 +1,268 @@
+//! Structured run reports and simulator performance profiles.
+//!
+//! A [`RunReport`] is the machine-readable counterpart of the human
+//! tables the CLI prints: network identity, geometry, traffic counters,
+//! latency summary, energy breakdown, and a [`PerfProfile`] of the
+//! simulator itself (cycles simulated per wall-clock second), exportable
+//! as JSON or flat `key,value` CSV.
+
+use crate::obs::json::JsonValue;
+use crate::stats::{EnergyReport, LatencyStats, NetworkStats};
+use std::time::Duration;
+
+/// Simulator throughput: how fast the *simulation* ran, independent of
+/// what it simulated. Used to police the observability overhead budget
+/// (tracing disabled must stay within a few percent of the untraced
+/// baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PerfProfile {
+    /// Simulated cycles executed.
+    pub cycles: u64,
+    /// Wall-clock time the run took, in seconds.
+    pub wall_seconds: f64,
+}
+
+impl PerfProfile {
+    /// Builds a profile from a cycle count and elapsed wall time.
+    pub fn new(cycles: u64, elapsed: Duration) -> Self {
+        PerfProfile {
+            cycles,
+            wall_seconds: elapsed.as_secs_f64(),
+        }
+    }
+
+    /// Simulated cycles per wall-clock second (0 for an instant run).
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.cycles as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Structured JSON form.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("cycles".into(), JsonValue::Uint(self.cycles)),
+            ("wall_seconds".into(), JsonValue::Num(self.wall_seconds)),
+            (
+                "cycles_per_sec".into(),
+                JsonValue::Num(self.cycles_per_sec()),
+            ),
+        ])
+    }
+}
+
+/// The machine-readable summary of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Network implementation name (e.g. `"phastlane"`, `"electrical"`).
+    pub network: String,
+    /// Mesh width.
+    pub width: u16,
+    /// Mesh height.
+    pub height: u16,
+    /// RNG seed the run used, when the workload was seeded.
+    pub seed: Option<u64>,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Traffic and latency counters.
+    pub stats: NetworkStats,
+    /// Energy breakdown.
+    pub energy: EnergyReport,
+    /// Simulator performance profile.
+    pub perf: PerfProfile,
+    /// Workload-specific extras (offered rate, pattern name, ...),
+    /// appended verbatim to the JSON object and CSV rows.
+    pub extra: Vec<(String, JsonValue)>,
+}
+
+impl RunReport {
+    fn latency_json(latency: &LatencyStats) -> JsonValue {
+        let opt_u = |v: Option<u64>| v.map(JsonValue::Uint).unwrap_or(JsonValue::Null);
+        let opt_f = |v: Option<f64>| v.map(JsonValue::Num).unwrap_or(JsonValue::Null);
+        let pct = |p: f64| {
+            (latency.count() > 0)
+                .then(|| latency.percentile(p))
+                .flatten()
+        };
+        JsonValue::Obj(vec![
+            ("count".into(), JsonValue::Uint(latency.count())),
+            ("mean".into(), opt_f(latency.mean())),
+            ("min".into(), opt_u(latency.min())),
+            ("max".into(), JsonValue::Uint(latency.max())),
+            ("p50".into(), opt_u(pct(50.0))),
+            ("p99".into(), opt_u(pct(99.0))),
+        ])
+    }
+
+    /// Structured JSON form (insertion-ordered, deterministic apart from
+    /// the wall-clock fields inside `perf`).
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("network".into(), JsonValue::Str(self.network.clone())),
+            (
+                "mesh".into(),
+                JsonValue::Obj(vec![
+                    ("width".into(), JsonValue::Uint(u64::from(self.width))),
+                    ("height".into(), JsonValue::Uint(u64::from(self.height))),
+                ]),
+            ),
+            (
+                "seed".into(),
+                self.seed.map(JsonValue::Uint).unwrap_or(JsonValue::Null),
+            ),
+            ("cycles".into(), JsonValue::Uint(self.cycles)),
+            ("injected".into(), JsonValue::Uint(self.stats.injected)),
+            ("delivered".into(), JsonValue::Uint(self.stats.delivered)),
+            ("dropped".into(), JsonValue::Uint(self.stats.dropped)),
+            (
+                "retransmitted".into(),
+                JsonValue::Uint(self.stats.retransmitted),
+            ),
+            ("latency".into(), Self::latency_json(&self.stats.latency)),
+            (
+                "energy_pj".into(),
+                JsonValue::Obj(vec![
+                    ("dynamic".into(), JsonValue::Num(self.energy.dynamic_pj)),
+                    ("leakage".into(), JsonValue::Num(self.energy.leakage_pj)),
+                    ("laser".into(), JsonValue::Num(self.energy.laser_pj)),
+                    ("link".into(), JsonValue::Num(self.energy.link_pj)),
+                    ("total".into(), JsonValue::Num(self.energy.total_pj())),
+                ]),
+            ),
+            ("perf".into(), self.perf.to_json()),
+        ];
+        pairs.extend(self.extra.iter().cloned());
+        JsonValue::Obj(pairs)
+    }
+
+    /// Flat `key,value` CSV (nested objects flattened with `.`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("key,value\n");
+        flatten_csv("", &self.to_json(), &mut out);
+        out
+    }
+}
+
+fn flatten_csv(prefix: &str, value: &JsonValue, out: &mut String) {
+    match value {
+        JsonValue::Obj(pairs) => {
+            for (k, v) in pairs {
+                let key = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten_csv(&key, v, out);
+            }
+        }
+        JsonValue::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten_csv(&format!("{prefix}.{i}"), v, out);
+            }
+        }
+        scalar => {
+            out.push_str(prefix);
+            out.push(',');
+            let text = scalar.to_string_compact();
+            // Strip the JSON string quotes for CSV readability.
+            out.push_str(text.trim_matches('"'));
+            out.push('\n');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let mut stats = NetworkStats {
+            injected: 100,
+            delivered: 95,
+            dropped: 3,
+            retransmitted: 3,
+            ..Default::default()
+        };
+        for v in [5, 9, 12, 30] {
+            stats.latency.record(v);
+        }
+        RunReport {
+            network: "phastlane".into(),
+            width: 8,
+            height: 8,
+            seed: Some(7),
+            cycles: 10_000,
+            stats,
+            energy: EnergyReport {
+                dynamic_pj: 10.0,
+                leakage_pj: 20.0,
+                laser_pj: 5.0,
+                link_pj: 0.0,
+            },
+            perf: PerfProfile {
+                cycles: 10_000,
+                wall_seconds: 0.5,
+            },
+            extra: vec![("pattern".into(), JsonValue::Str("uniform".into()))],
+        }
+    }
+
+    #[test]
+    fn perf_rates() {
+        let p = PerfProfile {
+            cycles: 4_000,
+            wall_seconds: 2.0,
+        };
+        assert_eq!(p.cycles_per_sec(), 2_000.0);
+        assert_eq!(PerfProfile::default().cycles_per_sec(), 0.0);
+        let j = p.to_json();
+        assert_eq!(j.get("cycles").unwrap().as_u64(), Some(4_000));
+        assert_eq!(j.get("cycles_per_sec").unwrap().as_f64(), Some(2_000.0));
+    }
+
+    #[test]
+    fn report_json_structure() {
+        let j = sample_report().to_json();
+        assert_eq!(j.get("network").unwrap().as_str(), Some("phastlane"));
+        assert_eq!(
+            j.get("mesh").unwrap().get("width").unwrap().as_u64(),
+            Some(8)
+        );
+        assert_eq!(j.get("seed").unwrap().as_u64(), Some(7));
+        assert_eq!(
+            j.get("latency").unwrap().get("count").unwrap().as_u64(),
+            Some(4)
+        );
+        assert_eq!(
+            j.get("energy_pj").unwrap().get("total").unwrap().as_f64(),
+            Some(35.0)
+        );
+        assert_eq!(j.get("pattern").unwrap().as_str(), Some("uniform"));
+        // Roundtrips through the parser.
+        let text = j.to_string_pretty();
+        assert_eq!(crate::obs::json::parse(&text).unwrap(), j);
+    }
+
+    #[test]
+    fn report_csv_flattens() {
+        let csv = sample_report().to_csv();
+        assert!(csv.starts_with("key,value\n"));
+        assert!(csv.contains("mesh.width,8\n"), "{csv}");
+        assert!(csv.contains("energy_pj.total,35.0\n"), "{csv}");
+        assert!(csv.contains("pattern,uniform\n"), "{csv}");
+    }
+
+    #[test]
+    fn empty_latency_serializes_as_null() {
+        let mut r = sample_report();
+        r.stats.latency = LatencyStats::new();
+        let j = r.to_json();
+        assert_eq!(
+            j.get("latency").unwrap().get("mean"),
+            Some(&JsonValue::Null)
+        );
+        assert_eq!(j.get("latency").unwrap().get("p99"), Some(&JsonValue::Null));
+    }
+}

@@ -115,12 +115,20 @@ pub struct NewPacket {
 impl NewPacket {
     /// Convenience constructor for a unicast data packet.
     pub fn unicast(src: NodeId, dst: NodeId) -> Self {
-        NewPacket { src, dests: DestSet::Unicast(dst), kind: PacketKind::Data }
+        NewPacket {
+            src,
+            dests: DestSet::Unicast(dst),
+            kind: PacketKind::Data,
+        }
     }
 
     /// Convenience constructor for a broadcast packet.
     pub fn broadcast(src: NodeId, kind: PacketKind) -> Self {
-        NewPacket { src, dests: DestSet::Broadcast, kind }
+        NewPacket {
+            src,
+            dests: DestSet::Broadcast,
+            kind,
+        }
     }
 }
 

@@ -13,12 +13,23 @@ use crate::geometry::{Direction, Mesh, NodeId};
 pub fn xy_route(mesh: Mesh, src: NodeId, dst: NodeId) -> Vec<Direction> {
     let (a, b) = (mesh.coord(src), mesh.coord(dst));
     let mut dirs = Vec::with_capacity(mesh.distance(src, dst) as usize);
-    let (dx, dy) = (i32::from(b.x) - i32::from(a.x), i32::from(b.y) - i32::from(a.y));
-    let x_dir = if dx > 0 { Direction::East } else { Direction::West };
+    let (dx, dy) = (
+        i32::from(b.x) - i32::from(a.x),
+        i32::from(b.y) - i32::from(a.y),
+    );
+    let x_dir = if dx > 0 {
+        Direction::East
+    } else {
+        Direction::West
+    };
     for _ in 0..dx.unsigned_abs() {
         dirs.push(x_dir);
     }
-    let y_dir = if dy > 0 { Direction::South } else { Direction::North };
+    let y_dir = if dy > 0 {
+        Direction::South
+    } else {
+        Direction::North
+    };
     for _ in 0..dy.unsigned_abs() {
         dirs.push(y_dir);
     }
@@ -81,7 +92,10 @@ pub fn classify_turn(from: Direction, to: Direction) -> Turn {
     if from == to {
         return Turn::Straight;
     }
-    assert!(to != from.opposite(), "U-turn {from}->{to} is not a valid XY route step");
+    assert!(
+        to != from.opposite(),
+        "U-turn {from}->{to} is not a valid XY route step"
+    );
     // `from` is the direction of travel. Facing that way, determine the
     // sense of the turn.
     match (from, to) {

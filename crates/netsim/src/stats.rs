@@ -9,7 +9,9 @@ use std::fmt;
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LatencyStats {
     count: u64,
-    sum: u64,
+    /// u128: a u64 accumulator overflows after ~2^64 total latency —
+    /// reachable with a handful of near-`u64::MAX` samples.
+    sum: u128,
     max: u64,
     min: Option<u64>,
     /// bucket[i] counts samples with floor(log2(latency)) == i - 1
@@ -26,7 +28,7 @@ impl LatencyStats {
     /// Records one latency sample.
     pub fn record(&mut self, latency: u64) {
         self.count += 1;
-        self.sum += latency;
+        self.sum += u128::from(latency);
         self.max = self.max.max(latency);
         self.min = Some(self.min.map_or(latency, |m| m.min(latency)));
         self.buckets[Self::bucket_of(latency)] += 1;
@@ -40,10 +42,15 @@ impl LatencyStats {
         }
     }
 
-    /// Upper bound of a bucket (inclusive).
+    /// Upper bound of a bucket (inclusive). The last bucket is
+    /// saturated — `bucket_of` caps at 31, so it holds every sample at
+    /// or above 2^30 — and its limit is `u64::MAX` (the percentile
+    /// clamp to the observed max then keeps estimates exact there).
     fn bucket_limit(i: usize) -> u64 {
         if i == 0 {
             0
+        } else if i >= 31 {
+            u64::MAX
         } else {
             (1u64 << i) - 1
         }
@@ -261,7 +268,12 @@ mod tests {
 
     #[test]
     fn energy_total_and_power() {
-        let e = EnergyReport { dynamic_pj: 100.0, leakage_pj: 50.0, laser_pj: 25.0, link_pj: 25.0 };
+        let e = EnergyReport {
+            dynamic_pj: 100.0,
+            leakage_pj: 50.0,
+            laser_pj: 25.0,
+            link_pj: 25.0,
+        };
         assert_eq!(e.total_pj(), 200.0);
         // 200 pJ over 100 cycles at 4 GHz = 200 pJ / 25 ns = 8 mW.
         assert!((e.average_power_mw(100, 4.0) - 8.0).abs() < 1e-12);
@@ -269,8 +281,18 @@ mod tests {
 
     #[test]
     fn energy_delta() {
-        let a = EnergyReport { dynamic_pj: 10.0, leakage_pj: 5.0, laser_pj: 1.0, link_pj: 2.0 };
-        let b = EnergyReport { dynamic_pj: 4.0, leakage_pj: 2.0, laser_pj: 0.5, link_pj: 1.0 };
+        let a = EnergyReport {
+            dynamic_pj: 10.0,
+            leakage_pj: 5.0,
+            laser_pj: 1.0,
+            link_pj: 2.0,
+        };
+        let b = EnergyReport {
+            dynamic_pj: 4.0,
+            leakage_pj: 2.0,
+            laser_pj: 0.5,
+            link_pj: 1.0,
+        };
         let d = a.delta_since(&b);
         assert_eq!(d.dynamic_pj, 6.0);
         assert_eq!(d.total_pj(), 10.5);
@@ -313,6 +335,117 @@ mod tests {
     #[should_panic(expected = "percentile")]
     fn percentile_bounds() {
         let _ = LatencyStats::new().percentile(0.0);
+    }
+
+    /// Percentile estimates must respect the log2-bucket contract for
+    /// any sample multiset: within 2x of the true value, never above
+    /// the observed max, monotone in `p`.
+    fn check_percentile_contract(samples: &[u64]) {
+        let mut s = LatencyStats::new();
+        for &v in samples {
+            s.record(v);
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let mut prev = 0u64;
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let est = s.percentile(p).expect("non-empty");
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            let truth = sorted[rank - 1];
+            assert!(est <= s.max(), "p{p}: est {est} above max {}", s.max());
+            assert!(
+                est >= truth / 2,
+                "p{p}: est {est} below half of true {truth}"
+            );
+            // Bucket upper bound never undershoots the true value.
+            assert!(est >= truth.min(s.max()) / 2);
+            assert!(est >= prev, "percentile not monotone at p{p}");
+            prev = est;
+        }
+    }
+
+    #[test]
+    fn percentile_contract_uniform() {
+        let mut rng = crate::rng::SimRng::seed_from_u64(0x0057_A701);
+        for _ in 0..32 {
+            let n = rng.gen_range(1usize..400);
+            let samples: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..5_000)).collect();
+            check_percentile_contract(&samples);
+        }
+    }
+
+    #[test]
+    fn percentile_contract_bimodal() {
+        // Two well-separated modes — the regime where bucketed
+        // percentiles are most tempted to smear.
+        let mut rng = crate::rng::SimRng::seed_from_u64(0x0057_A702);
+        for _ in 0..32 {
+            let n_low = rng.gen_range(1usize..200);
+            let n_high = rng.gen_range(1usize..200);
+            let mut samples: Vec<u64> = (0..n_low).map(|_| rng.gen_range(1u64..16)).collect();
+            samples.extend((0..n_high).map(|_| rng.gen_range(4_096u64..8_192)));
+            check_percentile_contract(&samples);
+            // With >1% of mass in the high mode, p99 must report it.
+            let mut s = LatencyStats::new();
+            for &v in &samples {
+                s.record(v);
+            }
+            if n_high * 100 > samples.len() {
+                assert!(s.percentile(99.0).unwrap() >= 2_048);
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_contract_single_value() {
+        let mut rng = crate::rng::SimRng::seed_from_u64(0x0057_A703);
+        for _ in 0..32 {
+            let v = rng.gen_u64();
+            let n = rng.gen_range(1usize..50);
+            let mut s = LatencyStats::new();
+            for _ in 0..n {
+                s.record(v);
+            }
+            // Every percentile of a constant distribution is that value
+            // (the estimate clamps to the exact observed max).
+            for p in [0.5, 50.0, 99.9, 100.0] {
+                assert_eq!(s.percentile(p), Some(v), "p{p} of constant {v}");
+            }
+            assert_eq!(s.min(), Some(v));
+            // n*v accumulates in u128; the f64 division is exact only
+            // to rounding, so compare with relative tolerance.
+            let mean = s.mean().unwrap();
+            assert!((mean - v as f64).abs() <= v as f64 * 1e-12);
+        }
+    }
+
+    #[test]
+    fn boundary_latencies_do_not_overflow() {
+        // Zero, one, and u64::MAX-adjacent samples in one summary: the
+        // u128 accumulator must not wrap, and order stats stay exact.
+        let mut s = LatencyStats::new();
+        for v in [0, 1, u64::MAX, u64::MAX - 1, u64::MAX] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.min(), Some(0));
+        assert_eq!(s.max(), u64::MAX);
+        let mean = s.mean().unwrap();
+        let expect = (2.0 + 3.0 * u64::MAX as f64) / 5.0;
+        assert!((mean - expect).abs() / expect < 1e-12, "mean {mean}");
+        assert_eq!(s.percentile(100.0), Some(u64::MAX));
+        assert!(s.percentile(1.0).unwrap() <= 1);
+
+        // Merging two near-overflow summaries must also stay exact.
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        for _ in 0..4 {
+            a.record(u64::MAX);
+            b.record(u64::MAX);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 8);
+        assert!((a.mean().unwrap() - u64::MAX as f64).abs() < 1e3);
     }
 
     #[test]

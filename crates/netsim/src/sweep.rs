@@ -22,8 +22,7 @@ impl SweepPoint {
     /// Whether the network kept up with the offered load: deliveries
     /// tracked offered packets and nothing was left stranded.
     pub fn is_stable(&self) -> bool {
-        self.result.unfinished == 0
-            && self.result.delivered_rate >= 0.90 * self.result.offered_rate
+        self.result.unfinished == 0 && self.result.delivered_rate >= 0.90 * self.result.offered_rate
     }
 }
 
@@ -48,7 +47,10 @@ where
             let mut net = make_net();
             let mut workload = make_workload(rate);
             let result = run_synthetic(&mut net, &mut workload, opts);
-            SweepPoint { offered_rate: rate, result }
+            SweepPoint {
+                offered_rate: rate,
+                result,
+            }
         })
         .collect()
 }
@@ -80,6 +82,7 @@ mod tests {
                 delivered_rate: delivered,
                 energy: EnergyReport::default(),
                 unfinished,
+                perf: Default::default(),
             },
         }
     }

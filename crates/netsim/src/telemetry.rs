@@ -32,10 +32,16 @@ impl LinkCounters {
         self.counts.values().sum()
     }
 
-    /// The `n` busiest links, descending.
+    /// The `n` busiest links, descending. Ties break by node id, then
+    /// direction — a total order, so the result never depends on
+    /// `HashMap` iteration order.
     pub fn hottest(&self, n: usize) -> Vec<((NodeId, Direction), u64)> {
         let mut v: Vec<_> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        v.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then(a.0 .0.cmp(&b.0 .0))
+                .then(a.0 .1.cmp(&b.0 .1))
+        });
         v.truncate(n);
         v
     }
@@ -117,6 +123,34 @@ mod tests {
         let h = c.hottest(2);
         assert_eq!(h[0], ((NodeId(7), Direction::West), 9));
         assert_eq!(h[1], ((NodeId(3), Direction::North), 5));
+    }
+
+    #[test]
+    fn hottest_ties_break_deterministically() {
+        // Four same-count links on two nodes: the order must be fully
+        // determined — (count desc, node asc, direction asc) — no matter
+        // how the HashMap happens to iterate.
+        let mut c = LinkCounters::new();
+        for (node, dir) in [
+            (NodeId(5), Direction::West),
+            (NodeId(5), Direction::North),
+            (NodeId(2), Direction::South),
+            (NodeId(2), Direction::East),
+        ] {
+            c.record(node, dir);
+        }
+        let h = c.hottest(4);
+        assert_eq!(
+            h.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![
+                (NodeId(2), Direction::East.min(Direction::South)),
+                (NodeId(2), Direction::East.max(Direction::South)),
+                (NodeId(5), Direction::North.min(Direction::West)),
+                (NodeId(5), Direction::North.max(Direction::West)),
+            ]
+        );
+        // Stability across repeated calls.
+        assert_eq!(c.hottest(4), h);
     }
 
     #[test]

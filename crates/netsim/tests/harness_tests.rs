@@ -18,7 +18,11 @@ fn synthetic_run_measures_exact_latency() {
     // base 2 + 1 hop = 3 on the ideal network.
     let mut net = ideal();
     let mut workload = |_cycle: u64| vec![NewPacket::unicast(NodeId(0), NodeId(1))];
-    let opts = SyntheticOptions { warmup: 10, measure: 100, drain: 100 };
+    let opts = SyntheticOptions {
+        warmup: 10,
+        measure: 100,
+        drain: 100,
+    };
     let result = run_synthetic(&mut net, &mut workload, opts);
     assert_eq!(result.latency.mean(), Some(3.0));
     assert_eq!(result.latency.min(), Some(3));
@@ -163,10 +167,16 @@ fn trace_append_remaps_ids_and_offsets_time() {
         think: 0,
     };
     let mut a = Trace {
-        messages: vec![mk(0, 0, 1, 0, vec![]), mk(1, 1, 2, 0, vec![Dep::full(MsgId(0))])],
+        messages: vec![
+            mk(0, 0, 1, 0, vec![]),
+            mk(1, 1, 2, 0, vec![Dep::full(MsgId(0))]),
+        ],
     };
     let b = Trace {
-        messages: vec![mk(0, 3, 4, 5, vec![]), mk(1, 4, 5, 0, vec![Dep::at(MsgId(0), NodeId(4))])],
+        messages: vec![
+            mk(0, 3, 4, 5, vec![]),
+            mk(1, 4, 5, 0, vec![Dep::at(MsgId(0), NodeId(4))]),
+        ],
     };
     a.append(&b, 100);
     assert_eq!(a.len(), 4);

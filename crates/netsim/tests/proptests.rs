@@ -1,93 +1,120 @@
-//! Property-based tests of the simulation substrate.
+//! Randomized property tests of the simulation substrate, driven by the
+//! in-tree deterministic [`SimRng`]: every run checks the same cases,
+//! so failures reproduce exactly.
 
 use phastlane_netsim::geometry::{Coord, Direction, Mesh, NodeId};
 use phastlane_netsim::packet::DestSet;
+use phastlane_netsim::rng::SimRng;
 use phastlane_netsim::routing::{classify_turn, xy_first_hop, xy_path_nodes, xy_route, Turn};
 use phastlane_netsim::stats::LatencyStats;
-use proptest::prelude::*;
 
-fn arb_mesh() -> impl Strategy<Value = Mesh> {
-    (1u16..=12, 1u16..=12).prop_map(|(w, h)| Mesh::new(w, h))
+fn random_mesh(rng: &mut SimRng) -> Mesh {
+    Mesh::new(rng.gen_range(1u16..13), rng.gen_range(1u16..13))
 }
 
-fn arb_mesh_and_pair() -> impl Strategy<Value = (Mesh, NodeId, NodeId)> {
-    arb_mesh().prop_flat_map(|mesh| {
-        let n = mesh.nodes() as u16;
-        (Just(mesh), 0..n, 0..n).prop_map(|(m, a, b)| (m, NodeId(a), NodeId(b)))
-    })
+fn random_mesh_and_pair(rng: &mut SimRng) -> (Mesh, NodeId, NodeId) {
+    let mesh = random_mesh(rng);
+    let n = mesh.nodes() as u16;
+    (
+        mesh,
+        NodeId(rng.gen_range(0..n)),
+        NodeId(rng.gen_range(0..n)),
+    )
 }
 
-proptest! {
-    /// XY routes have exactly Manhattan-distance length and stay inside
-    /// the mesh.
-    #[test]
-    fn route_length_is_manhattan((mesh, src, dst) in arb_mesh_and_pair()) {
+/// XY routes have exactly Manhattan-distance length and stay inside the
+/// mesh.
+#[test]
+fn route_length_is_manhattan() {
+    let mut rng = SimRng::seed_from_u64(0x04E7_5101);
+    for _ in 0..256 {
+        let (mesh, src, dst) = random_mesh_and_pair(&mut rng);
         let route = xy_route(mesh, src, dst);
-        prop_assert_eq!(route.len() as u32, mesh.distance(src, dst));
+        assert_eq!(route.len() as u32, mesh.distance(src, dst));
         let mut cur = src;
         for dir in &route {
             cur = mesh.neighbor(cur, *dir).expect("route stays inside mesh");
         }
-        prop_assert_eq!(cur, dst);
+        assert_eq!(cur, dst);
     }
+}
 
-    /// XY routes never U-turn and turn at most once.
-    #[test]
-    fn route_turns_at_most_once((mesh, src, dst) in arb_mesh_and_pair()) {
+/// XY routes never U-turn and turn at most once.
+#[test]
+fn route_turns_at_most_once() {
+    let mut rng = SimRng::seed_from_u64(0x04E7_5102);
+    for _ in 0..256 {
+        let (mesh, src, dst) = random_mesh_and_pair(&mut rng);
         let route = xy_route(mesh, src, dst);
         let mut turns = 0;
         for w in route.windows(2) {
-            prop_assert_ne!(w[1], w[0].opposite(), "U-turn");
+            assert_ne!(w[1], w[0].opposite(), "U-turn");
             if classify_turn(w[0], w[1]) != Turn::Straight {
                 turns += 1;
             }
         }
-        prop_assert!(turns <= 1);
+        assert!(turns <= 1);
     }
+}
 
-    /// The first hop reported matches the route, and the node path ends
-    /// at the destination.
-    #[test]
-    fn first_hop_and_path_consistent((mesh, src, dst) in arb_mesh_and_pair()) {
+/// The first hop reported matches the route, and the node path ends at
+/// the destination.
+#[test]
+fn first_hop_and_path_consistent() {
+    let mut rng = SimRng::seed_from_u64(0x04E7_5103);
+    for _ in 0..256 {
+        let (mesh, src, dst) = random_mesh_and_pair(&mut rng);
         let route = xy_route(mesh, src, dst);
-        prop_assert_eq!(xy_first_hop(mesh, src, dst), route.first().copied());
+        assert_eq!(xy_first_hop(mesh, src, dst), route.first().copied());
         let path = xy_path_nodes(mesh, src, dst);
-        prop_assert_eq!(path.len(), route.len());
+        assert_eq!(path.len(), route.len());
         if src != dst {
-            prop_assert_eq!(*path.last().unwrap(), dst);
+            assert_eq!(*path.last().unwrap(), dst);
         }
     }
+}
 
-    /// Coordinates roundtrip through node ids for any mesh.
-    #[test]
-    fn coord_roundtrip(mesh in arb_mesh()) {
+/// Coordinates roundtrip through node ids for any mesh.
+#[test]
+fn coord_roundtrip() {
+    let mut rng = SimRng::seed_from_u64(0x04E7_5104);
+    for _ in 0..64 {
+        let mesh = random_mesh(&mut rng);
         for node in mesh.iter_nodes() {
             let c = mesh.coord(node);
-            prop_assert!(c.x < mesh.width() && c.y < mesh.height());
-            prop_assert_eq!(mesh.node_at(c), node);
+            assert!(c.x < mesh.width() && c.y < mesh.height());
+            assert_eq!(mesh.node_at(c), node);
         }
     }
+}
 
-    /// Distance is a metric: symmetric, zero iff equal, triangle
-    /// inequality.
-    #[test]
-    fn distance_is_a_metric((mesh, a, b) in arb_mesh_and_pair(), c_raw in 0u16..144) {
-        let c = NodeId(c_raw % mesh.nodes() as u16);
-        prop_assert_eq!(mesh.distance(a, b), mesh.distance(b, a));
-        prop_assert_eq!(mesh.distance(a, b) == 0, a == b);
-        prop_assert!(mesh.distance(a, b) <= mesh.distance(a, c) + mesh.distance(c, b));
+/// Distance is a metric: symmetric, zero iff equal, triangle
+/// inequality.
+#[test]
+fn distance_is_a_metric() {
+    let mut rng = SimRng::seed_from_u64(0x04E7_5105);
+    for _ in 0..256 {
+        let (mesh, a, b) = random_mesh_and_pair(&mut rng);
+        let c = NodeId(rng.gen_range(0u16..144) % mesh.nodes() as u16);
+        assert_eq!(mesh.distance(a, b), mesh.distance(b, a));
+        assert_eq!(mesh.distance(a, b) == 0, a == b);
+        assert!(mesh.distance(a, b) <= mesh.distance(a, c) + mesh.distance(c, b));
     }
+}
 
-    /// Neighbour relationships are involutive and stay in bounds.
-    #[test]
-    fn neighbors_involutive(mesh in arb_mesh()) {
+/// Neighbour relationships are involutive and stay in bounds.
+#[test]
+fn neighbors_involutive() {
+    let mut rng = SimRng::seed_from_u64(0x04E7_5106);
+    for _ in 0..64 {
+        let mesh = random_mesh(&mut rng);
         for node in mesh.iter_nodes() {
             for dir in Direction::ALL {
                 if let Some(n) = mesh.neighbor(node, dir) {
-                    prop_assert!(mesh.contains(n));
-                    prop_assert_eq!(mesh.neighbor(n, dir.opposite()), Some(node));
+                    assert!(mesh.contains(n));
+                    assert_eq!(mesh.neighbor(n, dir.opposite()), Some(node));
                     let (ca, cb) = (mesh.coord(node), mesh.coord(n));
-                    prop_assert_eq!(
+                    assert_eq!(
                         (i32::from(ca.x) - i32::from(cb.x)).abs()
                             + (i32::from(ca.y) - i32::from(cb.y)).abs(),
                         1
@@ -96,38 +123,44 @@ proptest! {
             }
         }
     }
+}
 
-    /// DestSet expansion never contains the source, never duplicates,
-    /// and broadcast covers everything else.
-    #[test]
-    fn dest_expansion_invariants(
-        src in 0u16..64,
-        list in proptest::collection::vec(0u16..64, 0..10),
-    ) {
-        let src = NodeId(src);
-        let sets = [
-            DestSet::Broadcast,
-            DestSet::Multicast(list.iter().map(|&d| NodeId(d)).collect()),
-        ];
+/// DestSet expansion never contains the source, never duplicates, and
+/// broadcast covers everything else.
+#[test]
+fn dest_expansion_invariants() {
+    let mut rng = SimRng::seed_from_u64(0x04E7_5107);
+    for _ in 0..128 {
+        let src = NodeId(rng.gen_range(0u16..64));
+        let list: Vec<NodeId> = (0..rng.gen_range(0usize..10))
+            .map(|_| NodeId(rng.gen_range(0u16..64)))
+            .collect();
+        let sets = [DestSet::Broadcast, DestSet::Multicast(list)];
         for set in sets {
             let expanded = set.expand(src, 64);
-            prop_assert!(!expanded.contains(&src));
+            assert!(!expanded.contains(&src));
             let mut dedup = expanded.clone();
             dedup.sort_unstable();
             dedup.dedup();
-            prop_assert_eq!(dedup.len(), expanded.len(), "no duplicates");
+            assert_eq!(dedup.len(), expanded.len(), "no duplicates");
             if matches!(set, DestSet::Broadcast) {
-                prop_assert_eq!(expanded.len(), 63);
+                assert_eq!(expanded.len(), 63);
             }
         }
     }
+}
 
-    /// Merging latency summaries equals recording into one.
-    #[test]
-    fn latency_merge_equivalent(
-        a in proptest::collection::vec(0u64..10_000, 0..40),
-        b in proptest::collection::vec(0u64..10_000, 0..40),
-    ) {
+/// Merging latency summaries equals recording into one.
+#[test]
+fn latency_merge_equivalent() {
+    let mut rng = SimRng::seed_from_u64(0x04E7_5108);
+    for _ in 0..128 {
+        let a: Vec<u64> = (0..rng.gen_range(0usize..40))
+            .map(|_| rng.gen_range(0u64..10_000))
+            .collect();
+        let b: Vec<u64> = (0..rng.gen_range(0usize..40))
+            .map(|_| rng.gen_range(0u64..10_000))
+            .collect();
         let mut merged = LatencyStats::new();
         let mut left = LatencyStats::new();
         let mut right = LatencyStats::new();
@@ -140,61 +173,83 @@ proptest! {
             merged.record(v);
         }
         left.merge(&right);
-        prop_assert_eq!(left, merged);
+        assert_eq!(left, merged);
     }
+}
 
-    /// Transposing a coordinate twice is the identity (sanity of Coord).
-    #[test]
-    fn coord_transpose_involutive(x in 0u16..12, y in 0u16..12) {
-        let mesh = Mesh::new(12, 12);
-        let n = mesh.node_at(Coord { x, y });
-        let t = mesh.node_at(Coord { x: y, y: x });
-        let tt = {
-            let c = mesh.coord(t);
-            mesh.node_at(Coord { x: c.y, y: c.x })
-        };
-        prop_assert_eq!(tt, n);
+/// Transposing a coordinate twice is the identity (sanity of Coord).
+#[test]
+fn coord_transpose_involutive() {
+    for x in 0u16..12 {
+        for y in 0u16..12 {
+            let mesh = Mesh::new(12, 12);
+            let n = mesh.node_at(Coord { x, y });
+            let t = mesh.node_at(Coord { x: y, y: x });
+            let tt = {
+                let c = mesh.coord(t);
+                mesh.node_at(Coord { x: c.y, y: c.x })
+            };
+            assert_eq!(tt, n);
+        }
     }
 }
 
 mod ecc_props {
     use phastlane_netsim::ecc::{decode, encode, Decoded};
-    use proptest::prelude::*;
+    use phastlane_netsim::rng::SimRng;
 
-    proptest! {
-        /// Clean code words always decode to themselves.
-        #[test]
-        fn clean_roundtrip(data in any::<u64>()) {
-            prop_assert_eq!(decode(encode(data)), Decoded::Clean(data));
+    /// Clean code words always decode to themselves.
+    #[test]
+    fn clean_roundtrip() {
+        let mut rng = SimRng::seed_from_u64(0x000E_CC01);
+        for _ in 0..256 {
+            let data = rng.gen_u64();
+            assert_eq!(decode(encode(data)), Decoded::Clean(data));
         }
+    }
 
-        /// Any single bit flip (data or check) is corrected back to the
-        /// original data.
-        #[test]
-        fn single_flip_corrected(data in any::<u64>(), bit in 0u32..72) {
-            let mut cw = encode(data);
-            if bit < 64 {
-                cw.data ^= 1 << bit;
-            } else {
-                cw.check ^= 1 << (bit - 64);
-            }
-            prop_assert_eq!(decode(cw), Decoded::Corrected(data));
-        }
-
-        /// Any double flip across data and check bits is detected, never
-        /// silently miscorrected.
-        #[test]
-        fn double_flip_detected(data in any::<u64>(), a in 0u32..72, b in 0u32..72) {
-            prop_assume!(a != b);
-            let mut cw = encode(data);
-            for bit in [a, b] {
+    /// Any single bit flip (data or check) is corrected back to the
+    /// original data.
+    #[test]
+    fn single_flip_corrected() {
+        let mut rng = SimRng::seed_from_u64(0x000E_CC02);
+        for _ in 0..16 {
+            let data = rng.gen_u64();
+            for bit in 0u32..72 {
+                let mut cw = encode(data);
                 if bit < 64 {
                     cw.data ^= 1 << bit;
                 } else {
                     cw.check ^= 1 << (bit - 64);
                 }
+                assert_eq!(decode(cw), Decoded::Corrected(data), "bit={bit}");
             }
-            prop_assert_eq!(decode(cw), Decoded::Uncorrectable);
+        }
+    }
+
+    /// Any double flip across data and check bits is detected, never
+    /// silently miscorrected.
+    #[test]
+    fn double_flip_detected() {
+        let mut rng = SimRng::seed_from_u64(0x000E_CC03);
+        for _ in 0..4 {
+            let data = rng.gen_u64();
+            for a in 0u32..72 {
+                for b in 0u32..72 {
+                    if a == b {
+                        continue;
+                    }
+                    let mut cw = encode(data);
+                    for bit in [a, b] {
+                        if bit < 64 {
+                            cw.data ^= 1 << bit;
+                        } else {
+                            cw.check ^= 1 << (bit - 64);
+                        }
+                    }
+                    assert_eq!(decode(cw), Decoded::Uncorrectable, "bits=({a},{b})");
+                }
+            }
         }
     }
 }

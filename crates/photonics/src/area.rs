@@ -108,7 +108,11 @@ mod tests {
         // wavelengths will also meet die size constraints."
         for wdm in [WdmConfig::new(32), WdmConfig::new(128)] {
             let a = RouterArea::for_wdm(wdm);
-            assert!(!a.fits(NODE_AREA_1CORE), "{} should exceed 1-core node", wdm.payload_wdm);
+            assert!(
+                !a.fits(NODE_AREA_1CORE),
+                "{} should exceed 1-core node",
+                wdm.payload_wdm
+            );
             assert!(a.fits(NODE_AREA_2CORE) || a.fits(NODE_AREA_4CORE));
         }
     }

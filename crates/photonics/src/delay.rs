@@ -14,7 +14,9 @@
 //! * 8 / 5 / 4 hops per cycle for optimistic / average / pessimistic
 //!   scaling, independent of the number of wavelengths.
 
-use crate::devices::{Modulator, OpticalReceiver, RingResonator, Waveguide, WAVEGUIDE_DELAY_PS_PER_MM};
+use crate::devices::{
+    Modulator, OpticalReceiver, RingResonator, Waveguide, WAVEGUIDE_DELAY_PS_PER_MM,
+};
 use crate::scaling::Scaling;
 use crate::units::{Millimeters, Picoseconds, TechNode};
 use crate::wdm::WdmConfig;
@@ -127,7 +129,11 @@ impl RouterDesign {
     /// The paper's design point for a given scaling scenario: 64-way WDM
     /// at 16 nm.
     pub fn paper(scaling: Scaling) -> Self {
-        RouterDesign { wdm: WdmConfig::PAPER, scaling, node: TechNode::NM16 }
+        RouterDesign {
+            wdm: WdmConfig::PAPER,
+            scaling,
+            node: TechNode::NM16,
+        }
     }
 
     fn receiver(&self) -> OpticalReceiver {
@@ -279,7 +285,11 @@ mod tests {
                 (Scaling::Average, 5),
                 (Scaling::Pessimistic, 4),
             ] {
-                let d = RouterDesign { wdm, scaling, node: TechNode::NM16 };
+                let d = RouterDesign {
+                    wdm,
+                    scaling,
+                    node: TechNode::NM16,
+                };
                 assert_eq!(
                     d.max_hops_per_cycle(),
                     expect,
@@ -312,10 +322,14 @@ mod tests {
             let totals: Vec<f64> = WdmConfig::SWEEP
                 .iter()
                 .map(|&wdm| {
-                    RouterDesign { wdm, scaling, node: TechNode::NM16 }
-                        .critical_path(RouterOp::PacketPass)
-                        .total()
-                        .value()
+                    RouterDesign {
+                        wdm,
+                        scaling,
+                        node: TechNode::NM16,
+                    }
+                    .critical_path(RouterOp::PacketPass)
+                    .total()
+                    .value()
                 })
                 .collect();
             let max = totals.iter().cloned().fold(f64::MIN, f64::max);

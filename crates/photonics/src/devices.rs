@@ -29,7 +29,10 @@ impl Waveguide {
     ///
     /// Panics if `length` is negative.
     pub fn new(length: Millimeters) -> Self {
-        assert!(length.value() >= 0.0, "waveguide length must be non-negative");
+        assert!(
+            length.value() >= 0.0,
+            "waveguide length must be non-negative"
+        );
         Waveguide { length }
     }
 

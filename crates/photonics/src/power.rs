@@ -61,13 +61,17 @@ impl PowerPoint {
             crossing_efficiency > 0.0 && crossing_efficiency <= 1.0,
             "crossing efficiency must be in (0, 1]"
         );
-        PowerPoint { wdm, max_hops, crossing_efficiency }
+        PowerPoint {
+            wdm,
+            max_hops,
+            crossing_efficiency,
+        }
     }
 
     /// Worst-case number of crossings along a packet's maximum-length path.
     pub fn worst_case_crossings(&self) -> f64 {
-        let per_router = CROSSINGS_PER_WAVEGUIDE * f64::from(self.wdm.total_waveguides())
-            + CROSSINGS_FIXED;
+        let per_router =
+            CROSSINGS_PER_WAVEGUIDE * f64::from(self.wdm.total_waveguides()) + CROSSINGS_FIXED;
         per_router * f64::from(self.max_hops)
     }
 
@@ -94,10 +98,7 @@ impl PowerPoint {
 
 /// The Figure 7 contour grid: peak power over
 /// (crossing efficiency x wavelengths x max hops).
-pub fn figure7_grid(
-    efficiencies: &[f64],
-    hops: &[u32],
-) -> Vec<(f64, WdmConfig, u32, Milliwatts)> {
+pub fn figure7_grid(efficiencies: &[f64], hops: &[u32]) -> Vec<(f64, WdmConfig, u32, Milliwatts)> {
     let mut rows = Vec::new();
     for &eff in efficiencies {
         for wdm in WdmConfig::SWEEP {
@@ -125,7 +126,10 @@ mod tests {
         // Paper: "a four-hop network requires a peak 32W of optical power
         // at 98% crossing efficiency" with 64 wavelengths.
         let w = watts(64, 4, 0.98);
-        assert!((w - 32.0).abs() < 4.0, "64λ/4hop/98%: {w} W, expected ~32 W");
+        assert!(
+            (w - 32.0).abs() < 4.0,
+            "64λ/4hop/98%: {w} W, expected ~32 W"
+        );
     }
 
     #[test]
@@ -133,7 +137,10 @@ mod tests {
         // Paper: "moving to 128 wavelengths permits a five-hop network for
         // the same 32W of power".
         let w = watts(128, 5, 0.98);
-        assert!((w - 32.0).abs() < 4.0, "128λ/5hop/98%: {w} W, expected ~32 W");
+        assert!(
+            (w - 32.0).abs() < 4.0,
+            "128λ/5hop/98%: {w} W, expected ~32 W"
+        );
     }
 
     #[test]
@@ -148,9 +155,18 @@ mod tests {
     fn wdm32_needs_high_efficiency_or_short_hops() {
         // Paper: with 32 wavelengths the network needs >= 99 % crossing
         // efficiency or a 2-3 hop limit to keep peak power reasonable.
-        assert!(watts(32, 4, 0.98) > 60.0, "32λ/4hop/98% should be excessive");
-        assert!(watts(32, 4, 0.99) < 32.0, "32λ/4hop/99% should be reasonable");
-        assert!(watts(32, 2, 0.98) < 32.0, "32λ/2hop/98% should be reasonable");
+        assert!(
+            watts(32, 4, 0.98) > 60.0,
+            "32λ/4hop/98% should be excessive"
+        );
+        assert!(
+            watts(32, 4, 0.99) < 32.0,
+            "32λ/4hop/99% should be reasonable"
+        );
+        assert!(
+            watts(32, 2, 0.98) < 32.0,
+            "32λ/2hop/98% should be reasonable"
+        );
     }
 
     #[test]
@@ -174,9 +190,8 @@ mod tests {
     #[test]
     fn perfect_crossings_leave_only_sensitivity_floor() {
         let p = PowerPoint::new(WdmConfig::PAPER, 4, 1.0);
-        let floor = f64::from(p.peak_active_channels())
-            * OpticalReceiver::SENSITIVITY.value()
-            / 1000.0;
+        let floor =
+            f64::from(p.peak_active_channels()) * OpticalReceiver::SENSITIVITY.value() / 1000.0;
         assert!((p.peak_optical_power().as_watts() - floor).abs() < 1e-9);
     }
 

@@ -28,17 +28,35 @@ pub struct Anchor {
 /// Anchor points for the aggregate *transmit* chain (serialization, driver,
 /// modulator), in the spirit of Kirman et al. scaled data.
 pub const TRANSMIT_ANCHORS: [Anchor; 3] = [
-    Anchor { node: TechNode::NM45, delay: Picoseconds(55.0) },
-    Anchor { node: TechNode::NM32, delay: Picoseconds(36.0) },
-    Anchor { node: TechNode::NM22, delay: Picoseconds(24.0) },
+    Anchor {
+        node: TechNode::NM45,
+        delay: Picoseconds(55.0),
+    },
+    Anchor {
+        node: TechNode::NM32,
+        delay: Picoseconds(36.0),
+    },
+    Anchor {
+        node: TechNode::NM22,
+        delay: Picoseconds(24.0),
+    },
 ];
 
 /// Anchor points for the aggregate *receive* chain (photodetector,
 /// transimpedance amplifier, deserialization).
 pub const RECEIVE_ANCHORS: [Anchor; 3] = [
-    Anchor { node: TechNode::NM45, delay: Picoseconds(10.0) },
-    Anchor { node: TechNode::NM32, delay: Picoseconds(6.7) },
-    Anchor { node: TechNode::NM22, delay: Picoseconds(4.6) },
+    Anchor {
+        node: TechNode::NM45,
+        delay: Picoseconds(10.0),
+    },
+    Anchor {
+        node: TechNode::NM32,
+        delay: Picoseconds(6.7),
+    },
+    Anchor {
+        node: TechNode::NM22,
+        delay: Picoseconds(4.6),
+    },
 ];
 
 /// The three technology-scaling scenarios of the paper.
@@ -121,9 +139,18 @@ impl FittedCurve {
             .collect();
         let (intercept, slope) = least_squares(&xs, &ys);
         match family {
-            Scaling::Optimistic => FittedCurve::Logarithmic { a: intercept, b: slope },
-            Scaling::Average => FittedCurve::Linear { a: intercept, b: slope },
-            Scaling::Pessimistic => FittedCurve::Exponential { a: intercept.exp(), b: slope },
+            Scaling::Optimistic => FittedCurve::Logarithmic {
+                a: intercept,
+                b: slope,
+            },
+            Scaling::Average => FittedCurve::Linear {
+                a: intercept,
+                b: slope,
+            },
+            Scaling::Pessimistic => FittedCurve::Exponential {
+                a: intercept.exp(),
+                b: slope,
+            },
         }
     }
 
@@ -175,24 +202,35 @@ pub struct ChainDelays {
 pub fn chain_delays(scenario: Scaling, node: TechNode) -> ChainDelays {
     let tx = FittedCurve::fit(scenario, &TRANSMIT_ANCHORS).eval(node);
     let rx = FittedCurve::fit(scenario, &RECEIVE_ANCHORS).eval(node);
-    ChainDelays { transmit: tx, receive: rx }
+    ChainDelays {
+        transmit: tx,
+        receive: rx,
+    }
 }
 
 /// Returns the Figure 4 series: delays for every scenario at each node from
 /// 45 nm down to 16 nm. The result is a list of rows
 /// `(node, [(scenario, delays); 3])`.
 pub fn figure4_series() -> Vec<(TechNode, [(Scaling, ChainDelays); 3])> {
-    [TechNode::NM45, TechNode::NM32, TechNode::NM22, TechNode::NM16]
-        .iter()
-        .map(|&node| {
-            let row = [
-                (Scaling::Optimistic, chain_delays(Scaling::Optimistic, node)),
-                (Scaling::Average, chain_delays(Scaling::Average, node)),
-                (Scaling::Pessimistic, chain_delays(Scaling::Pessimistic, node)),
-            ];
-            (node, row)
-        })
-        .collect()
+    [
+        TechNode::NM45,
+        TechNode::NM32,
+        TechNode::NM22,
+        TechNode::NM16,
+    ]
+    .iter()
+    .map(|&node| {
+        let row = [
+            (Scaling::Optimistic, chain_delays(Scaling::Optimistic, node)),
+            (Scaling::Average, chain_delays(Scaling::Average, node)),
+            (
+                Scaling::Pessimistic,
+                chain_delays(Scaling::Pessimistic, node),
+            ),
+        ];
+        (node, row)
+    })
+    .collect()
 }
 
 #[cfg(test)]
@@ -223,17 +261,28 @@ mod tests {
     #[test]
     fn transmit_endpoints_match_paper_range() {
         // Paper: at 16 nm, transmit delays range 8.0-19.4 ps.
-        let opt = chain_delays(Scaling::Optimistic, TechNode::NM16).transmit.value();
-        let pes = chain_delays(Scaling::Pessimistic, TechNode::NM16).transmit.value();
+        let opt = chain_delays(Scaling::Optimistic, TechNode::NM16)
+            .transmit
+            .value();
+        let pes = chain_delays(Scaling::Pessimistic, TechNode::NM16)
+            .transmit
+            .value();
         assert!(close(opt, 8.0, 0.15), "optimistic transmit {opt} != ~8.0");
-        assert!(close(pes, 19.4, 0.15), "pessimistic transmit {pes} != ~19.4");
+        assert!(
+            close(pes, 19.4, 0.15),
+            "pessimistic transmit {pes} != ~19.4"
+        );
     }
 
     #[test]
     fn receive_endpoints_match_paper_range() {
         // Paper: at 16 nm, receive delays range 1.8-3.7 ps.
-        let opt = chain_delays(Scaling::Optimistic, TechNode::NM16).receive.value();
-        let pes = chain_delays(Scaling::Pessimistic, TechNode::NM16).receive.value();
+        let opt = chain_delays(Scaling::Optimistic, TechNode::NM16)
+            .receive
+            .value();
+        let pes = chain_delays(Scaling::Pessimistic, TechNode::NM16)
+            .receive
+            .value();
         assert!(close(opt, 1.8, 0.15), "optimistic receive {opt} != ~1.8");
         assert!(close(pes, 3.7, 0.15), "pessimistic receive {pes} != ~3.7");
     }

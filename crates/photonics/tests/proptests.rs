@@ -1,4 +1,9 @@
-//! Property-based tests of the §3 analytic models.
+//! Property tests of the §3 analytic models.
+//!
+//! The parameter domains here are small and finite, so the properties
+//! are checked **exhaustively** over their whole domain — strictly
+//! stronger than random sampling, and it keeps the workspace free of
+//! external dev-dependencies.
 
 use phastlane_photonics::area::RouterArea;
 use phastlane_photonics::delay::{RouterDesign, RouterOp, CLOCK_PERIOD};
@@ -6,100 +11,129 @@ use phastlane_photonics::power::PowerPoint;
 use phastlane_photonics::scaling::{chain_delays, Scaling};
 use phastlane_photonics::units::TechNode;
 use phastlane_photonics::wdm::WdmConfig;
-use proptest::prelude::*;
 
-fn arb_wdm() -> impl Strategy<Value = WdmConfig> {
-    // Powers of two from 8 to 256 wavelengths.
-    (3u32..9).prop_map(|p| WdmConfig::new(1 << p))
+/// Powers of two from 8 to 256 wavelengths.
+fn all_wdm() -> impl Iterator<Item = WdmConfig> {
+    (3u32..9).map(|p| WdmConfig::new(1 << p))
 }
 
-proptest! {
-    /// Peak optical power is monotone: more hops or worse crossings never
-    /// reduce it.
-    #[test]
-    fn power_monotone(wdm in arb_wdm(), hops in 1u32..10, eff_pct in 950u32..999) {
-        let eff = eff_pct as f64 / 1000.0;
-        let p = PowerPoint::new(wdm, hops, eff).peak_optical_power().value();
-        let p_more_hops = PowerPoint::new(wdm, hops + 1, eff).peak_optical_power().value();
-        let p_worse_eff =
-            PowerPoint::new(wdm, hops, eff - 0.005).peak_optical_power().value();
-        prop_assert!(p_more_hops > p);
-        prop_assert!(p_worse_eff > p);
-        prop_assert!(p.is_finite() && p > 0.0);
-    }
+const SCALINGS: [Scaling; 3] = [Scaling::Optimistic, Scaling::Average, Scaling::Pessimistic];
 
-    /// The transmission delay grows strictly with hop count and the
-    /// max-hops solver is exactly the crossover point.
-    #[test]
-    fn max_hops_is_the_crossover(wdm in arb_wdm(), scaling in prop_oneof![
-        Just(Scaling::Optimistic), Just(Scaling::Average), Just(Scaling::Pessimistic)
-    ]) {
-        let d = RouterDesign { wdm, scaling, node: TechNode::NM16 };
-        let h = d.max_hops_per_cycle();
-        prop_assert!(h >= 1, "at least one hop must fit at 4 GHz");
-        prop_assert!(d.transmission_delay(h) <= CLOCK_PERIOD);
-        prop_assert!(d.transmission_delay(h + 1) > CLOCK_PERIOD);
-        for hops in 1..h {
-            prop_assert!(d.transmission_delay(hops) < d.transmission_delay(hops + 1));
+/// Peak optical power is monotone: more hops or worse crossings never
+/// reduce it.
+#[test]
+fn power_monotone() {
+    for wdm in all_wdm() {
+        for hops in 1u32..10 {
+            for eff_pct in 950u32..999 {
+                let eff = eff_pct as f64 / 1000.0;
+                let p = PowerPoint::new(wdm, hops, eff).peak_optical_power().value();
+                let p_more_hops = PowerPoint::new(wdm, hops + 1, eff)
+                    .peak_optical_power()
+                    .value();
+                let p_worse_eff = PowerPoint::new(wdm, hops, eff - 0.005)
+                    .peak_optical_power()
+                    .value();
+                assert!(p_more_hops > p, "wdm={wdm:?} hops={hops} eff={eff}");
+                assert!(p_worse_eff > p, "wdm={wdm:?} hops={hops} eff={eff}");
+                assert!(
+                    p.is_finite() && p > 0.0,
+                    "wdm={wdm:?} hops={hops} eff={eff}"
+                );
+            }
         }
     }
+}
 
-    /// Critical paths order PP > PB > PA for every WDM degree and
-    /// scenario (the Figure 5 observation is not specific to the sweep).
-    #[test]
-    fn critical_path_order_everywhere(wdm in arb_wdm(), scaling in prop_oneof![
-        Just(Scaling::Optimistic), Just(Scaling::Average), Just(Scaling::Pessimistic)
-    ]) {
-        let d = RouterDesign { wdm, scaling, node: TechNode::NM16 };
-        let pp = d.critical_path(RouterOp::PacketPass).total();
-        let pb = d.critical_path(RouterOp::PacketBlock).total();
-        let pa = d.critical_path(RouterOp::PacketAccept).total();
-        prop_assert!(pp.value() > 0.0);
-        prop_assert!(pb > pa);
-        // PP > PB needs the traverse to outweigh a receive, which holds
-        // for the calibrated sweep; for arbitrary WDM we only require
-        // PP to be the largest or within rounding of PB.
-        prop_assert!(pp.value() >= pb.value() * 0.95);
+/// The transmission delay grows strictly with hop count and the
+/// max-hops solver is exactly the crossover point.
+#[test]
+fn max_hops_is_the_crossover() {
+    for wdm in all_wdm() {
+        for scaling in SCALINGS {
+            let d = RouterDesign {
+                wdm,
+                scaling,
+                node: TechNode::NM16,
+            };
+            let h = d.max_hops_per_cycle();
+            assert!(h >= 1, "at least one hop must fit at 4 GHz");
+            assert!(d.transmission_delay(h) <= CLOCK_PERIOD);
+            assert!(d.transmission_delay(h + 1) > CLOCK_PERIOD);
+            for hops in 1..h {
+                assert!(d.transmission_delay(hops) < d.transmission_delay(hops + 1));
+            }
+        }
     }
+}
 
-    /// Scaling fits are positive everywhere in range, and in the
-    /// extrapolation region (below the measured 22 nm anchor) the
-    /// pessimistic fit is strictly the slowest — that is what makes it
-    /// pessimistic.
-    #[test]
-    fn scaling_scenarios_ordered(nm in 16u32..46) {
+/// Critical paths order PP > PB > PA for every WDM degree and
+/// scenario (the Figure 5 observation is not specific to the sweep).
+#[test]
+fn critical_path_order_everywhere() {
+    for wdm in all_wdm() {
+        for scaling in SCALINGS {
+            let d = RouterDesign {
+                wdm,
+                scaling,
+                node: TechNode::NM16,
+            };
+            let pp = d.critical_path(RouterOp::PacketPass).total();
+            let pb = d.critical_path(RouterOp::PacketBlock).total();
+            let pa = d.critical_path(RouterOp::PacketAccept).total();
+            assert!(pp.value() > 0.0);
+            assert!(pb > pa);
+            // PP > PB needs the traverse to outweigh a receive, which holds
+            // for the calibrated sweep; for arbitrary WDM we only require
+            // PP to be the largest or within rounding of PB.
+            assert!(pp.value() >= pb.value() * 0.95);
+        }
+    }
+}
+
+/// Scaling fits are positive everywhere in range, and in the
+/// extrapolation region (below the measured 22 nm anchor) the
+/// pessimistic fit is strictly the slowest — that is what makes it
+/// pessimistic.
+#[test]
+fn scaling_scenarios_ordered() {
+    for nm in 16u32..46 {
         let node = TechNode(nm);
         let o = chain_delays(Scaling::Optimistic, node);
         let a = chain_delays(Scaling::Average, node);
         let p = chain_delays(Scaling::Pessimistic, node);
         for d in [o, a, p] {
-            prop_assert!(d.transmit.value() > 0.0);
-            prop_assert!(d.receive.value() > 0.0);
+            assert!(d.transmit.value() > 0.0, "nm={nm}");
+            assert!(d.receive.value() > 0.0, "nm={nm}");
         }
         if nm < 22 {
-            prop_assert!(o.transmit < a.transmit);
-            prop_assert!(a.transmit < p.transmit);
-            prop_assert!(o.receive < p.receive);
+            assert!(o.transmit < a.transmit, "nm={nm}");
+            assert!(a.transmit < p.transmit, "nm={nm}");
+            assert!(o.receive < p.receive, "nm={nm}");
         }
     }
+}
 
-    /// Router area components are positive and total is their sum.
-    #[test]
-    fn area_components_sum(wdm in arb_wdm()) {
+/// Router area components are positive and total is their sum.
+#[test]
+fn area_components_sum() {
+    for wdm in all_wdm() {
         let a = RouterArea::for_wdm(wdm);
-        prop_assert!(a.turn_region.value() > 0.0);
-        prop_assert!(a.ports.value() > 0.0);
-        prop_assert!(a.fixed.value() > 0.0);
+        assert!(a.turn_region.value() > 0.0);
+        assert!(a.ports.value() > 0.0);
+        assert!(a.fixed.value() > 0.0);
         let sum = a.turn_region.value() + a.ports.value() + a.fixed.value();
-        prop_assert!((sum - a.total().value()).abs() < 1e-12);
+        assert!((sum - a.total().value()).abs() < 1e-12);
     }
+}
 
-    /// WDM packaging conserves bits: waveguides * degree covers the
-    /// payload with less than one waveguide of slack.
-    #[test]
-    fn wdm_packaging_conserves_bits(wdm in arb_wdm()) {
+/// WDM packaging conserves bits: waveguides * degree covers the
+/// payload with less than one waveguide of slack.
+#[test]
+fn wdm_packaging_conserves_bits() {
+    for wdm in all_wdm() {
         let capacity = wdm.payload_waveguides() * wdm.payload_wdm;
-        prop_assert!(capacity >= 640);
-        prop_assert!(capacity - 640 < wdm.payload_wdm);
+        assert!(capacity >= 640);
+        assert!(capacity - 640 < wdm.payload_wdm);
     }
 }

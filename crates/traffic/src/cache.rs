@@ -23,11 +23,17 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Table 4 simulated L1 (instruction or data): 32 KB, 4-way, 32 B
     /// blocks.
-    pub const L1_SIM: CacheConfig =
-        CacheConfig { size_bytes: 32 * 1024, ways: 4, block_bytes: 32 };
+    pub const L1_SIM: CacheConfig = CacheConfig {
+        size_bytes: 32 * 1024,
+        ways: 4,
+        block_bytes: 32,
+    };
     /// Table 4 simulated L2: 256 KB, 16-way, 64 B blocks.
-    pub const L2_SIM: CacheConfig =
-        CacheConfig { size_bytes: 256 * 1024, ways: 16, block_bytes: 64 };
+    pub const L2_SIM: CacheConfig = CacheConfig {
+        size_bytes: 256 * 1024,
+        ways: 16,
+        block_bytes: 64,
+    };
 
     /// Number of sets.
     ///
@@ -35,9 +41,15 @@ impl CacheConfig {
     ///
     /// Panics if the geometry is degenerate (zero or non-dividing sizes).
     pub fn sets(self) -> u32 {
-        assert!(self.block_bytes > 0 && self.ways > 0, "degenerate cache geometry");
+        assert!(
+            self.block_bytes > 0 && self.ways > 0,
+            "degenerate cache geometry"
+        );
         let lines = self.size_bytes / self.block_bytes;
-        assert!(lines.is_multiple_of(self.ways), "ways must divide the line count");
+        assert!(
+            lines.is_multiple_of(self.ways),
+            "ways must divide the line count"
+        );
         let sets = lines / self.ways;
         assert!(sets > 0, "cache must have at least one set");
         sets
@@ -129,7 +141,11 @@ impl SetAssocCache {
                 .dirty
                 .then_some(victim.tag * u64::from(self.cfg.block_bytes))
         };
-        lines.push(Line { tag, dirty: write, lru: self.clock });
+        lines.push(Line {
+            tag,
+            dirty: write,
+            lru: self.clock,
+        });
         CacheOutcome::Miss { evicted_dirty }
     }
 
@@ -201,7 +217,10 @@ impl CacheHierarchy {
 
     /// Builds a hierarchy from explicit configurations.
     pub fn new(l1: CacheConfig, l2: CacheConfig) -> Self {
-        CacheHierarchy { l1: SetAssocCache::new(l1), l2: SetAssocCache::new(l2) }
+        CacheHierarchy {
+            l1: SetAssocCache::new(l1),
+            l2: SetAssocCache::new(l2),
+        }
     }
 
     /// Performs one data access.
@@ -263,7 +282,11 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         // A tiny 2-way, 2-set cache for a controlled test.
-        let cfg = CacheConfig { size_bytes: 128, ways: 2, block_bytes: 32 };
+        let cfg = CacheConfig {
+            size_bytes: 128,
+            ways: 2,
+            block_bytes: 32,
+        };
         assert_eq!(cfg.sets(), 2);
         let mut c = SetAssocCache::new(cfg);
         // Three blocks mapping to set 0: block addr multiples of 64.
@@ -279,12 +302,18 @@ mod tests {
 
     #[test]
     fn dirty_eviction_reports_writeback() {
-        let cfg = CacheConfig { size_bytes: 64, ways: 1, block_bytes: 32 };
+        let cfg = CacheConfig {
+            size_bytes: 64,
+            ways: 1,
+            block_bytes: 32,
+        };
         let mut c = SetAssocCache::new(cfg);
         c.access(0, true); // dirty fill of set 0
-        // Same set, different tag: evicts the dirty block.
+                           // Same set, different tag: evicts the dirty block.
         match c.access(64, false) {
-            CacheOutcome::Miss { evicted_dirty: Some(victim) } => assert_eq!(victim, 0),
+            CacheOutcome::Miss {
+                evicted_dirty: Some(victim),
+            } => assert_eq!(victim, 0),
             other => panic!("expected dirty eviction, got {other:?}"),
         }
         // Clean eviction reports none.
@@ -307,7 +336,10 @@ mod tests {
     fn hierarchy_l1_l2_filtering() {
         let mut h = CacheHierarchy::table4();
         let addr = 0xABC0;
-        assert!(matches!(h.access(addr, false), HierarchyOutcome::L2Miss { .. }));
+        assert!(matches!(
+            h.access(addr, false),
+            HierarchyOutcome::L2Miss { .. }
+        ));
         // L1 now holds it.
         assert_eq!(h.access(addr, false), HierarchyOutcome::L1Hit);
         // Evict from L1 only by touching many conflicting blocks; then the
@@ -326,7 +358,10 @@ mod tests {
         assert!(h.snoop(0x1234));
         h.invalidate(0x1234);
         assert!(!h.snoop(0x1234));
-        assert!(matches!(h.access(0x1234, false), HierarchyOutcome::L2Miss { .. }));
+        assert!(matches!(
+            h.access(0x1234, false),
+            HierarchyOutcome::L2Miss { .. }
+        ));
     }
 
     #[test]
@@ -341,6 +376,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "ways must divide")]
     fn bad_geometry_rejected() {
-        let _ = CacheConfig { size_bytes: 96, ways: 4, block_bytes: 32 }.sets();
+        let _ = CacheConfig {
+            size_bytes: 96,
+            ways: 4,
+            block_bytes: 32,
+        }
+        .sets();
     }
 }

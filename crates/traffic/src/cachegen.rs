@@ -24,8 +24,7 @@ use phastlane_netsim::geometry::{Mesh, NodeId};
 use phastlane_netsim::harness::{Dep, MsgId, Trace, TraceMessage};
 use phastlane_netsim::mask::NodeMask;
 use phastlane_netsim::packet::{DestSet, PacketKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use phastlane_netsim::rng::SimRng;
 
 /// Cycles an L1 hit costs the core.
 pub const L1_HIT_CYCLES: u64 = 1;
@@ -162,12 +161,11 @@ pub fn generate_cache_trace(mesh: Mesh, w: &CacheWorkload) -> (Trace, CacheSimRe
     assert!(w.active_cores > 0, "need at least one active core");
     let nodes = mesh.nodes();
     let active = w.active_cores.min(nodes);
-    let mut rng = StdRng::seed_from_u64(w.seed);
+    let mut rng = SimRng::seed_from_u64(w.seed);
 
     let mut hierarchies: Vec<CacheHierarchy> =
         (0..active).map(|_| CacheHierarchy::table4()).collect();
-    let mut lines: std::collections::HashMap<u64, LineState> =
-        std::collections::HashMap::new();
+    let mut lines: std::collections::HashMap<u64, LineState> = std::collections::HashMap::new();
     let mut report = CacheSimReport::default();
 
     let mut messages: Vec<TraceMessage> = Vec::new();
@@ -216,8 +214,17 @@ pub fn generate_cache_trace(mesh: Mesh, w: &CacheWorkload) -> (Trace, CacheSimRe
                     gap[core_idx] += w.compute_per_access + L1_HIT_CYCLES;
                     if write {
                         upgrade_if_shared(
-                            mesh, core, block, &mut lines, &mut hierarchies, &mut messages,
-                            &mut next_id, &mut report, &responses[core_idx], w, gap[core_idx],
+                            mesh,
+                            core,
+                            block,
+                            &mut lines,
+                            &mut hierarchies,
+                            &mut messages,
+                            &mut next_id,
+                            &mut report,
+                            &responses[core_idx],
+                            w,
+                            gap[core_idx],
                         );
                     }
                 }
@@ -225,12 +232,24 @@ pub fn generate_cache_trace(mesh: Mesh, w: &CacheWorkload) -> (Trace, CacheSimRe
                     gap[core_idx] += w.compute_per_access + L2_HIT_CYCLES;
                     if write {
                         upgrade_if_shared(
-                            mesh, core, block, &mut lines, &mut hierarchies, &mut messages,
-                            &mut next_id, &mut report, &responses[core_idx], w, gap[core_idx],
+                            mesh,
+                            core,
+                            block,
+                            &mut lines,
+                            &mut hierarchies,
+                            &mut messages,
+                            &mut next_id,
+                            &mut report,
+                            &responses[core_idx],
+                            w,
+                            gap[core_idx],
                         );
                     }
                 }
-                HierarchyOutcome::L2Miss { block: l2_block, writeback } => {
+                HierarchyOutcome::L2Miss {
+                    block: l2_block,
+                    writeback,
+                } => {
                     report.l2_misses += 1;
                     let i = responses[core_idx].len();
                     let mut deps: Vec<Dep> = Vec::new();
@@ -327,7 +346,9 @@ fn pick_dep_node(mesh: Mesh, core: NodeId, home: NodeId) -> NodeId {
     if home != core {
         home
     } else {
-        mesh.iter_nodes().find(|&n| n != core).expect("mesh has >= 2 nodes")
+        mesh.iter_nodes()
+            .find(|&n| n != core)
+            .expect("mesh has >= 2 nodes")
     }
 }
 
@@ -351,7 +372,10 @@ fn pick_responder(
         report.cache_to_cache += 1;
         return (first, crate::coherence::CACHE_LATENCY);
     }
-    (home_or_other(mesh, requester, block), crate::coherence::MEMORY_LATENCY)
+    (
+        home_or_other(mesh, requester, block),
+        crate::coherence::MEMORY_LATENCY,
+    )
 }
 
 /// The home controller, bounced to a neighbour when it equals the
@@ -361,7 +385,9 @@ fn home_or_other(mesh: Mesh, requester: NodeId, block: u64) -> NodeId {
     if home != requester {
         home
     } else {
-        mesh.iter_nodes().find(|&n| n != requester).expect("mesh has >= 2 nodes")
+        mesh.iter_nodes()
+            .find(|&n| n != requester)
+            .expect("mesh has >= 2 nodes")
     }
 }
 
@@ -379,7 +405,9 @@ fn upgrade_if_shared(
     w: &CacheWorkload,
     gap_now: u64,
 ) {
-    let Some(state) = lines.get_mut(&block) else { return };
+    let Some(state) = lines.get_mut(&block) else {
+        return;
+    };
     let mut others = state.sharers;
     others.remove(core);
     if state.owner == Some(core.0) || others.is_empty() {
@@ -496,7 +524,10 @@ mod tests {
         w.accesses_per_core = 9_000;
         w.active_cores = 4;
         let (_, report) = generate_cache_trace(Mesh::PAPER, &w);
-        assert!(report.writebacks > 0, "dirty evictions expected: {report:?}");
+        assert!(
+            report.writebacks > 0,
+            "dirty evictions expected: {report:?}"
+        );
     }
 
     #[test]

@@ -30,7 +30,11 @@ pub struct ParseTraceError {
 
 impl std::fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -112,7 +116,10 @@ pub fn decode(text: &str) -> Result<Trace, ParseTraceError> {
         other => {
             return Err(err(
                 1,
-                format!("expected header {HEADER:?}, found {:?}", other.map(|(_, l)| l)),
+                format!(
+                    "expected header {HEADER:?}, found {:?}",
+                    other.map(|(_, l)| l)
+                ),
             ))
         }
     }
@@ -145,38 +152,48 @@ pub fn decode(text: &str) -> Result<Trace, ParseTraceError> {
                 .ok_or_else(|| err(lineno, format!("malformed field {field:?}")))?;
             match key {
                 "src" => {
-                    src = Some(NodeId(value.parse().map_err(|_| {
-                        err(lineno, format!("invalid src {value:?}"))
-                    })?))
+                    src =
+                        Some(NodeId(value.parse().map_err(|_| {
+                            err(lineno, format!("invalid src {value:?}"))
+                        })?))
                 }
                 "kind" => {
-                    kind = Some(kind_from_code(value).ok_or_else(|| {
-                        err(lineno, format!("unknown kind {value:?}"))
-                    })?)
+                    kind = Some(
+                        kind_from_code(value)
+                            .ok_or_else(|| err(lineno, format!("unknown kind {value:?}")))?,
+                    )
                 }
                 "t" => {
-                    earliest = Some(value.parse().map_err(|_| {
-                        err(lineno, format!("invalid time {value:?}"))
-                    })?)
+                    earliest = Some(
+                        value
+                            .parse()
+                            .map_err(|_| err(lineno, format!("invalid time {value:?}")))?,
+                    )
                 }
                 "think" => {
-                    think = Some(value.parse().map_err(|_| {
-                        err(lineno, format!("invalid think {value:?}"))
-                    })?)
+                    think = Some(
+                        value
+                            .parse()
+                            .map_err(|_| err(lineno, format!("invalid think {value:?}")))?,
+                    )
                 }
                 "deps" => {
                     for d in value.split(',').filter(|s| !s.is_empty()) {
                         let dep = match d.split_once('@') {
-                            None => Dep::full(MsgId(d.parse().map_err(|_| {
-                                err(lineno, format!("invalid dep {d:?}"))
-                            })?)),
+                            None => Dep::full(MsgId(
+                                d.parse()
+                                    .map_err(|_| err(lineno, format!("invalid dep {d:?}")))?,
+                            )),
                             Some((msg, node)) => Dep::at(
-                                MsgId(msg.parse().map_err(|_| {
-                                    err(lineno, format!("invalid dep {d:?}"))
-                                })?),
-                                NodeId(node.parse().map_err(|_| {
-                                    err(lineno, format!("invalid dep node {d:?}"))
-                                })?),
+                                MsgId(
+                                    msg.parse()
+                                        .map_err(|_| err(lineno, format!("invalid dep {d:?}")))?,
+                                ),
+                                NodeId(
+                                    node.parse().map_err(|_| {
+                                        err(lineno, format!("invalid dep node {d:?}"))
+                                    })?,
+                                ),
                             ),
                         };
                         deps.push(dep);
@@ -191,8 +208,8 @@ pub fn decode(text: &str) -> Result<Trace, ParseTraceError> {
                             .filter(|s| !s.is_empty())
                             .map(|s| s.parse::<u16>().map(NodeId))
                             .collect();
-                        let ids = ids
-                            .map_err(|_| err(lineno, format!("invalid dests {value:?}")))?;
+                        let ids =
+                            ids.map_err(|_| err(lineno, format!("invalid dests {value:?}")))?;
                         match ids.len() {
                             0 => return Err(err(lineno, "empty dests".into())),
                             1 => DestSet::Unicast(ids[0]),
@@ -259,7 +276,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let text = format!("{HEADER}\n\n# comment\nmsg 0 src=1 kind=DA t=5 think=0 deps= dests=2\n");
+        let text =
+            format!("{HEADER}\n\n# comment\nmsg 0 src=1 kind=DA t=5 think=0 deps= dests=2\n");
         let t = decode(&text).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.messages[0].earliest, 5);
@@ -275,8 +293,7 @@ mod tests {
 
     #[test]
     fn forward_dep_rejected_semantically() {
-        let text =
-            format!("{HEADER}\nmsg 0 src=1 kind=DA t=5 think=0 deps=1 dests=2\n");
+        let text = format!("{HEADER}\nmsg 0 src=1 kind=DA t=5 think=0 deps=1 dests=2\n");
         let e = decode(&text).unwrap_err();
         assert!(e.message.contains("semantic"));
     }

@@ -31,8 +31,7 @@
 use phastlane_netsim::geometry::{Mesh, NodeId};
 use phastlane_netsim::harness::{Dep, MsgId, Trace, TraceMessage};
 use phastlane_netsim::packet::{DestSet, PacketKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use phastlane_netsim::rng::SimRng;
 
 /// Memory latency in cycles (Table 4).
 pub const MEMORY_LATENCY: u64 = 80;
@@ -87,9 +86,12 @@ impl BenchmarkProfile {
 /// Panics if the profile has zero misses or a zero outstanding window.
 pub fn generate_trace(mesh: Mesh, profile: &BenchmarkProfile) -> Trace {
     assert!(profile.misses_per_core > 0, "profile generates no misses");
-    assert!(profile.outstanding > 0, "outstanding window must be positive");
+    assert!(
+        profile.outstanding > 0,
+        "outstanding window must be positive"
+    );
     assert!(profile.active_cores > 0, "need at least one active core");
-    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let mut rng = SimRng::seed_from_u64(profile.seed);
     let nodes = mesh.nodes();
     let active = profile.active_cores.min(nodes);
     let hot = NodeId((nodes / 2) as u16);
@@ -131,10 +133,7 @@ pub fn generate_trace(mesh: Mesh, profile: &BenchmarkProfile) -> Trace {
                 if i >= profile.outstanding {
                     // The window dep waits for the response to arrive at
                     // this core (responses are unicasts to the core).
-                    deps.push(Dep::at(
-                        responses[core_idx][i - profile.outstanding],
-                        core,
-                    ));
+                    deps.push(Dep::at(responses[core_idx][i - profile.outstanding], core));
                 }
                 // The first `outstanding` misses of a post-barrier phase
                 // gate on the phase's release broadcast; later misses are
@@ -156,8 +155,11 @@ pub fn generate_trace(mesh: Mesh, profile: &BenchmarkProfile) -> Trace {
                 }
 
                 let is_write = rng.gen_bool(profile.write_fraction);
-                let req_kind =
-                    if is_write { PacketKind::WriteRequest } else { PacketKind::ReadRequest };
+                let req_kind = if is_write {
+                    PacketKind::WriteRequest
+                } else {
+                    PacketKind::ReadRequest
+                };
                 let req_id = fresh_id();
                 messages.push(TraceMessage {
                     id: req_id,
@@ -166,14 +168,22 @@ pub fn generate_trace(mesh: Mesh, profile: &BenchmarkProfile) -> Trace {
                     kind: req_kind,
                     // A small stagger floor for the dependency-free first
                     // misses; everything else is think-time driven.
-                    earliest: if deps.is_empty() { (core_idx as u64 % 8) + gap } else { 0 },
+                    earliest: if deps.is_empty() {
+                        (core_idx as u64 % 8) + gap
+                    } else {
+                        0
+                    },
                     deps,
                     think: gap,
                 });
 
                 let shared = rng.gen_bool(profile.shared_fraction);
                 let owner = pick_other(&mut rng, nodes, core, hot, profile.hotspot_weight);
-                let think = if shared { CACHE_LATENCY } else { MEMORY_LATENCY };
+                let think = if shared {
+                    CACHE_LATENCY
+                } else {
+                    MEMORY_LATENCY
+                };
                 let resp_id = fresh_id();
                 messages.push(TraceMessage {
                     id: resp_id,
@@ -213,8 +223,7 @@ pub fn generate_trace(mesh: Mesh, profile: &BenchmarkProfile) -> Trace {
             for core_idx in 0..active {
                 let core = NodeId(core_idx as u16);
                 let tail = profile.outstanding.min(responses[core_idx].len());
-                let deps: Vec<Dep> = responses[core_idx]
-                    [responses[core_idx].len() - tail..]
+                let deps: Vec<Dep> = responses[core_idx][responses[core_idx].len() - tail..]
                     .iter()
                     .map(|&r| Dep::at(r, core))
                     .collect();
@@ -261,7 +270,7 @@ pub fn generate_trace(mesh: Mesh, profile: &BenchmarkProfile) -> Trace {
     trace
 }
 
-fn sample_geometric<R: Rng>(rng: &mut R, mean: f64) -> u64 {
+fn sample_geometric(rng: &mut SimRng, mean: f64) -> u64 {
     if mean <= 0.0 {
         return 0;
     }
@@ -270,13 +279,7 @@ fn sample_geometric<R: Rng>(rng: &mut R, mean: f64) -> u64 {
     (-mean * u.ln()).round() as u64
 }
 
-fn pick_other<R: Rng>(
-    rng: &mut R,
-    nodes: usize,
-    not: NodeId,
-    hot: NodeId,
-    hot_weight: f64,
-) -> NodeId {
+fn pick_other(rng: &mut SimRng, nodes: usize, not: NodeId, hot: NodeId, hot_weight: f64) -> NodeId {
     if hot != not && hot_weight > 0.0 && rng.gen_bool(hot_weight.clamp(0.0, 1.0)) {
         return hot;
     }
@@ -343,7 +346,11 @@ mod tests {
         assert_eq!(s.requests, 64 * 20);
         assert_eq!(s.responses, 64 * 20);
         let expect = (64.0 * 20.0 * 0.25) as usize;
-        assert!(s.writebacks.abs_diff(expect) < expect / 2, "writebacks {}", s.writebacks);
+        assert!(
+            s.writebacks.abs_diff(expect) < expect / 2,
+            "writebacks {}",
+            s.writebacks
+        );
     }
 
     #[test]
@@ -359,8 +366,7 @@ mod tests {
     #[test]
     fn responses_depend_on_their_requests() {
         let t = generate_trace(Mesh::PAPER, &profile());
-        let by_id: std::collections::HashMap<_, _> =
-            t.messages.iter().map(|m| (m.id, m)).collect();
+        let by_id: std::collections::HashMap<_, _> = t.messages.iter().map(|m| (m.id, m)).collect();
         for m in &t.messages {
             if m.kind == PacketKind::DataResponse {
                 assert_eq!(m.deps.len(), 1);
@@ -434,8 +440,11 @@ mod tests {
         p.hotspot_weight = 0.9;
         let t = generate_trace(Mesh::PAPER, &p);
         let hot = NodeId(32);
-        let resp: Vec<_> =
-            t.messages.iter().filter(|m| m.kind == PacketKind::DataResponse).collect();
+        let resp: Vec<_> = t
+            .messages
+            .iter()
+            .filter(|m| m.kind == PacketKind::DataResponse)
+            .collect();
         let hot_owned = resp.iter().filter(|m| m.src == hot).count();
         assert!(
             hot_owned as f64 > 0.7 * resp.len() as f64,

@@ -6,7 +6,7 @@
 //! definitions Booksim uses.
 
 use phastlane_netsim::geometry::{Coord, Mesh, NodeId};
-use rand::Rng;
+use phastlane_netsim::rng::SimRng;
 use std::fmt;
 
 /// A synthetic traffic pattern.
@@ -52,9 +52,12 @@ impl Pattern {
     ///
     /// Panics if the mesh node count is not a power of two (the bit
     /// permutations are defined on index bits), or `src` is out of range.
-    pub fn dest<R: Rng + ?Sized>(self, mesh: Mesh, src: NodeId, rng: &mut R) -> NodeId {
+    pub fn dest(self, mesh: Mesh, src: NodeId, rng: &mut SimRng) -> NodeId {
         let n = mesh.nodes();
-        assert!(n.is_power_of_two(), "bit patterns need a power-of-two node count");
+        assert!(
+            n.is_power_of_two(),
+            "bit patterns need a power-of-two node count"
+        );
         assert!(mesh.contains(src), "source {src} outside mesh");
         let bits = n.trailing_zeros();
         let i = src.index();
@@ -109,19 +112,23 @@ impl fmt::Display for Pattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(7)
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(7)
     }
 
     #[test]
     fn bit_complement_examples() {
         let m = Mesh::PAPER;
         let mut r = rng();
-        assert_eq!(Pattern::BitComplement.dest(m, NodeId(0), &mut r), NodeId(63));
-        assert_eq!(Pattern::BitComplement.dest(m, NodeId(21), &mut r), NodeId(42));
+        assert_eq!(
+            Pattern::BitComplement.dest(m, NodeId(0), &mut r),
+            NodeId(63)
+        );
+        assert_eq!(
+            Pattern::BitComplement.dest(m, NodeId(21), &mut r),
+            NodeId(42)
+        );
     }
 
     #[test]
@@ -131,7 +138,10 @@ mod tests {
         // 0b000001 -> 0b100000
         assert_eq!(Pattern::BitReverse.dest(m, NodeId(1), &mut r), NodeId(32));
         // Palindromic index maps to itself.
-        assert_eq!(Pattern::BitReverse.dest(m, NodeId(0b100001), &mut r), NodeId(0b100001));
+        assert_eq!(
+            Pattern::BitReverse.dest(m, NodeId(0b100001), &mut r),
+            NodeId(0b100001)
+        );
     }
 
     #[test]
@@ -158,8 +168,12 @@ mod tests {
     fn permutations_are_bijections() {
         let m = Mesh::PAPER;
         let mut r = rng();
-        for p in [Pattern::BitComplement, Pattern::BitReverse, Pattern::Shuffle, Pattern::Transpose]
-        {
+        for p in [
+            Pattern::BitComplement,
+            Pattern::BitReverse,
+            Pattern::Shuffle,
+            Pattern::Transpose,
+        ] {
             let mut seen = std::collections::HashSet::new();
             for src in m.iter_nodes() {
                 assert!(seen.insert(p.dest(m, src, &mut r)), "{p} not a bijection");
@@ -172,7 +186,10 @@ mod tests {
     fn hotspot_biases_toward_target() {
         let m = Mesh::PAPER;
         let mut r = rng();
-        let p = Pattern::Hotspot { target: NodeId(9), fraction: 0.8 };
+        let p = Pattern::Hotspot {
+            target: NodeId(9),
+            fraction: 0.8,
+        };
         let hits = (0..1000)
             .filter(|_| p.dest(m, NodeId(0), &mut r) == NodeId(9))
             .count();

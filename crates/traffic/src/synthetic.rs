@@ -4,8 +4,7 @@ use crate::patterns::Pattern;
 use phastlane_netsim::geometry::Mesh;
 use phastlane_netsim::harness::SyntheticWorkload;
 use phastlane_netsim::packet::{DestSet, NewPacket, PacketKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use phastlane_netsim::rng::SimRng;
 
 /// A Bernoulli injection process: every cycle, each node independently
 /// generates a packet with probability `rate`, destined per `pattern`.
@@ -16,7 +15,7 @@ pub struct BernoulliTraffic {
     mesh: Mesh,
     pattern: Pattern,
     rate: f64,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl BernoulliTraffic {
@@ -27,8 +26,16 @@ impl BernoulliTraffic {
     ///
     /// Panics if `rate` is not in `[0, 1]`.
     pub fn new(mesh: Mesh, pattern: Pattern, rate: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1], got {rate}");
-        BernoulliTraffic { mesh, pattern, rate, rng: StdRng::seed_from_u64(seed) }
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "rate must be in [0, 1], got {rate}"
+        );
+        BernoulliTraffic {
+            mesh,
+            pattern,
+            rate,
+            rng: SimRng::seed_from_u64(seed),
+        }
     }
 
     /// The pattern this source draws destinations from.

@@ -1,65 +1,60 @@
-//! Property-based tests of workload generation: codec roundtrips for
-//! arbitrary traces, pattern bijectivity, and trace structural
+//! Randomized property tests of workload generation: codec roundtrips
+//! for arbitrary traces, pattern bijectivity, and trace structural
 //! invariants for arbitrary profiles.
+//!
+//! Cases are drawn from the in-tree deterministic [`SimRng`], so every
+//! run checks the same inputs and failures reproduce exactly.
 
 use phastlane_netsim::geometry::{Mesh, NodeId};
 use phastlane_netsim::packet::PacketKind;
+use phastlane_netsim::rng::SimRng;
 use phastlane_traffic::codec;
 use phastlane_traffic::coherence::{generate_trace, BenchmarkProfile};
 use phastlane_traffic::patterns::Pattern;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn arb_profile() -> impl Strategy<Value = BenchmarkProfile> {
-    (
-        1usize..12,          // misses per core
-        0.0f64..1.0,         // write fraction
-        0.0f64..1.0,         // shared fraction
-        0.0f64..1.0,         // writeback fraction
-        0.0f64..60.0,        // mean gap
-        prop_oneof![Just(0usize), 2usize..20], // barrier phase
-        0.0f64..0.9,         // hotspot weight
-        1usize..6,           // outstanding
-        1usize..=64,         // active cores
-        any::<u64>(),        // seed
-    )
-        .prop_map(
-            |(m, wf, sf, wbf, gap, barrier, hot, out, active, seed)| BenchmarkProfile {
-                name: "prop",
-                misses_per_core: m,
-                write_fraction: wf,
-                shared_fraction: sf,
-                writeback_fraction: wbf,
-                mean_gap: gap,
-                barrier_every: barrier,
-                hotspot_weight: hot,
-                outstanding: out,
-                active_cores: active,
-                seed,
-            },
-        )
+fn random_profile(rng: &mut SimRng) -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "prop",
+        misses_per_core: rng.gen_range(1usize..12),
+        write_fraction: rng.gen_f64(),
+        shared_fraction: rng.gen_f64(),
+        writeback_fraction: rng.gen_f64(),
+        mean_gap: rng.gen_f64() * 60.0,
+        barrier_every: if rng.gen_bool(0.5) {
+            0
+        } else {
+            rng.gen_range(2usize..20)
+        },
+        hotspot_weight: rng.gen_f64() * 0.9,
+        outstanding: rng.gen_range(1usize..6),
+        active_cores: rng.gen_range(1usize..65),
+        seed: rng.gen_u64(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any generated trace validates and roundtrips through the text
-    /// codec without loss.
-    #[test]
-    fn codec_roundtrip_arbitrary_traces(profile in arb_profile()) {
+/// Any generated trace validates and roundtrips through the text codec
+/// without loss.
+#[test]
+fn codec_roundtrip_arbitrary_traces() {
+    let mut rng = SimRng::seed_from_u64(0x0C0D_EC01);
+    for _ in 0..48 {
+        let profile = random_profile(&mut rng);
         let trace = generate_trace(Mesh::PAPER, &profile);
-        prop_assert!(trace.validate().is_ok());
+        assert!(trace.validate().is_ok(), "{profile:?}");
         let text = codec::encode(&trace);
         let back = codec::decode(&text).expect("roundtrip decodes");
-        prop_assert_eq!(trace, back);
+        assert_eq!(trace, back, "{profile:?}");
     }
+}
 
-    /// Trace structure: every response has exactly one dependency (its
-    /// request, at the owner), every request broadcasts, and message
-    /// counts match the profile.
-    #[test]
-    fn trace_structure_invariants(profile in arb_profile()) {
+/// Trace structure: every response has exactly one dependency (its
+/// request, at the owner), every request broadcasts, and message
+/// counts match the profile.
+#[test]
+fn trace_structure_invariants() {
+    let mut rng = SimRng::seed_from_u64(0x0C0D_EC02);
+    for _ in 0..48 {
+        let profile = random_profile(&mut rng);
         let trace = generate_trace(Mesh::PAPER, &profile);
         let expected_misses = profile.misses_per_core * profile.active_cores.min(64);
         let mut requests = 0usize;
@@ -68,56 +63,68 @@ proptest! {
             match m.kind {
                 PacketKind::ReadRequest | PacketKind::WriteRequest => {
                     requests += 1;
-                    prop_assert!(m.deps.len() <= 2, "window + release at most");
+                    assert!(m.deps.len() <= 2, "window + release at most: {profile:?}");
                 }
                 PacketKind::DataResponse => {
                     responses += 1;
-                    prop_assert_eq!(m.deps.len(), 1);
+                    assert_eq!(m.deps.len(), 1, "{profile:?}");
                 }
                 _ => {}
             }
         }
-        prop_assert_eq!(requests, expected_misses);
-        prop_assert_eq!(responses, expected_misses);
+        assert_eq!(requests, expected_misses, "{profile:?}");
+        assert_eq!(responses, expected_misses, "{profile:?}");
     }
+}
 
-    /// Determinism: the same profile yields the same trace.
-    #[test]
-    fn generation_deterministic(profile in arb_profile()) {
+/// Determinism: the same profile yields the same trace.
+#[test]
+fn generation_deterministic() {
+    let mut rng = SimRng::seed_from_u64(0x0C0D_EC03);
+    for _ in 0..24 {
+        let profile = random_profile(&mut rng);
         let a = generate_trace(Mesh::PAPER, &profile);
         let b = generate_trace(Mesh::PAPER, &profile);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "{profile:?}");
     }
+}
 
-    /// The Figure 9 permutation patterns stay bijective on any
-    /// power-of-two square mesh.
-    #[test]
-    fn patterns_bijective(pow in 1u32..4, seed in any::<u64>()) {
-        let side = 1u16 << pow;
-        let mesh = Mesh::new(side, side);
-        let mut rng = StdRng::seed_from_u64(seed);
-        for p in [
-            Pattern::BitComplement,
-            Pattern::BitReverse,
-            Pattern::Shuffle,
-            Pattern::Transpose,
-        ] {
-            let mut seen = std::collections::HashSet::new();
-            for src in mesh.iter_nodes() {
-                let d = p.dest(mesh, src, &mut rng);
-                prop_assert!(mesh.contains(d));
-                prop_assert!(seen.insert(d), "{p} not a bijection on {side}x{side}");
+/// The Figure 9 permutation patterns stay bijective on any power-of-two
+/// square mesh.
+#[test]
+fn patterns_bijective() {
+    let mut seeder = SimRng::seed_from_u64(0x0C0D_EC04);
+    for pow in 1u32..4 {
+        for _ in 0..8 {
+            let side = 1u16 << pow;
+            let mesh = Mesh::new(side, side);
+            let mut rng = SimRng::seed_from_u64(seeder.gen_u64());
+            for p in [
+                Pattern::BitComplement,
+                Pattern::BitReverse,
+                Pattern::Shuffle,
+                Pattern::Transpose,
+            ] {
+                let mut seen = std::collections::HashSet::new();
+                for src in mesh.iter_nodes() {
+                    let d = p.dest(mesh, src, &mut rng);
+                    assert!(mesh.contains(d));
+                    assert!(seen.insert(d), "{p} not a bijection on {side}x{side}");
+                }
             }
         }
     }
+}
 
-    /// Pattern destinations are deterministic for the deterministic
-    /// patterns (independent of the RNG).
-    #[test]
-    fn deterministic_patterns_ignore_rng(src in 0u16..64, s1 in any::<u64>(), s2 in any::<u64>()) {
+/// Pattern destinations are deterministic for the deterministic
+/// patterns (independent of the RNG).
+#[test]
+fn deterministic_patterns_ignore_rng() {
+    let mut seeder = SimRng::seed_from_u64(0x0C0D_EC05);
+    for src in 0u16..64 {
         let mesh = Mesh::PAPER;
-        let mut r1 = StdRng::seed_from_u64(s1);
-        let mut r2 = StdRng::seed_from_u64(s2);
+        let mut r1 = SimRng::seed_from_u64(seeder.gen_u64());
+        let mut r2 = SimRng::seed_from_u64(seeder.gen_u64());
         for p in [
             Pattern::BitComplement,
             Pattern::BitReverse,
@@ -125,7 +132,7 @@ proptest! {
             Pattern::Transpose,
             Pattern::NearestNeighbor,
         ] {
-            prop_assert_eq!(
+            assert_eq!(
                 p.dest(mesh, NodeId(src), &mut r1),
                 p.dest(mesh, NodeId(src), &mut r2)
             );

@@ -23,7 +23,10 @@ fn main() {
     workload.accesses_per_core = workload.accesses_per_core.min(4_000);
 
     let (trace, report) = generate_cache_trace(Mesh::PAPER, &workload);
-    println!("workload {}: {} memory accesses simulated", workload.name, report.accesses);
+    println!(
+        "workload {}: {} memory accesses simulated",
+        workload.name, report.accesses
+    );
     println!(
         "  L2 miss ratio {:.2}%  ({} misses, {} cache-to-cache, {} invalidations, {} writebacks)",
         report.miss_ratio() * 100.0,

@@ -32,7 +32,8 @@ fn main() {
     let o = run_trace(&mut optical, &trace, TraceOptions::default());
     let e = run_trace(&mut electrical, &trace, TraceOptions::default());
 
-    println!("\nOptical4:    completed in {} cycles ({} drops, {} retransmits)",
+    println!(
+        "\nOptical4:    completed in {} cycles ({} drops, {} retransmits)",
         o.completion_cycle,
         optical.stats().dropped,
         optical.stats().retransmitted

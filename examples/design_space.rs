@@ -15,7 +15,10 @@ fn main() {
     println!("== Scaling scenarios at 16nm (Figure 4) ==");
     for s in Scaling::ALL {
         let d = chain_delays(s, TechNode::NM16);
-        println!("  {s:12} transmit {:6.2}  receive {:5.2}", d.transmit, d.receive);
+        println!(
+            "  {s:12} transmit {:6.2}  receive {:5.2}",
+            d.transmit, d.receive
+        );
     }
 
     println!("\n== Critical paths and hops per cycle (Figures 5, 6) ==");
@@ -41,7 +44,11 @@ fn main() {
     println!("\n== Router area (Figure 8) ==");
     for wdm in WdmConfig::SWEEP {
         let a = RouterArea::for_wdm(wdm);
-        println!("  {:4}-way WDM: {:5.2} mm^2 total", wdm.payload_wdm, a.total().value());
+        println!(
+            "  {:4}-way WDM: {:5.2} mm^2 total",
+            wdm.payload_wdm,
+            a.total().value()
+        );
     }
     let best = area_sweet_spot(&WdmConfig::SWEEP).expect("non-empty");
     println!("  sweet spot: {}-way WDM", best.payload_wdm);

@@ -12,7 +12,10 @@ fn main() {
     let word = 0xCAFE_F00D_DEAD_BEEFu64;
     let cw = encode(word);
     println!("word   {word:#018x}");
-    println!("check  {:#04x} (7 Hamming bits + overall parity)\n", cw.check);
+    println!(
+        "check  {:#04x} (7 Hamming bits + overall parity)\n",
+        cw.check
+    );
 
     let mut flipped = cw;
     flipped.data ^= 1 << 42;

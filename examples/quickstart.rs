@@ -50,7 +50,10 @@ fn main() {
     println!("\ninjected packets:   {}", stats.injected);
     println!("deliveries:         {}", stats.delivered);
     println!("dropped (retried):  {}", stats.dropped);
-    println!("mean latency:       {:.2} cycles", stats.latency.mean().unwrap_or(0.0));
+    println!(
+        "mean latency:       {:.2} cycles",
+        stats.latency.mean().unwrap_or(0.0)
+    );
 
     let e = net.energy();
     println!(

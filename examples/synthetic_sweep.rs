@@ -21,9 +21,16 @@ fn main() {
     };
 
     let rates = [0.02, 0.05, 0.08, 0.12, 0.16, 0.20, 0.25, 0.30];
-    let opts = SyntheticOptions { warmup: 500, measure: 2_000, drain: 6_000 };
+    let opts = SyntheticOptions {
+        warmup: 500,
+        measure: 2_000,
+        drain: 6_000,
+    };
     println!("pattern: {} on Optical4 (8x8 mesh)\n", pattern.label());
-    println!("{:>6}  {:>10}  {:>10}  {:>9}", "rate", "latency", "delivered", "stable");
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>9}",
+        "rate", "latency", "delivered", "stable"
+    );
 
     let points = latency_sweep(
         &rates,

@@ -126,7 +126,9 @@ fn electrical2_faster_than_electrical3() {
         let mut net = ElectricalNetwork::new(cfg);
         run_trace(&mut net, &trace, TraceOptions::default()).completion_cycle
     };
-    assert!(completion(ElectricalConfig::electrical2()) < completion(ElectricalConfig::electrical3()));
+    assert!(
+        completion(ElectricalConfig::electrical2()) < completion(ElectricalConfig::electrical3())
+    );
 }
 
 #[test]
@@ -154,10 +156,9 @@ fn per_kind_latency_recorded() {
 #[test]
 #[ignore = "long soak; run with --ignored"]
 fn soak_random_traffic() {
+    use phastlane_repro::netsim::rng::SimRng;
     use phastlane_repro::netsim::DestSet;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(0x50AC);
+    let mut rng = SimRng::seed_from_u64(0x50AC);
     for (label, mut net) in [
         (
             "optical",
@@ -171,12 +172,16 @@ fn soak_random_traffic() {
         let mut injected_copies = 0u64;
         for cycle in 0..50_000u64 {
             if cycle % 3 == 0 {
-                let src = NodeId(rng.gen_range(0..64));
+                let src = NodeId(rng.gen_range(0..64u16));
                 let p = if rng.gen_bool(0.05) {
                     NewPacket::broadcast(src, PacketKind::ReadRequest)
                 } else {
-                    let dst = NodeId(rng.gen_range(0..64));
-                    NewPacket { src, dests: DestSet::Unicast(dst), kind: PacketKind::Data }
+                    let dst = NodeId(rng.gen_range(0..64u16));
+                    NewPacket {
+                        src,
+                        dests: DestSet::Unicast(dst),
+                        kind: PacketKind::Data,
+                    }
                 };
                 let copies = p.dests.expand(p.src, 64).len().max(1) as u64;
                 if net.inject(p).is_some() {
@@ -191,6 +196,10 @@ fn soak_random_traffic() {
             guard += 1;
             assert!(guard < 100_000, "{label}: soak did not drain");
         }
-        assert_eq!(net.stats().delivered, injected_copies, "{label}: conservation");
+        assert_eq!(
+            net.stats().delivered,
+            injected_copies,
+            "{label}: conservation"
+        );
     }
 }

@@ -18,8 +18,7 @@ use phastlane_repro::traffic::splash2;
 
 fn scaled(name: &str, scale: f64) -> phastlane_repro::netsim::harness::Trace {
     let mut profile = splash2::benchmark(name).expect("known benchmark");
-    profile.misses_per_core =
-        ((profile.misses_per_core as f64 * scale).round() as usize).max(2);
+    profile.misses_per_core = ((profile.misses_per_core as f64 * scale).round() as usize).max(2);
     generate_trace(Mesh::PAPER, &profile)
 }
 
@@ -40,22 +39,22 @@ fn electrical_completion(trace: &phastlane_repro::netsim::harness::Trace) -> u64
 #[test]
 fn golden_lu() {
     let trace = scaled("LU", 0.05);
-    assert_eq!(optical_completion(&trace), 976);
-    assert_eq!(electrical_completion(&trace), 1303);
+    assert_eq!(optical_completion(&trace), 928);
+    assert_eq!(electrical_completion(&trace), 1355);
 }
 
 #[test]
 fn golden_ocean() {
     let trace = scaled("Ocean", 0.05);
-    assert_eq!(optical_completion(&trace), 1017);
-    assert_eq!(electrical_completion(&trace), 1072);
+    assert_eq!(optical_completion(&trace), 871);
+    assert_eq!(electrical_completion(&trace), 1042);
 }
 
 #[test]
 fn golden_water_spatial() {
     let trace = scaled("Water-Spatial", 0.05);
-    assert_eq!(optical_completion(&trace), 318);
-    assert_eq!(electrical_completion(&trace), 660);
+    assert_eq!(optical_completion(&trace), 416);
+    assert_eq!(electrical_completion(&trace), 638);
 }
 
 #[test]
@@ -64,10 +63,10 @@ fn golden_cache_accurate() {
     w.accesses_per_core = 300;
     w.active_cores = 16;
     let (trace, report) = generate_cache_trace(Mesh::PAPER, &w);
-    assert_eq!(report.l2_misses, 2569);
-    assert_eq!(report.invalidations, 90);
-    assert_eq!(optical_completion(&trace), 7879);
-    assert_eq!(electrical_completion(&trace), 11234);
+    assert_eq!(report.l2_misses, 2519);
+    assert_eq!(report.invalidations, 86);
+    assert_eq!(optical_completion(&trace), 7890);
+    assert_eq!(electrical_completion(&trace), 12048);
 }
 
 #[test]
@@ -75,7 +74,8 @@ fn golden_single_packet_latencies() {
     // The microscopic invariants behind the figures.
     use phastlane_repro::netsim::{NewPacket, NodeId};
     let run = |mut net: Box<dyn Network>| {
-        net.inject(NewPacket::unicast(NodeId(0), NodeId(63))).unwrap();
+        net.inject(NewPacket::unicast(NodeId(0), NodeId(63)))
+            .unwrap();
         while net.in_flight() > 0 {
             net.step();
         }
@@ -90,11 +90,15 @@ fn golden_single_packet_latencies() {
         2
     );
     assert_eq!(
-        run(Box::new(ElectricalNetwork::new(ElectricalConfig::electrical3()))),
+        run(Box::new(ElectricalNetwork::new(
+            ElectricalConfig::electrical3()
+        ))),
         14 * 4 + 1
     );
     assert_eq!(
-        run(Box::new(ElectricalNetwork::new(ElectricalConfig::electrical2()))),
+        run(Box::new(ElectricalNetwork::new(
+            ElectricalConfig::electrical2()
+        ))),
         14 * 3 + 1
     );
 }
