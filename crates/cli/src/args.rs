@@ -51,6 +51,11 @@ pub const VALUE_KEYS: &[&str] = &[
     "kind",
     "node",
     "limit",
+    "fault-plan",
+    "fault-seed",
+    "fault-rate",
+    "retry-limit",
+    "intensities",
 ];
 
 impl Parsed {

@@ -3,6 +3,7 @@
 use crate::args::{ArgError, Parsed};
 use phastlane_core::{PhastlaneConfig, PhastlaneNetwork};
 use phastlane_electrical::{ElectricalConfig, ElectricalNetwork};
+use phastlane_netsim::fault::FaultPlan;
 use phastlane_netsim::harness::{
     run_synthetic_observed, run_trace, run_trace_observed, SyntheticOptions, Trace, TraceOptions,
 };
@@ -25,8 +26,25 @@ use phastlane_traffic::Pattern;
 ///
 /// Errors on an unknown name.
 pub fn build_network(name: &str, mesh: Mesh) -> Result<Box<dyn Network>, ArgError> {
+    build_network_with(name, mesh, None)
+}
+
+/// [`build_network`] with an optional retry-limit override (the fault
+/// subsystem's livelock guard; only meaningful for the optical configs).
+///
+/// # Errors
+///
+/// Errors on an unknown name.
+pub fn build_network_with(
+    name: &str,
+    mesh: Mesh,
+    retry_limit: Option<u32>,
+) -> Result<Box<dyn Network>, ArgError> {
     let optical = |mut cfg: PhastlaneConfig| -> Box<dyn Network> {
         cfg.mesh = mesh;
+        if let Some(limit) = retry_limit {
+            cfg.retry_limit = limit;
+        }
         Box::new(PhastlaneNetwork::new(cfg))
     };
     let electrical = |mut cfg: ElectricalConfig| -> Box<dyn Network> {
@@ -137,6 +155,56 @@ impl ObsArgs {
     }
 }
 
+/// Fault-injection options shared by `simulate`, `sweep`, and `chaos`:
+/// the plan itself plus the seed for fault-path randomness.
+struct FaultArgs {
+    plan: FaultPlan,
+    seed: u64,
+    retry_limit: Option<u32>,
+}
+
+/// Parses `--fault-plan FILE` / `--fault-rate R` / `--fault-seed S` /
+/// `--retry-limit L`. Returns `None` when no fault source was given (the
+/// network then runs with the guaranteed-zero-effect empty plan).
+fn parse_fault(p: &Parsed, mesh: Mesh) -> Result<Option<FaultArgs>, ArgError> {
+    let seed: u64 = p.get_parsed("fault-seed", 1)?;
+    let retry_limit = match p.get("retry-limit") {
+        None => None,
+        Some(_) => Some(p.get_parsed("retry-limit", 0u32)?),
+    };
+    let plan = match (p.get("fault-plan"), p.get("fault-rate")) {
+        (Some(_), Some(_)) => {
+            return Err(ArgError(
+                "--fault-plan and --fault-rate are mutually exclusive".into(),
+            ))
+        }
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+            FaultPlan::parse(&text).map_err(|e| ArgError(format!("{path}: {e}")))?
+        }
+        (None, Some(_)) => {
+            let rate: f64 = p.get_parsed("fault-rate", 0.0)?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(ArgError("--fault-rate must be in [0, 1]".into()));
+            }
+            FaultPlan::random(mesh, seed, rate)
+        }
+        (None, None) => {
+            return Ok(retry_limit.map(|_| FaultArgs {
+                plan: FaultPlan::new(),
+                seed,
+                retry_limit,
+            }))
+        }
+    };
+    Ok(Some(FaultArgs {
+        plan,
+        seed,
+        retry_limit,
+    }))
+}
+
 /// Writes a JSON or CSV export, picked by the `.csv` extension.
 fn write_export(
     path: &str,
@@ -187,8 +255,13 @@ fn load_benchmark_trace(p: &Parsed, mesh: Mesh) -> Result<(String, Trace), ArgEr
 pub fn cmd_simulate(p: &Parsed) -> Result<String, ArgError> {
     let mesh = parse_mesh(p)?;
     let obs = parse_obs(p)?;
+    let fault = parse_fault(p, mesh)?;
     let (name, trace) = load_benchmark_trace(p, mesh)?;
-    let mut net = build_network(p.get("net").unwrap_or("optical4"), mesh)?;
+    let retry_limit = fault.as_ref().and_then(|f| f.retry_limit);
+    let mut net = build_network_with(p.get("net").unwrap_or("optical4"), mesh, retry_limit)?;
+    if let Some(f) = &fault {
+        net.set_fault_plan(f.plan.clone(), f.seed);
+    }
     let max_cycles: u64 = p.get_parsed("max-cycles", 10_000_000)?;
     if obs.trace_out.is_some() {
         net.set_trace(obs.make_buffer());
@@ -219,6 +292,21 @@ pub fn cmd_simulate(p: &Parsed) -> Result<String, ArgError> {
         "drops: {}  retransmits: {}\n",
         stats.dropped, stats.retransmitted
     ));
+    if let Some(f) = &fault {
+        out.push_str(&format!(
+            "faults: {}  rerouted: {}  undeliverable: {} (retry cap hit {} times)\n",
+            f.plan.len(),
+            stats.rerouted,
+            stats.undeliverable,
+            stats.retry_exhausted,
+        ));
+        if stats.ecc_corrected + stats.ecc_uncorrectable > 0 {
+            out.push_str(&format!(
+                "ecc: {} corrected, {} uncorrectable\n",
+                stats.ecc_corrected, stats.ecc_uncorrectable
+            ));
+        }
+    }
     out.push_str(&format!(
         "power: {:.0} mW ({:.0} pJ dynamic, {:.0} pJ laser, {:.0} pJ link, {:.0} pJ leakage)\n",
         r.energy.average_power_mw(r.completion_cycle.max(1), 4.0),
@@ -260,10 +348,17 @@ pub fn cmd_simulate(p: &Parsed) -> Result<String, ArgError> {
             stats,
             energy: r.energy,
             perf: r.perf,
-            extra: vec![
-                ("benchmark".into(), JsonValue::Str(name)),
-                ("messages".into(), JsonValue::Uint(trace.len() as u64)),
-            ],
+            extra: {
+                let mut extra = vec![
+                    ("benchmark".into(), JsonValue::Str(name)),
+                    ("messages".into(), JsonValue::Uint(trace.len() as u64)),
+                ];
+                if let Some(f) = &fault {
+                    extra.push(("faults".into(), JsonValue::Uint(f.plan.len() as u64)));
+                    extra.push(("fault_seed".into(), JsonValue::Uint(f.seed)));
+                }
+                extra
+            },
         };
         write_export(path, &report.to_json(), || report.to_csv())?;
         out.push_str(&format!("report -> {path}\n"));
@@ -338,6 +433,7 @@ pub fn cmd_sweep(p: &Parsed) -> Result<String, ArgError> {
     };
     let net_name = p.get("net").unwrap_or("optical4");
     let obs = parse_obs(p)?;
+    let fault = parse_fault(p, mesh)?;
     let seed: u64 = p.get_parsed("seed", 7)?;
     let multi = rates.len() > 1;
     let mut out = format!(
@@ -351,7 +447,11 @@ pub fn cmd_sweep(p: &Parsed) -> Result<String, ArgError> {
         "rate", "latency", "p99", "delivered"
     ));
     for rate in rates {
-        let mut net = build_network(net_name, mesh)?;
+        let mut net =
+            build_network_with(net_name, mesh, fault.as_ref().and_then(|f| f.retry_limit))?;
+        if let Some(f) = &fault {
+            net.set_fault_plan(f.plan.clone(), f.seed);
+        }
         if obs.trace_out.is_some() {
             net.set_trace(obs.make_buffer());
         }
@@ -375,6 +475,13 @@ pub fn cmd_sweep(p: &Parsed) -> Result<String, ArgError> {
                 .map_or("-".into(), |v| v.to_string()),
             r.delivered_rate
         ));
+        if r.undeliverable > 0 {
+            out.push_str(&format!(
+                "  undeliverable: {} (rerouted {})\n",
+                r.undeliverable,
+                net.stats().rerouted
+            ));
+        }
         if let Some(path) = &obs.trace_out {
             let path = rate_path(path, rate, multi);
             let tb = net.take_trace().unwrap_or_default();
@@ -609,6 +716,143 @@ pub fn cmd_design(p: &Parsed) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// `phastlane chaos`: a soak sweep across fault intensities. For each
+/// intensity a seeded random fault plan is generated and a synthetic
+/// uniform-traffic run executes on a fresh network; the table reports the
+/// delivered fraction, p99 latency inflation over the fault-free
+/// baseline, and undeliverable counts. Every accepted packet must end
+/// delivered or explicitly undeliverable — leftover in-flight packets
+/// are flagged as UNRESOLVED.
+///
+/// # Errors
+///
+/// Propagates argument errors.
+pub fn cmd_chaos(p: &Parsed) -> Result<String, ArgError> {
+    let mesh = parse_mesh(p)?;
+    let net_name = p.get("net").unwrap_or("optical4");
+    let rate: f64 = p.get_parsed("rate", 0.05)?;
+    let seed: u64 = p.get_parsed("seed", 7)?;
+    let fault_seed: u64 = p.get_parsed("fault-seed", 1)?;
+    // A tight retry cap keeps the soak's drain phase short; override with
+    // --retry-limit for longer-suffering sources.
+    let retry_limit: u32 = p.get_parsed("retry-limit", 50)?;
+    let intensities: Vec<f64> = match p.get("intensities") {
+        None => vec![0.0, 0.1, 0.25, 0.5],
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.parse::<f64>()
+                    .map_err(|_| ArgError(format!("bad intensity {s:?}")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if intensities.iter().any(|i| !(0.0..=1.0).contains(i)) {
+        return Err(ArgError("intensities must be in [0, 1]".into()));
+    }
+    let obs = parse_obs(p)?;
+    // The drain window is generous: under heavy fault intensities every
+    // stranded packet must walk to its retry cap (head-of-line, one queue
+    // entry at a time) before the run can account for it.
+    let opts = SyntheticOptions {
+        warmup: 500,
+        measure: 2_000,
+        drain: 60_000,
+    };
+
+    let mut out = format!(
+        "chaos soak: {net_name} ({}x{}), uniform rate {rate}, fault seed {fault_seed}\n",
+        mesh.width(),
+        mesh.height()
+    );
+    out.push_str(&format!(
+        "{:>9} {:>7} {:>10} {:>8} {:>6} {:>8} {:>9}\n",
+        "intensity", "faults", "delivered", "p99", "p99x", "undeliv", "rerouted"
+    ));
+    let mut baseline_p99: Option<u64> = None;
+    for &intensity in &intensities {
+        let plan = FaultPlan::random(mesh, fault_seed, intensity);
+        let mut net = build_network_with(net_name, mesh, Some(retry_limit))?;
+        if !plan.is_empty() {
+            net.set_fault_plan(plan.clone(), fault_seed);
+        }
+        if obs.trace_out.is_some() {
+            net.set_trace(obs.make_buffer());
+        }
+        let mut metrics = obs.make_metrics(mesh.nodes());
+        let mut w = BernoulliTraffic::new(mesh, Pattern::Uniform, rate, seed);
+        let r = run_synthetic_observed(&mut net, &mut w, opts, metrics.as_mut());
+        let stats = net.stats();
+        let resolved = stats.delivered + stats.undeliverable;
+        let delivered_frac = if resolved > 0 {
+            stats.delivered as f64 / resolved as f64
+        } else {
+            1.0
+        };
+        let p99 = r.latency.percentile(99.0);
+        if intensity == 0.0 && baseline_p99.is_none() {
+            baseline_p99 = p99;
+        }
+        let inflation = match (baseline_p99, p99) {
+            (Some(b), Some(v)) if b > 0 => format!("{:.2}", v as f64 / b as f64),
+            _ => "-".into(),
+        };
+        out.push_str(&format!(
+            "{intensity:>9.2} {:>7} {:>9.1}% {:>8} {:>6} {:>8} {:>9}\n",
+            plan.len(),
+            delivered_frac * 100.0,
+            p99.map_or("-".into(), |v| v.to_string()),
+            inflation,
+            stats.undeliverable,
+            stats.rerouted,
+        ));
+        if r.unfinished > 0 {
+            out.push_str(&format!(
+                "  UNRESOLVED: {} accepted packets neither delivered nor undeliverable\n",
+                r.unfinished
+            ));
+        }
+        if let Some(path) = &obs.trace_out {
+            let path = rate_path(path, intensity, intensities.len() > 1);
+            let tb = net.take_trace().unwrap_or_default();
+            write_export(&path, &tb.to_json(), || tb.to_csv())?;
+            out.push_str(&format!("  trace: {} events -> {path}\n", tb.len()));
+        }
+        if let (Some(path), Some(m)) = (&obs.metrics_out, metrics) {
+            let path = rate_path(path, intensity, intensities.len() > 1);
+            let series = m.into_series();
+            write_export(&path, &series.to_json(), || series.to_csv())?;
+            out.push_str(&format!(
+                "  metrics: {} samples -> {path}\n",
+                series.samples.len()
+            ));
+        }
+        if let Some(path) = &obs.report_out {
+            let path = rate_path(path, intensity, intensities.len() > 1);
+            let report = RunReport {
+                network: net.name(),
+                width: mesh.width(),
+                height: mesh.height(),
+                seed: Some(seed),
+                cycles: r.perf.cycles,
+                stats,
+                energy: r.energy,
+                perf: r.perf,
+                extra: vec![
+                    ("intensity".into(), JsonValue::Num(intensity)),
+                    ("faults".into(), JsonValue::Uint(plan.len() as u64)),
+                    ("fault_seed".into(), JsonValue::Uint(fault_seed)),
+                    ("fault_plan".into(), JsonValue::Str(plan.encode())),
+                    ("delivered_fraction".into(), JsonValue::Num(delivered_frac)),
+                    ("unresolved".into(), JsonValue::Uint(r.unfinished)),
+                ],
+            };
+            write_export(&path, &report.to_json(), || report.to_csv())?;
+            out.push_str(&format!("  report -> {path}\n"));
+        }
+    }
+    Ok(out)
+}
+
 /// Usage text.
 pub fn usage() -> &'static str {
     "phastlane — Phastlane (ISCA 2009) reproduction CLI
@@ -617,6 +861,8 @@ USAGE:
   phastlane simulate [--net N] [--benchmark B] [--scale S] [--mesh WxH]
   phastlane compare  [--net N] [--benchmark B] [--scale S]
   phastlane sweep    [--net N] [--pattern P] [--rate R | --rates R1,R2,..]
+  phastlane chaos    [--net N] [--rate R] [--intensities I1,I2,..]
+                     [--fault-seed S] [--retry-limit L]
   phastlane trace gen    [--benchmark B] [--scale S] [--out FILE]
   phastlane trace info   FILE
   phastlane trace replay FILE [--net N]
@@ -631,6 +877,13 @@ observability (simulate, sweep):
   --ring N              keep only the latest N trace events
   --severity S          trace floor: debug (default), info, warn
 
+fault injection (simulate, sweep, chaos):
+  --fault-plan FILE     scheduled faults (link nX DIR / router nX / droop F /
+                        biterr R lines, each with optional @start +duration)
+  --fault-rate R        seeded random permanent faults of intensity R in [0,1]
+  --fault-seed S        seed for the random plan and fault-path RNG (default 1)
+  --retry-limit L       retries before a message is declared undeliverable
+
 networks: optical4 optical5 optical8 optical4b32 optical4b64 optical4ib
           optical4sp50 electrical2 electrical3
 benchmarks: Barnes Cholesky FFT LU Ocean Radix Raytrace
@@ -638,6 +891,8 @@ benchmarks: Barnes Cholesky FFT LU Ocean Radix Raytrace
 patterns: uniform bitcomp bitrev shuffle transpose neighbor hotspot
 event kinds: inject nic_retry optical_transit link_traversal
              electrical_fallback buffer_overflow drop_return retransmit eject
+             fault_injected fault_cleared fault_reroute fault_stall
+             ecc_corrected ecc_uncorrectable undeliverable
 "
 }
 
@@ -651,6 +906,7 @@ pub fn dispatch(p: &Parsed) -> Result<String, ArgError> {
         Some("simulate") => cmd_simulate(p),
         Some("compare") => cmd_compare(p),
         Some("sweep") => cmd_sweep(p),
+        Some("chaos") => cmd_chaos(p),
         Some("trace") => cmd_trace(p),
         Some("trace-dump") => cmd_trace_dump(p),
         Some("design") => cmd_design(p),
@@ -771,6 +1027,70 @@ mod tests {
         ]);
         let out = dispatch(&replay).expect("replay");
         assert!(out.contains("cycles"));
+    }
+
+    #[test]
+    fn chaos_accounts_every_packet() {
+        // Both network families have their own give-up machinery (retry
+        // cap vs stall-abandon + NIC age-out); neither may leak packets.
+        for net in ["optical4", "electrical2"] {
+            let p = parsed(&[
+                "chaos",
+                "--net",
+                net,
+                "--mesh",
+                "4x4",
+                "--intensities",
+                "0.0,0.25",
+                "--fault-seed",
+                "1",
+            ]);
+            let out = dispatch(&p).expect("runs");
+            assert!(out.contains("chaos soak"));
+            assert!(out.contains("intensity"), "table header present");
+            assert!(
+                !out.contains("UNRESOLVED"),
+                "{net}: every packet delivered or undeliverable:\n{out}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_plan_and_rate_are_mutually_exclusive() {
+        let p = parsed(&[
+            "simulate",
+            "--benchmark",
+            "LU",
+            "--scale",
+            "0.02",
+            "--fault-plan",
+            "x.plan",
+            "--fault-rate",
+            "0.1",
+        ]);
+        let e = dispatch(&p).expect_err("conflicting fault sources");
+        assert!(e.to_string().contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn simulate_with_faults_reports_degradation() {
+        let p = parsed(&[
+            "simulate",
+            "--benchmark",
+            "LU",
+            "--scale",
+            "0.02",
+            "--net",
+            "optical4",
+            "--fault-rate",
+            "0.2",
+            "--fault-seed",
+            "3",
+            "--retry-limit",
+            "10",
+        ]);
+        let out = dispatch(&p).expect("runs");
+        assert!(out.contains("faults:"), "fault summary line present: {out}");
     }
 
     #[test]

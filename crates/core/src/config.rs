@@ -108,6 +108,11 @@ pub struct PhastlaneConfig {
     pub crossing_efficiency: f64,
     /// Retransmission backoff policy.
     pub backoff: BackoffPolicy,
+    /// Maximum retransmission attempts per message before its remaining
+    /// destinations are declared terminally `Undeliverable` (the livelock
+    /// guard). Generous enough that congestion alone never trips it; under
+    /// fault plans it bounds retries toward dead destinations.
+    pub retry_limit: u32,
     /// Buffered-packet arbitration policy (rotating priority in the
     /// paper; alternatives for the §7 ablation study).
     pub arbitration: ArbitrationPolicy,
@@ -171,6 +176,7 @@ impl PhastlaneConfig {
             wdm: WdmConfig::PAPER,
             crossing_efficiency: 0.98,
             backoff: BackoffPolicy::default(),
+            retry_limit: 1_000,
             arbitration: ArbitrationPolicy::default(),
             path_priority: PathPriority::default(),
             seed: 0xFA57_1A7E,

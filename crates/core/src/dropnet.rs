@@ -128,6 +128,7 @@ impl std::error::Error for ReturnPathOverlap {}
 #[derive(Debug, Default)]
 pub struct ReturnPathRegistry {
     used: HashSet<(NodeId, Direction)>,
+    signals_total: u64,
 }
 
 impl ReturnPathRegistry {
@@ -141,13 +142,20 @@ impl ReturnPathRegistry {
     /// # Errors
     ///
     /// Returns the contended link if the path overlaps a previously
-    /// registered one.
+    /// registered one (nothing is recorded in that case).
     pub fn register(&mut self, path: &ReturnPath) -> Result<(), ReturnPathOverlap> {
         for link in path.links() {
             if !self.used.insert(link) {
+                for undo in path.links() {
+                    if undo == link {
+                        break;
+                    }
+                    self.used.remove(&undo);
+                }
                 return Err(ReturnPathOverlap { link });
             }
         }
+        self.signals_total += 1;
         Ok(())
     }
 
@@ -159,6 +167,14 @@ impl ReturnPathRegistry {
     /// Number of links currently registered.
     pub fn links_in_use(&self) -> usize {
         self.used.len()
+    }
+
+    /// Cumulative count of signals registered over the registry's
+    /// lifetime (not reset by [`clear`](Self::clear)). The network
+    /// cross-checks this against its drop counter: every dropped packet
+    /// must produce exactly one drop-return signal.
+    pub fn signals_total(&self) -> u64 {
+        self.signals_total
     }
 }
 
@@ -216,7 +232,23 @@ mod tests {
         reg.register(&a).expect("first is fine");
         let err = reg.register(&b).expect_err("overlap on n2 -W> n1");
         assert_eq!(err.link, (NodeId(2), West));
+        assert_eq!(reg.signals_total(), 1, "a rejected path is not counted");
         reg.clear();
+        assert_eq!(reg.links_in_use(), 0);
+    }
+
+    #[test]
+    fn signal_count_survives_per_cycle_clear() {
+        // The cumulative counter is the accounting hook: one signal per
+        // registered path, across cycles, unaffected by clear().
+        let mut reg = ReturnPathRegistry::new();
+        let a = ReturnPath::from_forward_trail(mesh(), &[(NodeId(0), East)]);
+        let b = ReturnPath::from_forward_trail(mesh(), &[(NodeId(8), East)]);
+        reg.register(&a).expect("ok");
+        reg.clear();
+        reg.register(&b).expect("ok");
+        reg.clear();
+        assert_eq!(reg.signals_total(), 2);
         assert_eq!(reg.links_in_use(), 0);
     }
 

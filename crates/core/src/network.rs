@@ -28,6 +28,8 @@ use crate::multicast::split_multicast;
 use crate::plan::{Plan, StepExit, StopKind};
 use crate::power::EnergyLedger;
 use crate::router::{Entry, PacketCore, RouterState};
+use phastlane_netsim::ecc::{self, Decoded};
+use phastlane_netsim::fault::{productive_detour, FailedDelivery, FaultPlan};
 use phastlane_netsim::geometry::{Direction, Mesh, NodeId};
 use phastlane_netsim::network::Network;
 use phastlane_netsim::nic::Nic;
@@ -37,7 +39,20 @@ use phastlane_netsim::rng::SimRng;
 use phastlane_netsim::routing::{classify_turn, xy_first_hop, Turn};
 use phastlane_netsim::stats::{EnergyReport, NetworkStats};
 use phastlane_netsim::telemetry::LinkCounters;
+use phastlane_photonics::power::PowerPoint;
 use std::collections::{HashMap, VecDeque};
+
+/// What a transient bit error did to one delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EccOutcome {
+    /// No error (or no bit-error fault active).
+    Clean,
+    /// A single upset, corrected by SECDED; delivery proceeds.
+    Corrected,
+    /// A double upset: SECDED detects but cannot correct; the delivery
+    /// is rejected and the packet re-buffered for retransmission.
+    Uncorrectable,
+}
 
 /// An in-flight optical packet during one cycle's wavefront.
 #[derive(Debug)]
@@ -88,6 +103,15 @@ pub struct PhastlaneNetwork {
     links: LinkCounters,
     /// Observability handle: one branch per emit site when disabled.
     obs: Obs,
+    /// Scheduled device failures; the empty plan is guaranteed
+    /// zero-effect (every fault hook is gated on it).
+    fault_plan: FaultPlan,
+    /// Dedicated RNG for fault-path randomness (stall backoff jitter,
+    /// bit-error positions), kept separate from `rng` so an empty plan
+    /// leaves the main backoff stream untouched.
+    fault_rng: SimRng,
+    /// Destinations terminally given up on, awaiting `drain_failures`.
+    failures: Vec<FailedDelivery>,
 }
 
 impl PhastlaneNetwork {
@@ -114,6 +138,9 @@ impl PhastlaneNetwork {
             return_paths: ReturnPathRegistry::new(),
             links: LinkCounters::new(),
             obs: Obs::off(),
+            fault_plan: FaultPlan::new(),
+            fault_rng: SimRng::seed_from_u64(0),
+            failures: Vec::new(),
         }
     }
 
@@ -255,6 +282,85 @@ impl PhastlaneNetwork {
             debug_assert!(prev.is_none(), "one launch cannot drop twice");
         }
     }
+
+    /// The retry cap / livelock guard fired: every remaining target of
+    /// `entry` becomes a terminal [`FailedDelivery`]. The packet leaves
+    /// the in-flight set so closed-loop harnesses observe completion.
+    fn give_up(
+        outstanding: &mut HashMap<PacketId, usize>,
+        failures: &mut Vec<FailedDelivery>,
+        stats: &mut NetworkStats,
+        obs: &mut Obs,
+        entry: &Entry,
+        at: NodeId,
+        now: u64,
+    ) {
+        stats.retry_exhausted += 1;
+        for &dest in &entry.targets {
+            stats.undeliverable += 1;
+            failures.push(FailedDelivery {
+                packet: entry.core.id,
+                src: entry.core.src,
+                dest,
+                cycle: now,
+            });
+            obs.emit(now, EventKind::Undeliverable, at, None, Some(entry.core.id));
+            let rem = outstanding
+                .get_mut(&entry.core.id)
+                .expect("failure for unknown packet");
+            *rem -= 1;
+            if *rem == 0 {
+                outstanding.remove(&entry.core.id);
+            }
+        }
+    }
+
+    /// Hop reach under the current laser-droop factor: the largest hop
+    /// count whose worst-case loss (at the degraded crossing efficiency)
+    /// still fits the power budget provisioned for the *nominal*
+    /// `max_hops` reach. Clamped to at least one hop.
+    fn effective_max_hops(&self, now: u64) -> u32 {
+        let factor = self.fault_plan.efficiency_factor(now);
+        if factor >= 1.0 {
+            return self.cfg.max_hops;
+        }
+        let budget = PowerPoint::new(
+            self.cfg.wdm,
+            self.cfg.max_hops,
+            self.cfg.crossing_efficiency,
+        )
+        .peak_optical_power();
+        let degraded = self.cfg.crossing_efficiency * factor;
+        (1..=self.cfg.max_hops)
+            .take_while(|&h| {
+                PowerPoint::new(self.cfg.wdm, h, degraded).peak_optical_power() <= budget
+            })
+            .last()
+            .unwrap_or(1)
+    }
+
+    /// Rolls for a transient bit error on one delivery and, when one
+    /// occurs, actually runs the flipped payload through the SECDED
+    /// code: single upsets come back [`Decoded::Corrected`], double
+    /// upsets [`Decoded::Uncorrectable`]. Inert (no RNG draw) at rate 0.
+    fn roll_bit_error(rate: f64, rng: &mut SimRng, payload: u64) -> EccOutcome {
+        if rate <= 0.0 || !rng.gen_bool(rate) {
+            return EccOutcome::Clean;
+        }
+        let mut cw = ecc::encode(payload);
+        let b1 = (rng.gen_u64() % 64) as u32;
+        // One error event in eight hits two bits of the same word.
+        if rng.gen_bool(0.125) {
+            let b2 = (b1 + 1 + (rng.gen_u64() % 63) as u32) % 64;
+            cw.data ^= (1 << b1) | (1 << b2);
+            debug_assert_eq!(ecc::decode(cw), Decoded::Uncorrectable);
+            EccOutcome::Uncorrectable
+        } else {
+            cw.data ^= 1 << b1;
+            debug_assert_eq!(ecc::decode(cw), Decoded::Corrected(payload));
+            EccOutcome::Corrected
+        }
+    }
 }
 
 impl Network for PhastlaneNetwork {
@@ -341,6 +447,27 @@ impl Network for PhastlaneNetwork {
         let mesh = self.cfg.mesh;
         self.return_paths.clear();
 
+        // Fault bookkeeping for this cycle: edge events, the hop reach
+        // under laser droop, and the transient bit-error rate. Everything
+        // collapses to the nominal values when no plan is installed, so an
+        // empty plan is exactly zero-effect.
+        let (hops, ber) = if self.fault_plan.is_empty() {
+            (self.cfg.max_hops, 0.0)
+        } else {
+            for (fault, injected) in self.fault_plan.edges_at(now) {
+                let kind = if injected {
+                    EventKind::FaultInjected
+                } else {
+                    EventKind::FaultCleared
+                };
+                self.obs.emit(now, kind, fault.site(), fault.port(), None);
+            }
+            (
+                self.effective_max_hops(now),
+                self.fault_plan.bit_error_rate(now),
+            )
+        };
+
         // Phase 1: confirm or revert last cycle's launches.
         for (r_idx, state) in self.routers.iter_mut().enumerate() {
             for (qi, mut entry) in state.take_launched() {
@@ -354,6 +481,18 @@ impl Network for PhastlaneNetwork {
                         Some(entry.core.id),
                     );
                     entry.targets = remaining;
+                    if entry.attempts >= self.cfg.retry_limit {
+                        Self::give_up(
+                            &mut self.outstanding,
+                            &mut self.failures,
+                            &mut self.stats,
+                            &mut self.obs,
+                            &entry,
+                            launcher,
+                            now,
+                        );
+                        continue;
+                    }
                     let roll = self.rng.gen_u64();
                     entry.ready_at = now + self.cfg.backoff.delay(entry.attempts, roll);
                     entry.attempts += 1;
@@ -414,20 +553,138 @@ impl Network for PhastlaneNetwork {
                     if head.ready_at > now {
                         continue;
                     }
+                    if !self.fault_plan.is_empty() && head.targets.contains(&here) {
+                        // Only an ECC-rejected optical delivery re-buffers a
+                        // packet at its own target router. The electrical
+                        // buffer copy is clean (SECDED covers the optical
+                        // hop), so the target ejects locally instead of
+                        // launching.
+                        let head = self.routers[r_idx]
+                            .head_mut(qi)
+                            .expect("head checked above");
+                        head.targets.retain(|&t| t != here);
+                        let id = head.core.id;
+                        let src = head.core.src;
+                        let injected_cycle = head.core.injected_cycle;
+                        let kind = head.core.kind;
+                        let done = head.targets.is_empty();
+                        self.energy.on_receive();
+                        self.obs.emit(now, EventKind::Eject, here, None, Some(id));
+                        let delivered_cycle = now + 1;
+                        self.deliveries.push(Delivery {
+                            packet: id,
+                            src,
+                            dest: here,
+                            injected_cycle,
+                            delivered_cycle,
+                        });
+                        self.stats.delivered += 1;
+                        let lat = delivered_cycle - injected_cycle;
+                        self.stats.latency.record(lat);
+                        self.stats.latency_by_kind.record(kind, lat);
+                        let rem = self
+                            .outstanding
+                            .get_mut(&id)
+                            .expect("delivery for unknown packet");
+                        *rem -= 1;
+                        if *rem == 0 {
+                            self.outstanding.remove(&id);
+                        }
+                        if done {
+                            let _ = self.routers[r_idx].pop_head(qi);
+                        }
+                        progress = true;
+                        continue;
+                    }
                     let first = *head.targets.front().expect("entries keep >= 1 target");
-                    let out = xy_first_hop(mesh, here, first)
+                    let unicast = !head.core.multicast && head.targets.len() == 1;
+                    let attempts = head.attempts;
+                    let mut out = xy_first_hop(mesh, here, first)
                         .expect("buffered targets never equal the holding router");
+                    let mut waypoint: Option<NodeId> = None;
+                    if !self.fault_plan.is_empty() {
+                        let stuck_here = self.fault_plan.router_stuck(now, here);
+                        if stuck_here || self.fault_plan.blocked(now, mesh, here, out) {
+                            // The preferred output is faulted. A unicast at
+                            // a working router may detour through the other
+                            // dimension if that makes real progress toward
+                            // the destination; otherwise the entry backs
+                            // off in place until the fault clears or the
+                            // retry cap declares it undeliverable.
+                            let detour = (!stuck_here && unicast)
+                                .then(|| {
+                                    productive_detour(&self.fault_plan, now, mesh, here, first)
+                                })
+                                .flatten();
+                            match detour {
+                                Some((dir, corner)) => {
+                                    out = dir;
+                                    waypoint = Some(corner);
+                                }
+                                None => {
+                                    if attempts >= self.cfg.retry_limit {
+                                        let entry = self.routers[r_idx].pop_head(qi);
+                                        Self::give_up(
+                                            &mut self.outstanding,
+                                            &mut self.failures,
+                                            &mut self.stats,
+                                            &mut self.obs,
+                                            &entry,
+                                            here,
+                                            now,
+                                        );
+                                    } else {
+                                        // Flat jittered delay rather than the
+                                        // exponential drop backoff: growth only
+                                        // helps congestion decongest, and a dead
+                                        // link never does. Short stalls keep the
+                                        // queue moving toward the retry cap so
+                                        // head-of-line entries resolve quickly.
+                                        let roll = self.fault_rng.gen_u64();
+                                        let delay = 1 + roll % 8;
+                                        let head = self.routers[r_idx]
+                                            .head_mut(qi)
+                                            .expect("head checked above");
+                                        head.ready_at = now + delay;
+                                        head.attempts += 1;
+                                        let id = head.core.id;
+                                        self.obs.emit(
+                                            now,
+                                            EventKind::FaultStall,
+                                            here,
+                                            Some(out),
+                                            Some(id),
+                                        );
+                                    }
+                                    continue;
+                                }
+                            }
+                        }
+                    }
                     if claims.contains_key(&(here, out)) {
                         continue;
                     }
                     let entry = self.routers[r_idx].launch_head(qi);
-                    let plan = Plan::build(
-                        mesh,
-                        here,
-                        &entry.targets,
-                        entry.core.multicast,
-                        self.cfg.max_hops,
-                    );
+                    let plan = match waypoint {
+                        Some(corner) => {
+                            // Detour expressed as an ordinary two-waypoint
+                            // unicast plan; the corner is not tapped
+                            // because the plan is not multicast.
+                            let legs: VecDeque<NodeId> = [corner, first].into_iter().collect();
+                            Plan::build(mesh, here, &legs, false, hops)
+                        }
+                        None => Plan::build(mesh, here, &entry.targets, entry.core.multicast, hops),
+                    };
+                    if waypoint.is_some() {
+                        self.stats.rerouted += 1;
+                        self.obs.emit(
+                            now,
+                            EventKind::FaultReroute,
+                            here,
+                            Some(out),
+                            Some(entry.core.id),
+                        );
+                    }
                     debug_assert_eq!(plan.first_exit(), out);
                     debug_assert_eq!(
                         RouteControl::encode(&plan).len(),
@@ -478,20 +735,95 @@ impl Network for PhastlaneNetwork {
                 }
                 let step = flights[fi].plan.steps()[s];
                 if step.tap {
-                    Self::deliver(
-                        &mut self.outstanding,
-                        &mut self.deliveries,
-                        &mut self.stats,
-                        &mut self.energy,
-                        &mut self.obs,
-                        &mut flights[fi],
-                        step.router,
-                        now,
-                    );
+                    match Self::roll_bit_error(ber, &mut self.fault_rng, flights[fi].uid) {
+                        EccOutcome::Uncorrectable => {
+                            // SECDED detected a double upset at the tap:
+                            // reject the delivery and re-buffer the whole
+                            // remaining itinerary for retransmission.
+                            self.stats.ecc_uncorrectable += 1;
+                            self.obs.emit(
+                                now,
+                                EventKind::EccUncorrectable,
+                                step.router,
+                                None,
+                                Some(flights[fi].core.id),
+                            );
+                            let entry_dir = step.entry.expect("tap steps have an entry");
+                            Self::block_flight(
+                                mesh,
+                                &mut self.routers,
+                                &mut self.drop_map,
+                                &mut self.return_paths,
+                                &mut self.stats,
+                                &mut self.energy,
+                                &mut self.obs,
+                                &mut self.next_uid,
+                                &mut flights[fi],
+                                step.router,
+                                entry_dir,
+                                now,
+                            );
+                        }
+                        outcome => {
+                            if outcome == EccOutcome::Corrected {
+                                self.stats.ecc_corrected += 1;
+                                self.obs.emit(
+                                    now,
+                                    EventKind::EccCorrected,
+                                    step.router,
+                                    None,
+                                    Some(flights[fi].core.id),
+                                );
+                            }
+                            Self::deliver(
+                                &mut self.outstanding,
+                                &mut self.deliveries,
+                                &mut self.stats,
+                                &mut self.energy,
+                                &mut self.obs,
+                                &mut flights[fi],
+                                step.router,
+                                now,
+                            );
+                        }
+                    }
+                    if !flights[fi].alive {
+                        continue;
+                    }
                 }
                 match step.exit {
                     StepExit::Forward(out) => {
                         let entry_dir = step.entry.expect("hop steps have an entry");
+                        if !self.fault_plan.is_empty()
+                            && self.fault_plan.blocked(now, mesh, step.router, out)
+                        {
+                            // The wavefront ran into a faulted link or
+                            // stuck router mid-flight: forced electrical
+                            // fallback at this hop.
+                            self.stats.rerouted += 1;
+                            self.obs.emit(
+                                now,
+                                EventKind::FaultReroute,
+                                step.router,
+                                Some(out),
+                                Some(flights[fi].core.id),
+                            );
+                            Self::block_flight(
+                                mesh,
+                                &mut self.routers,
+                                &mut self.drop_map,
+                                &mut self.return_paths,
+                                &mut self.stats,
+                                &mut self.energy,
+                                &mut self.obs,
+                                &mut self.next_uid,
+                                &mut flights[fi],
+                                step.router,
+                                entry_dir,
+                                now,
+                            );
+                            continue;
+                        }
                         let turn_class = match classify_turn(entry_dir, out) {
                             Turn::Straight => 1,
                             Turn::Left => 2,
@@ -582,18 +914,57 @@ impl Network for PhastlaneNetwork {
                         }
                     }
                     StepExit::Stop(StopKind::Accept) => {
-                        Self::deliver(
-                            &mut self.outstanding,
-                            &mut self.deliveries,
-                            &mut self.stats,
-                            &mut self.energy,
-                            &mut self.obs,
-                            &mut flights[fi],
-                            step.router,
-                            now,
-                        );
-                        flights[fi].alive = false;
-                        debug_assert!(flights[fi].remaining.is_empty());
+                        match Self::roll_bit_error(ber, &mut self.fault_rng, flights[fi].uid) {
+                            EccOutcome::Uncorrectable => {
+                                self.stats.ecc_uncorrectable += 1;
+                                self.obs.emit(
+                                    now,
+                                    EventKind::EccUncorrectable,
+                                    step.router,
+                                    None,
+                                    Some(flights[fi].core.id),
+                                );
+                                let entry_dir = step.entry.expect("accept steps have an entry");
+                                Self::block_flight(
+                                    mesh,
+                                    &mut self.routers,
+                                    &mut self.drop_map,
+                                    &mut self.return_paths,
+                                    &mut self.stats,
+                                    &mut self.energy,
+                                    &mut self.obs,
+                                    &mut self.next_uid,
+                                    &mut flights[fi],
+                                    step.router,
+                                    entry_dir,
+                                    now,
+                                );
+                            }
+                            outcome => {
+                                if outcome == EccOutcome::Corrected {
+                                    self.stats.ecc_corrected += 1;
+                                    self.obs.emit(
+                                        now,
+                                        EventKind::EccCorrected,
+                                        step.router,
+                                        None,
+                                        Some(flights[fi].core.id),
+                                    );
+                                }
+                                Self::deliver(
+                                    &mut self.outstanding,
+                                    &mut self.deliveries,
+                                    &mut self.stats,
+                                    &mut self.energy,
+                                    &mut self.obs,
+                                    &mut flights[fi],
+                                    step.router,
+                                    now,
+                                );
+                                flights[fi].alive = false;
+                                debug_assert!(flights[fi].remaining.is_empty());
+                            }
+                        }
                     }
                     StepExit::Stop(StopKind::Interim) => {
                         let entry_dir = step.entry.expect("interim steps have an entry");
@@ -617,12 +988,26 @@ impl Network for PhastlaneNetwork {
         }
 
         // Phase 5: leakage, clock.
+        debug_assert_eq!(
+            self.stats.dropped,
+            self.return_paths.signals_total(),
+            "every dropped packet produces exactly one drop-return signal"
+        );
         self.energy.on_cycle();
         self.cycle += 1;
     }
 
     fn drain_deliveries(&mut self) -> Vec<Delivery> {
         std::mem::take(&mut self.deliveries)
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan, seed: u64) {
+        self.fault_plan = plan;
+        self.fault_rng = SimRng::seed_from_u64(seed);
+    }
+
+    fn drain_failures(&mut self) -> Vec<FailedDelivery> {
+        std::mem::take(&mut self.failures)
     }
 
     fn in_flight(&self) -> usize {

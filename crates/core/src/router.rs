@@ -103,6 +103,20 @@ impl RouterState {
         self.queues[queue].front()
     }
 
+    /// Mutable head of a queue (used to back off an entry in place when
+    /// every usable output is faulted).
+    pub fn head_mut(&mut self, queue: usize) -> Option<&mut Entry> {
+        self.queues[queue].front_mut()
+    }
+
+    /// Removes and returns the head of a queue *without* marking it
+    /// launched (used when the network terminally gives up on an entry).
+    pub fn pop_head(&mut self, queue: usize) -> Entry {
+        self.queues[queue]
+            .pop_front()
+            .expect("pop_head on empty queue")
+    }
+
     /// Removes and returns the head of a queue, marking it launched.
     pub fn launch_head(&mut self, queue: usize) -> &Entry {
         let e = self.queues[queue]

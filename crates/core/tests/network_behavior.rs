@@ -155,6 +155,43 @@ fn full_buffers_drop_and_retransmit() {
 }
 
 #[test]
+fn concurrent_same_cycle_drops_account_exactly_once() {
+    // Two opposite-corner hotspots with 1-entry buffers force drops at
+    // distinct routers in the same cycle. Accounting must stay exact:
+    // every drop produces one drop-return signal and one retransmission
+    // (the end-of-step debug assertion cross-checks the signal count),
+    // no retry is lost or duplicated, and every packet still arrives.
+    let cfg = PhastlaneConfig::with_hops_and_buffers(4, BufferDepth::Finite(1));
+    let mut net = PhastlaneNetwork::new(cfg);
+    let mut expected = 0;
+    for src in Mesh::PAPER.iter_nodes() {
+        for dst in [NodeId(0), NodeId(63)] {
+            if src != dst && net.inject(NewPacket::unicast(src, dst)).is_some() {
+                expected += 1;
+            }
+        }
+    }
+    run_until_idle(&mut net, 20_000);
+    let d = net.drain_deliveries();
+    assert_eq!(d.len(), expected, "no retry lost: everything delivered");
+    let mut seen = std::collections::HashSet::new();
+    for x in &d {
+        assert!(
+            seen.insert((x.packet, x.dest)),
+            "no retry duplicated: {:?} delivered twice at {}",
+            x.packet,
+            x.dest
+        );
+    }
+    let stats = net.stats();
+    assert!(stats.dropped > 0, "the hotspots must overflow somewhere");
+    assert_eq!(
+        stats.retransmitted, stats.dropped,
+        "exactly one retransmission attempt per drop"
+    );
+}
+
+#[test]
 fn infinite_buffers_never_drop() {
     let mut net = PhastlaneNetwork::new(PhastlaneConfig::optical4_ib());
     for src in Mesh::PAPER.iter_nodes() {

@@ -15,6 +15,7 @@ use crate::config::ElectricalConfig;
 use crate::islip::Islip;
 use crate::power::EnergyLedger;
 use crate::vctm::{mask_of, tree_fork, TargetMask};
+use phastlane_netsim::fault::{productive_detour, FailedDelivery, FaultPlan};
 use phastlane_netsim::geometry::{Direction, Mesh, NodeId, Port};
 use phastlane_netsim::mask::NodeMask;
 use phastlane_netsim::network::Network;
@@ -140,7 +141,18 @@ pub struct ElectricalNetwork {
     links: LinkCounters,
     /// Observability handle: one branch per emit site when disabled.
     obs: Obs,
+    /// Scheduled device failures; the empty plan is zero-effect (every
+    /// fault hook is gated on it).
+    fault_plan: FaultPlan,
+    /// Destinations terminally given up on, awaiting `drain_failures`.
+    failures: Vec<FailedDelivery>,
 }
+
+/// How long a flit may sit unserviced before a fault plan declares its
+/// remaining targets undeliverable (the electrical livelock guard; only
+/// consulted while a fault plan is installed). Far beyond any contention
+/// stall the 1-flit-per-VC router can produce on an 8x8 mesh.
+const STALL_ABANDON_CYCLES: u64 = 2_000;
 
 impl ElectricalNetwork {
     /// Builds a network from a configuration.
@@ -168,6 +180,8 @@ impl ElectricalNetwork {
             stats: NetworkStats::default(),
             links: LinkCounters::new(),
             obs: Obs::off(),
+            fault_plan: FaultPlan::new(),
+            failures: Vec::new(),
         }
     }
 
@@ -176,14 +190,35 @@ impl ElectricalNetwork {
         &self.cfg
     }
 
-    fn make_flit(&self, at: NodeId, core: Core, route: Route, in_port: Port, now: u64) -> Flit {
+    fn make_flit(&mut self, at: NodeId, core: Core, route: Route, in_port: Port, now: u64) -> Flit {
         let mesh = self.cfg.mesh;
         let (branches, eject) = match route {
             Route::Unicast(dest) => {
                 if dest == at {
                     (Vec::new(), true)
                 } else {
-                    let out = xy_first_hop(mesh, at, dest).expect("dest != at");
+                    let mut out = xy_first_hop(mesh, at, dest).expect("dest != at");
+                    if !self.fault_plan.is_empty() && self.fault_plan.blocked(now, mesh, at, out) {
+                        // Dead preferred link: detour through the other
+                        // dimension when that still makes progress toward
+                        // the destination. (When it does not, the branch
+                        // keeps its dead output; the VC allocator will
+                        // never grant it and the stall-abandon guard
+                        // eventually declares the target undeliverable.)
+                        if let Some((dir, _)) =
+                            productive_detour(&self.fault_plan, now, mesh, at, dest)
+                        {
+                            out = dir;
+                            self.stats.rerouted += 1;
+                            self.obs.emit(
+                                now,
+                                EventKind::FaultReroute,
+                                at,
+                                Some(dir),
+                                Some(core.id),
+                            );
+                        }
+                    }
                     (
                         vec![Branch {
                             out,
@@ -216,6 +251,38 @@ impl ElectricalNetwork {
             eligible_at: now + self.cfg.router_delay,
             branches,
             eject_at: eject.then_some(now + 1),
+        }
+    }
+
+    /// Records one terminally-failed destination of an abandoned flit
+    /// (stall-abandon guard): the delivery is never going to happen, so
+    /// the packet's outstanding count shrinks exactly as a delivery
+    /// would, keeping closed-loop harnesses live.
+    #[allow(clippy::too_many_arguments)]
+    fn record_failure(
+        outstanding: &mut HashMap<PacketId, usize>,
+        failures: &mut Vec<FailedDelivery>,
+        stats: &mut NetworkStats,
+        obs: &mut Obs,
+        core: Core,
+        dest: NodeId,
+        at: NodeId,
+        now: u64,
+    ) {
+        stats.undeliverable += 1;
+        failures.push(FailedDelivery {
+            packet: core.id,
+            src: core.src,
+            dest,
+            cycle: now,
+        });
+        obs.emit(now, EventKind::Undeliverable, at, None, Some(core.id));
+        let rem = outstanding
+            .get_mut(&core.id)
+            .expect("failure for unknown packet");
+        *rem -= 1;
+        if *rem == 0 {
+            outstanding.remove(&core.id);
         }
     }
 
@@ -324,6 +391,20 @@ impl Network for ElectricalNetwork {
         let mesh = self.cfg.mesh;
         let vcs_per_port = self.cfg.vcs_per_port;
 
+        // Fault bookkeeping: edge events for faults starting or clearing
+        // this cycle. Skipped entirely (zero-effect) with no plan.
+        let fault_active = !self.fault_plan.is_empty();
+        if fault_active {
+            for (fault, injected) in self.fault_plan.edges_at(now) {
+                let kind = if injected {
+                    EventKind::FaultInjected
+                } else {
+                    EventKind::FaultCleared
+                };
+                self.obs.emit(now, kind, fault.site(), fault.port(), None);
+            }
+        }
+
         // Phase 1: credits return.
         for cr in std::mem::take(&mut self.credit_returns) {
             debug_assert!(!self.routers[cr.router].credits[cr.dir][cr.vc]);
@@ -347,6 +428,9 @@ impl Network for ElectricalNetwork {
                 continue;
             }
             let here = NodeId(r_idx as u16);
+            if fault_active && self.fault_plan.router_stuck(now, here) {
+                continue; // a stuck router cannot even eject
+            }
             for port in 0..5 {
                 for vc in 0..vcs_per_port {
                     if let Some(flit) = self.routers[r_idx].vcs[port][vc].as_mut() {
@@ -379,6 +463,46 @@ impl Network for ElectricalNetwork {
             if self.nics[r_idx].is_empty() {
                 continue;
             }
+            if fault_active && self.fault_plan.router_stuck(now, here) {
+                // A stuck router accepts no new traffic — and a permanent
+                // fault would strand its own NIC queue forever. Age out
+                // entries waiting far past any transient window, failing
+                // their targets terminally so accounting stays closed.
+                while let Some((core, _)) = self.nics[r_idx].front() {
+                    if now.saturating_sub(core.injected_cycle) <= STALL_ABANDON_CYCLES {
+                        break;
+                    }
+                    let (core, route) = self.nics[r_idx].pop().expect("checked non-empty");
+                    self.stats.retry_exhausted += 1;
+                    match route {
+                        Route::Unicast(dest) => Self::record_failure(
+                            &mut self.outstanding,
+                            &mut self.failures,
+                            &mut self.stats,
+                            &mut self.obs,
+                            core,
+                            dest,
+                            here,
+                            now,
+                        ),
+                        Route::Tree(mask) => {
+                            for t in mask.iter() {
+                                Self::record_failure(
+                                    &mut self.outstanding,
+                                    &mut self.failures,
+                                    &mut self.stats,
+                                    &mut self.obs,
+                                    core,
+                                    t,
+                                    here,
+                                    now,
+                                );
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
             let Some(vc) = (0..vcs_per_port).find(|&v| self.routers[r_idx].vcs[local][v].is_none())
             else {
                 continue;
@@ -405,6 +529,13 @@ impl Network for ElectricalNetwork {
                 let d = Port::Dir(dir).index();
                 if mesh.neighbor(NodeId(r_idx as u16), dir).is_none() {
                     continue;
+                }
+                if fault_active
+                    && self
+                        .fault_plan
+                        .blocked(now, mesh, NodeId(r_idx as u16), dir)
+                {
+                    continue; // never grant VCs across a faulted link
                 }
                 // Gather requesters (port, vc, branch index) in flattened
                 // order.
@@ -457,6 +588,9 @@ impl Network for ElectricalNetwork {
                 continue;
             }
             let here = NodeId(r_idx as u16);
+            if fault_active && self.fault_plan.router_stuck(now, here) {
+                continue; // nothing moves through a stuck router
+            }
             // Candidate branch per (input port, output dir), chosen
             // round-robin over VCs.
             let mut candidate: [[Option<(usize, usize)>; 4]; 5] = Default::default();
@@ -464,6 +598,9 @@ impl Network for ElectricalNetwork {
             for port in 0..5 {
                 for dir in Direction::ALL {
                     let d = Port::Dir(dir).index();
+                    if fault_active && self.fault_plan.blocked(now, mesh, here, dir) {
+                        continue; // granted VCs across a now-dead link wait
+                    }
                     let sel = self.routers[r_idx].vc_sel[port][d];
                     for k in 0..vcs_per_port {
                         let vc = (sel + k) % vcs_per_port;
@@ -545,14 +682,79 @@ impl Network for ElectricalNetwork {
             let here = NodeId(r_idx as u16);
             for port in 0..5 {
                 for vc in 0..vcs_per_port {
-                    let finished = self.routers[r_idx].vcs[port][vc]
-                        .as_ref()
-                        .is_some_and(Flit::finished);
-                    if !finished {
+                    let (finished, abandon) = match self.routers[r_idx].vcs[port][vc].as_ref() {
+                        None => (false, false),
+                        Some(f) => (
+                            f.finished(),
+                            fault_active
+                                && now.saturating_sub(f.eligible_at) > STALL_ABANDON_CYCLES,
+                        ),
+                    };
+                    if !finished && !abandon {
                         continue;
                     }
                     let flit = self.routers[r_idx].vcs[port][vc].take().expect("checked");
                     self.routers[r_idx].occupied -= 1;
+                    if abandon && !finished {
+                        // Stall-abandon: a fault plan is active and this
+                        // flit has been unserviceable for far longer than
+                        // congestion alone could explain. Its remaining
+                        // targets are terminally undeliverable; reserved
+                        // downstream VCs are released so the fabric around
+                        // the fault keeps flowing.
+                        self.stats.retry_exhausted += 1;
+                        for b in &flit.branches {
+                            if !b.done {
+                                if let Some(ovc) = b.out_vc {
+                                    let d = Port::Dir(b.out).index();
+                                    self.routers[r_idx].credits[d][ovc] = true;
+                                }
+                            }
+                        }
+                        if flit.eject_at.is_some() {
+                            Self::record_failure(
+                                &mut self.outstanding,
+                                &mut self.failures,
+                                &mut self.stats,
+                                &mut self.obs,
+                                flit.core,
+                                here,
+                                here,
+                                now,
+                            );
+                        }
+                        for b in &flit.branches {
+                            if b.done {
+                                continue;
+                            }
+                            match flit.route {
+                                Route::Unicast(dest) => Self::record_failure(
+                                    &mut self.outstanding,
+                                    &mut self.failures,
+                                    &mut self.stats,
+                                    &mut self.obs,
+                                    flit.core,
+                                    dest,
+                                    here,
+                                    now,
+                                ),
+                                Route::Tree(_) => {
+                                    for t in b.mask.iter() {
+                                        Self::record_failure(
+                                            &mut self.outstanding,
+                                            &mut self.failures,
+                                            &mut self.stats,
+                                            &mut self.obs,
+                                            flit.core,
+                                            t,
+                                            here,
+                                            now,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
                     if let Port::Dir(in_dir) = flit.in_port {
                         let upstream = mesh
                             .neighbor(here, in_dir)
@@ -575,6 +777,17 @@ impl Network for ElectricalNetwork {
 
     fn drain_deliveries(&mut self) -> Vec<Delivery> {
         std::mem::take(&mut self.deliveries)
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan, _seed: u64) {
+        // The electrical model uses no fault-path randomness: link and
+        // router faults mask deterministically, and the optical-only
+        // droop/bit-error faults do not apply here.
+        self.fault_plan = plan;
+    }
+
+    fn drain_failures(&mut self) -> Vec<FailedDelivery> {
+        std::mem::take(&mut self.failures)
     }
 
     fn in_flight(&self) -> usize {

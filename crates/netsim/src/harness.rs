@@ -10,7 +10,7 @@
 
 use crate::geometry::NodeId;
 use crate::network::Network;
-use crate::obs::{MetricsCollector, PerfProfile};
+use crate::obs::{CycleTotals, MetricsCollector, PerfProfile};
 use crate::packet::{DestSet, NewPacket, PacketId, PacketKind};
 use crate::stats::{EnergyReport, LatencyStats};
 use std::collections::{HashMap, VecDeque};
@@ -50,6 +50,10 @@ pub struct SyntheticResult {
     /// Number of measured packets still undelivered when the run ended
     /// (non-zero means the network was saturated).
     pub unfinished: u64,
+    /// Per-destination deliveries the network terminally gave up on
+    /// (retry cap under a fault plan). These count as *resolved* — they
+    /// no longer block drain — but not as delivered.
+    pub undeliverable: u64,
     /// Simulator throughput over the whole run (warmup + measure + drain).
     pub perf: PerfProfile,
 }
@@ -114,6 +118,7 @@ pub fn run_synthetic_observed<N: Network + ?Sized, W: SyntheticWorkload>(
     let mut offered = 0u64;
     let mut accepted = 0u64;
     let mut delivered = 0u64;
+    let mut undeliverable = 0u64;
     let mut measured_outstanding = 0u64;
 
     let measure_start = opts.warmup;
@@ -194,16 +199,24 @@ pub fn run_synthetic_observed<N: Network + ?Sized, W: SyntheticWorkload>(
             }
         }
 
+        // Terminally-failed deliveries (retry cap under a fault plan)
+        // resolve their packet just like a delivery would — otherwise the
+        // drain loop would wait forever on packets that can never arrive.
+        for f in net.drain_failures() {
+            undeliverable += 1;
+            if let Some(&(_, measured)) = gen_cycle.get(&f.packet) {
+                if measured {
+                    measured_outstanding -= 1;
+                }
+            }
+        }
+
         if let Some(m) = metrics.as_deref_mut() {
             if m.at_boundary(rel) {
                 let st = net.stats();
-                m.end_cycle(
-                    rel,
-                    st.dropped,
-                    st.retransmitted,
-                    net.in_flight() as u64,
-                    net.buffer_occupancy(),
-                );
+                let totals =
+                    CycleTotals::from_stats(&st, net.in_flight() as u64, net.buffer_occupancy());
+                m.end_cycle(rel, totals);
             }
         }
 
@@ -216,13 +229,8 @@ pub fn run_synthetic_observed<N: Network + ?Sized, W: SyntheticWorkload>(
     if let Some(m) = metrics {
         let st = net.stats();
         let rel = cycle - base_cycle;
-        m.finish(
-            rel.saturating_sub(1),
-            st.dropped,
-            st.retransmitted,
-            net.in_flight() as u64,
-            net.buffer_occupancy(),
-        );
+        let totals = CycleTotals::from_stats(&st, net.in_flight() as u64, net.buffer_occupancy());
+        m.finish(rel.saturating_sub(1), totals);
     }
 
     let energy_start = energy_start_holder.get().unwrap_or_default();
@@ -234,6 +242,7 @@ pub fn run_synthetic_observed<N: Network + ?Sized, W: SyntheticWorkload>(
         delivered_rate: delivered as f64 / denom,
         energy: net.energy().delta_since(&energy_start),
         unfinished: measured_outstanding,
+        undeliverable,
         perf: PerfProfile::new(cycle - base_cycle, wall_start.elapsed()),
     }
 }
@@ -387,6 +396,10 @@ pub struct TraceResult {
     pub energy: EnergyReport,
     /// Messages fully delivered.
     pub completed: u64,
+    /// Per-destination deliveries the network terminally gave up on
+    /// (retry cap under a fault plan). Failed destinations still resolve
+    /// the dependencies waiting on them, so the replay terminates.
+    pub undeliverable: u64,
     /// True if the replay hit the cycle limit before completing.
     pub timed_out: bool,
     /// Simulator throughput over the replay.
@@ -487,6 +500,7 @@ pub fn run_trace_observed<N: Network + ?Sized>(
     let mut in_flight: HashMap<PacketId, (usize, usize, u64)> = HashMap::new();
     let mut latency = LatencyStats::new();
     let mut completed = 0u64;
+    let mut undeliverable = 0u64;
     let mut completion_cycle = base_cycle;
     let mut timed_out = false;
 
@@ -598,30 +612,63 @@ pub fn run_trace_observed<N: Network + ?Sized>(
             }
         }
 
+        // A terminally-failed destination resolves its waiters exactly as
+        // a delivery would (the depending core observes a failed
+        // transaction and moves on); the message still counts toward
+        // completion so the replay terminates instead of spinning.
+        for f in net.drain_failures() {
+            if let Some(entry) = in_flight.get_mut(&f.packet) {
+                entry.1 -= 1;
+                undeliverable += 1;
+                let msg_id = trace.messages[entry.0].id;
+                for &dep_i in dest_deps
+                    .get(&(msg_id, f.dest))
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[])
+                {
+                    resolve_dep(
+                        dep_i,
+                        f.cycle,
+                        &trace.messages,
+                        &mut dep_remaining,
+                        &mut ready_at,
+                        &mut heap,
+                    );
+                }
+                if entry.1 == 0 {
+                    let (i, _, _) = in_flight.remove(&f.packet).expect("entry exists");
+                    completed += 1;
+                    completion_cycle = completion_cycle.max(f.cycle);
+                    let id = trace.messages[i].id;
+                    for &dep_i in full_deps.get(&id).map(Vec::as_slice).unwrap_or(&[]) {
+                        resolve_dep(
+                            dep_i,
+                            f.cycle,
+                            &trace.messages,
+                            &mut dep_remaining,
+                            &mut ready_at,
+                            &mut heap,
+                        );
+                    }
+                }
+            }
+        }
+
         if let Some(m) = metrics.as_deref_mut() {
             let rel = cycle - base_cycle;
             if rel > 0 && m.at_boundary(rel - 1) {
                 let st = net.stats();
-                m.end_cycle(
-                    rel - 1,
-                    st.dropped,
-                    st.retransmitted,
-                    net.in_flight() as u64,
-                    net.buffer_occupancy(),
-                );
+                let totals =
+                    CycleTotals::from_stats(&st, net.in_flight() as u64, net.buffer_occupancy());
+                m.end_cycle(rel - 1, totals);
             }
         }
     }
 
     if let Some(m) = metrics {
         let st = net.stats();
-        m.finish(
-            (cycle - base_cycle).saturating_sub(1),
-            st.dropped,
-            st.retransmitted,
-            net.in_flight() as u64,
-            net.buffer_occupancy(),
-        );
+        let totals = CycleTotals::from_stats(&st, net.in_flight() as u64, net.buffer_occupancy());
+        m.finish((cycle - base_cycle).saturating_sub(1), totals);
     }
 
     TraceResult {
@@ -629,6 +676,7 @@ pub fn run_trace_observed<N: Network + ?Sized>(
         latency,
         energy: net.energy().delta_since(&energy_start),
         completed,
+        undeliverable,
         timed_out,
         perf: PerfProfile::new(cycle - base_cycle, wall_start.elapsed()),
     }

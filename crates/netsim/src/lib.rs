@@ -11,6 +11,8 @@
 //!   deliveries;
 //! * [`nic`] — the 50-entry network-interface buffer;
 //! * [`ecc`] — SECDED protection for the 64-byte payload;
+//! * [`fault`] — deterministic fault injection (dead links, stuck
+//!   routers, laser droop, bit errors) and terminal delivery failures;
 //! * [`mask`] — 256-node bitsets for multicast target tracking;
 //! * [`network`] — the [`network::Network`] trait;
 //! * [`ideal`] — a contention-free reference network (lower bound and
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod ecc;
+pub mod fault;
 pub mod geometry;
 pub mod harness;
 pub mod ideal;
@@ -53,6 +56,7 @@ pub mod stats;
 pub mod sweep;
 pub mod telemetry;
 
+pub use fault::{FailedDelivery, Fault, FaultKind, FaultPlan};
 pub use geometry::{Direction, Mesh, NodeId, Port};
 pub use network::Network;
 pub use packet::{Delivery, DestSet, NewPacket, PacketId, PacketKind};

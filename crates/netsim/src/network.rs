@@ -2,6 +2,7 @@
 //! harness, traffic generators, and experiment binaries are agnostic to
 //! which network they drive.
 
+use crate::fault::{FailedDelivery, FaultPlan};
 use crate::geometry::Mesh;
 use crate::obs::TraceBuffer;
 use crate::packet::{Delivery, NewPacket, PacketId};
@@ -76,6 +77,23 @@ pub trait Network {
     fn buffer_occupancy(&self) -> u64 {
         0
     }
+
+    /// Installs a fault schedule and the seed for the dedicated
+    /// fault-path RNG stream (kept separate from the network's own RNG so
+    /// an empty plan leaves seeded runs byte-identical). The default
+    /// implementation ignores faults — such a network simply never
+    /// degrades.
+    fn set_fault_plan(&mut self, plan: FaultPlan, seed: u64) {
+        let _ = (plan, seed);
+    }
+
+    /// Returns and clears the destinations the network has terminally
+    /// given up on (retry cap / livelock guard). Under a fault plan,
+    /// every accepted destination eventually appears in exactly one of
+    /// [`drain_deliveries`](Network::drain_deliveries) or this list.
+    fn drain_failures(&mut self) -> Vec<FailedDelivery> {
+        Vec::new()
+    }
 }
 
 /// Blanket impl so `Box<dyn Network>` composes with generic harness code.
@@ -118,5 +136,11 @@ impl<N: Network + ?Sized> Network for Box<N> {
     }
     fn buffer_occupancy(&self) -> u64 {
         (**self).buffer_occupancy()
+    }
+    fn set_fault_plan(&mut self, plan: FaultPlan, seed: u64) {
+        (**self).set_fault_plan(plan, seed)
+    }
+    fn drain_failures(&mut self) -> Vec<FailedDelivery> {
+        (**self).drain_failures()
     }
 }

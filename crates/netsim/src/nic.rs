@@ -59,10 +59,22 @@ impl<T> Nic<T> {
     /// Pushes an item back to the *front* (used when a launch must be
     /// undone, e.g. a Phastlane retransmission).
     ///
-    /// Unlike [`try_push`](Self::try_push) this never fails: responsibility
-    /// for an in-flight packet was already accounted when it was first
-    /// accepted.
+    /// Unlike [`try_push`](Self::try_push) this does not count a fresh
+    /// acceptance: the item was already accounted when it was first
+    /// accepted, so `accepted` is untouched. For the same reason the
+    /// un-launch must return an entry into the slot it vacated — it can
+    /// never *grow* the queue past `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the NIC is already full (an un-launch without a
+    /// matching earlier [`pop`](Self::pop) is a caller bug that would
+    /// otherwise silently overcommit the buffer).
     pub fn push_front(&mut self, item: T) {
+        assert!(
+            self.queue.len() < self.capacity,
+            "push_front would exceed NIC capacity: un-launch without a matching pop"
+        );
         self.queue.push_front(item);
     }
 
@@ -128,12 +140,28 @@ mod tests {
     }
 
     #[test]
-    fn push_front_bypasses_capacity() {
+    fn push_front_returns_to_head_without_recounting() {
+        let mut nic = Nic::new(2);
+        nic.try_push(1).unwrap();
+        nic.try_push(2).unwrap();
+        let launched = nic.pop().unwrap();
+        // Un-launch: the entry returns to the head of the queue...
+        nic.push_front(launched);
+        assert_eq!(nic.len(), 2);
+        assert_eq!(nic.front(), Some(&1));
+        // ...and `accepted` is not double-counted.
+        assert_eq!(nic.accepted(), 2);
+        assert_eq!(nic.pop(), Some(1));
+        assert_eq!(nic.pop(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed NIC capacity")]
+    fn push_front_when_full_is_a_bug() {
         let mut nic = Nic::new(1);
         nic.try_push(1).unwrap();
+        // No slot was vacated: returning another entry would overcommit.
         nic.push_front(0);
-        assert_eq!(nic.len(), 2);
-        assert_eq!(nic.pop(), Some(0));
     }
 
     #[test]

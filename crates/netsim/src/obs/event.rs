@@ -35,12 +35,32 @@ pub enum EventKind {
     Retransmit,
     /// The packet was delivered (ejected) at `node`.
     Eject,
+    /// A scheduled fault became active at `node` (`port` names the dead
+    /// link for link faults).
+    FaultInjected,
+    /// A transient fault's window ended at `node`.
+    FaultCleared,
+    /// The packet was steered around a faulted link/router: a productive
+    /// detour at launch, or a forced electrical fallback at the faulted
+    /// hop mid-wavefront.
+    FaultReroute,
+    /// The packet could not launch because every usable output at `node`
+    /// was faulted; it backs off in place (counts against the retry cap).
+    FaultStall,
+    /// A transient bit error was corrected by SECDED on delivery.
+    EccCorrected,
+    /// An uncorrectable (double) bit error: the delivery was rejected and
+    /// the packet re-buffered for retransmission.
+    EccUncorrectable,
+    /// The retry cap / livelock guard fired: the packet's remaining
+    /// destinations are terminally undeliverable.
+    Undeliverable,
 }
 
 impl EventKind {
     /// Every kind, in pipeline order (stable across releases — the
-    /// trace format depends on it).
-    pub const ALL: [EventKind; 9] = [
+    /// trace format depends on it; new kinds are only ever appended).
+    pub const ALL: [EventKind; 16] = [
         EventKind::Inject,
         EventKind::NicRetry,
         EventKind::OpticalTransit,
@@ -50,6 +70,13 @@ impl EventKind {
         EventKind::DropReturn,
         EventKind::Retransmit,
         EventKind::Eject,
+        EventKind::FaultInjected,
+        EventKind::FaultCleared,
+        EventKind::FaultReroute,
+        EventKind::FaultStall,
+        EventKind::EccCorrected,
+        EventKind::EccUncorrectable,
+        EventKind::Undeliverable,
     ];
 
     /// Stable machine-readable name (used in JSON/CSV exports).
@@ -64,6 +91,13 @@ impl EventKind {
             EventKind::DropReturn => "drop_return",
             EventKind::Retransmit => "retransmit",
             EventKind::Eject => "eject",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::FaultCleared => "fault_cleared",
+            EventKind::FaultReroute => "fault_reroute",
+            EventKind::FaultStall => "fault_stall",
+            EventKind::EccCorrected => "ecc_corrected",
+            EventKind::EccUncorrectable => "ecc_uncorrectable",
+            EventKind::Undeliverable => "undeliverable",
         }
     }
 
@@ -83,7 +117,14 @@ impl EventKind {
             | EventKind::ElectricalFallback
             | EventKind::BufferOverflow
             | EventKind::DropReturn
-            | EventKind::Retransmit => Severity::Warn,
+            | EventKind::Retransmit
+            | EventKind::FaultInjected
+            | EventKind::FaultCleared
+            | EventKind::FaultReroute
+            | EventKind::FaultStall
+            | EventKind::EccCorrected
+            | EventKind::EccUncorrectable
+            | EventKind::Undeliverable => Severity::Warn,
         }
     }
 }

@@ -39,6 +39,11 @@ pub struct MetricSample {
     pub dropped: u64,
     /// Retransmissions issued during the window.
     pub retried: u64,
+    /// Destinations terminally given up on during the window (retry cap
+    /// / livelock guard under a fault plan).
+    pub undeliverable: u64,
+    /// Launches steered around faulted links/routers during the window.
+    pub rerouted: u64,
     /// NIC-side injection rejections during the window.
     pub nic_rejected: u64,
     /// Packets in flight at the end of the window.
@@ -65,14 +70,15 @@ impl MetricSample {
 
     /// Column header matching [`to_csv_row`](Self::to_csv_row).
     pub const CSV_HEADER: &'static str = "cycle_start,cycle_end,offered,accepted,delivered,\
-mean_latency,p50_latency,p99_latency,dropped,retried,nic_rejected,in_flight,buffer_occupancy";
+mean_latency,p50_latency,p99_latency,dropped,retried,undeliverable,rerouted,nic_rejected,\
+in_flight,buffer_occupancy";
 
     /// One CSV row; empty cells for absent latency figures.
     pub fn to_csv_row(&self) -> String {
         let opt_f = |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_default();
         let opt_u = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_default();
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.cycle_start,
             self.cycle_end,
             self.offered,
@@ -83,6 +89,8 @@ mean_latency,p50_latency,p99_latency,dropped,retried,nic_rejected,in_flight,buff
             opt_u(self.p99_latency),
             self.dropped,
             self.retried,
+            self.undeliverable,
+            self.rerouted,
             self.nic_rejected,
             self.in_flight,
             self.buffer_occupancy,
@@ -104,6 +112,8 @@ mean_latency,p50_latency,p99_latency,dropped,retried,nic_rejected,in_flight,buff
             ("p99_latency".into(), opt_u(self.p99_latency)),
             ("dropped".into(), JsonValue::Uint(self.dropped)),
             ("retried".into(), JsonValue::Uint(self.retried)),
+            ("undeliverable".into(), JsonValue::Uint(self.undeliverable)),
+            ("rerouted".into(), JsonValue::Uint(self.rerouted)),
             ("nic_rejected".into(), JsonValue::Uint(self.nic_rejected)),
             ("in_flight".into(), JsonValue::Uint(self.in_flight)),
             (
@@ -150,6 +160,43 @@ impl MetricsSeries {
     }
 }
 
+/// The end-of-cycle counter snapshot a harness feeds the collector:
+/// cumulative network totals plus two instantaneous gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleTotals {
+    /// Cumulative packets dropped inside the network.
+    pub dropped: u64,
+    /// Cumulative retransmissions.
+    pub retried: u64,
+    /// Cumulative destinations terminally given up on.
+    pub undeliverable: u64,
+    /// Cumulative fault reroutes.
+    pub rerouted: u64,
+    /// Packets in flight right now.
+    pub in_flight: u64,
+    /// Router-buffer occupancy right now.
+    pub buffer_occupancy: u64,
+}
+
+impl CycleTotals {
+    /// Builds the snapshot from a network's cumulative stats plus the two
+    /// instantaneous gauges.
+    pub fn from_stats(
+        stats: &crate::stats::NetworkStats,
+        in_flight: u64,
+        buffer_occupancy: u64,
+    ) -> Self {
+        CycleTotals {
+            dropped: stats.dropped,
+            retried: stats.retransmitted,
+            undeliverable: stats.undeliverable,
+            rerouted: stats.rerouted,
+            in_flight,
+            buffer_occupancy,
+        }
+    }
+}
+
 /// Accumulates per-window counters and flushes samples on interval
 /// boundaries.
 #[derive(Debug, Clone)]
@@ -164,6 +211,8 @@ pub struct MetricsCollector {
     // Cumulative counters from the last flush, to turn totals into deltas.
     last_dropped: u64,
     last_retried: u64,
+    last_undeliverable: u64,
+    last_rerouted: u64,
     samples: Vec<MetricSample>,
 }
 
@@ -186,6 +235,8 @@ impl MetricsCollector {
             latency: LatencyStats::new(),
             last_dropped: 0,
             last_retried: 0,
+            last_undeliverable: 0,
+            last_rerouted: 0,
             samples: Vec::new(),
         }
     }
@@ -224,56 +275,23 @@ impl MetricsCollector {
 
     /// Closes cycle `cycle`; flushes a sample when the window fills.
     ///
-    /// `dropped_total` and `retried_total` are *cumulative* network
-    /// counters — the collector differences them itself. `in_flight` and
-    /// `buffer_occupancy` are instantaneous snapshots.
-    pub fn end_cycle(
-        &mut self,
-        cycle: u64,
-        dropped_total: u64,
-        retried_total: u64,
-        in_flight: u64,
-        buffer_occupancy: u64,
-    ) {
+    /// The [`CycleTotals`] counters are *cumulative* — the collector
+    /// differences them itself — except the instantaneous `in_flight`
+    /// and `buffer_occupancy` snapshots.
+    pub fn end_cycle(&mut self, cycle: u64, totals: CycleTotals) {
         if cycle + 1 >= self.window_start + self.interval {
-            self.flush(
-                cycle,
-                dropped_total,
-                retried_total,
-                in_flight,
-                buffer_occupancy,
-            );
+            self.flush(cycle, totals);
         }
     }
 
     /// Flushes a trailing partial window, if any activity is pending.
-    pub fn finish(
-        &mut self,
-        cycle: u64,
-        dropped_total: u64,
-        retried_total: u64,
-        in_flight: u64,
-        buffer_occupancy: u64,
-    ) {
+    pub fn finish(&mut self, cycle: u64, totals: CycleTotals) {
         if cycle >= self.window_start {
-            self.flush(
-                cycle,
-                dropped_total,
-                retried_total,
-                in_flight,
-                buffer_occupancy,
-            );
+            self.flush(cycle, totals);
         }
     }
 
-    fn flush(
-        &mut self,
-        cycle: u64,
-        dropped_total: u64,
-        retried_total: u64,
-        in_flight: u64,
-        buffer_occupancy: u64,
-    ) {
+    fn flush(&mut self, cycle: u64, totals: CycleTotals) {
         let latency = std::mem::take(&mut self.latency);
         self.samples.push(MetricSample {
             cycle_start: self.window_start,
@@ -288,14 +306,18 @@ impl MetricsCollector {
             p99_latency: (latency.count() > 0)
                 .then(|| latency.percentile(99.0))
                 .flatten(),
-            dropped: dropped_total - self.last_dropped,
-            retried: retried_total - self.last_retried,
+            dropped: totals.dropped - self.last_dropped,
+            retried: totals.retried - self.last_retried,
+            undeliverable: totals.undeliverable - self.last_undeliverable,
+            rerouted: totals.rerouted - self.last_rerouted,
             nic_rejected: std::mem::take(&mut self.nic_rejected),
-            in_flight,
-            buffer_occupancy,
+            in_flight: totals.in_flight,
+            buffer_occupancy: totals.buffer_occupancy,
         });
-        self.last_dropped = dropped_total;
-        self.last_retried = retried_total;
+        self.last_dropped = totals.dropped;
+        self.last_retried = totals.retried;
+        self.last_undeliverable = totals.undeliverable;
+        self.last_rerouted = totals.rerouted;
         self.window_start = cycle + 1;
     }
 
@@ -313,6 +335,16 @@ impl MetricsCollector {
 mod tests {
     use super::*;
 
+    fn totals(dropped: u64, retried: u64, in_flight: u64, occupancy: u64) -> CycleTotals {
+        CycleTotals {
+            dropped,
+            retried,
+            in_flight,
+            buffer_occupancy: occupancy,
+            ..CycleTotals::default()
+        }
+    }
+
     #[test]
     fn windows_flush_on_interval() {
         let mut c = MetricsCollector::new(10, 16);
@@ -322,9 +354,9 @@ mod tests {
             if cycle % 5 == 0 {
                 c.on_delivered(cycle + 3);
             }
-            c.end_cycle(cycle, cycle / 10, 0, 4, 7);
+            c.end_cycle(cycle, totals(cycle / 10, 0, 4, 7));
         }
-        c.finish(24, 2, 0, 4, 7);
+        c.finish(24, totals(2, 0, 4, 7));
         let series = c.into_series();
         assert_eq!(series.samples.len(), 3);
         let s0 = &series.samples[0];
@@ -341,7 +373,16 @@ mod tests {
     fn cumulative_counters_become_deltas() {
         let mut c = MetricsCollector::new(4, 4);
         for cycle in 0..8 {
-            c.end_cycle(cycle, (cycle + 1) * 3, cycle + 1, 0, 0);
+            c.end_cycle(
+                cycle,
+                CycleTotals {
+                    dropped: (cycle + 1) * 3,
+                    retried: cycle + 1,
+                    undeliverable: cycle.div_ceil(2),
+                    rerouted: cycle + 1,
+                    ..CycleTotals::default()
+                },
+            );
         }
         let series = c.into_series();
         assert_eq!(series.samples.len(), 2);
@@ -349,13 +390,17 @@ mod tests {
         assert_eq!(series.samples[1].dropped, 12); // totals 15..24
         assert_eq!(series.samples[0].retried, 4);
         assert_eq!(series.samples[1].retried, 4);
+        assert_eq!(series.samples[0].undeliverable, 2);
+        assert_eq!(series.samples[1].undeliverable, 2);
+        assert_eq!(series.samples[0].rerouted, 4);
+        assert_eq!(series.samples[1].rerouted, 4);
     }
 
     #[test]
     fn empty_window_has_no_latency() {
         let mut c = MetricsCollector::new(2, 4);
-        c.end_cycle(0, 0, 0, 0, 0);
-        c.end_cycle(1, 0, 0, 0, 0);
+        c.end_cycle(0, CycleTotals::default());
+        c.end_cycle(1, CycleTotals::default());
         let series = c.into_series();
         assert_eq!(series.samples.len(), 1);
         assert_eq!(series.samples[0].mean_latency, None);
@@ -375,6 +420,8 @@ mod tests {
             p99_latency: None,
             dropped: 0,
             retried: 0,
+            undeliverable: 0,
+            rerouted: 0,
             nic_rejected: 0,
             in_flight: 0,
             buffer_occupancy: 0,
@@ -390,7 +437,7 @@ mod tests {
             c.on_offered(1);
             c.on_accepted(1);
             c.on_delivered(10);
-            c.end_cycle(cycle, 0, 0, 1, 2);
+            c.end_cycle(cycle, totals(0, 0, 1, 2));
         }
         let series = c.into_series();
         let csv = series.to_csv();

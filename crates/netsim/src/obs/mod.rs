@@ -30,5 +30,5 @@ pub mod metrics;
 pub mod report;
 
 pub use event::{EventKind, Obs, Severity, SimEvent, TraceBuffer};
-pub use metrics::{MetricSample, MetricsCollector, MetricsSeries};
+pub use metrics::{CycleTotals, MetricSample, MetricsCollector, MetricsSeries};
 pub use report::{PerfProfile, RunReport};

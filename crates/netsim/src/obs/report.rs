@@ -120,6 +120,23 @@ impl RunReport {
                 "retransmitted".into(),
                 JsonValue::Uint(self.stats.retransmitted),
             ),
+            (
+                "undeliverable".into(),
+                JsonValue::Uint(self.stats.undeliverable),
+            ),
+            (
+                "retry_exhausted".into(),
+                JsonValue::Uint(self.stats.retry_exhausted),
+            ),
+            ("rerouted".into(), JsonValue::Uint(self.stats.rerouted)),
+            (
+                "ecc_corrected".into(),
+                JsonValue::Uint(self.stats.ecc_corrected),
+            ),
+            (
+                "ecc_uncorrectable".into(),
+                JsonValue::Uint(self.stats.ecc_uncorrectable),
+            ),
             ("latency".into(), Self::latency_json(&self.stats.latency)),
             (
                 "energy_pj".into(),

@@ -229,6 +229,18 @@ pub struct NetworkStats {
     pub dropped: u64,
     /// Retransmissions after drops (Phastlane only).
     pub retransmitted: u64,
+    /// Destinations terminally given up on (retry cap / livelock guard).
+    pub undeliverable: u64,
+    /// Messages whose retry cap fired (one message may cover several
+    /// undeliverable destinations).
+    pub retry_exhausted: u64,
+    /// Launches steered around a faulted link/router (detour or forced
+    /// electrical fallback at the faulted hop).
+    pub rerouted: u64,
+    /// Single-bit transient errors corrected by SECDED on delivery.
+    pub ecc_corrected: u64,
+    /// Uncorrectable (double) bit errors that forced a redelivery.
+    pub ecc_uncorrectable: u64,
 }
 
 #[cfg(test)]

@@ -82,6 +82,7 @@ mod tests {
                 delivered_rate: delivered,
                 energy: EnergyReport::default(),
                 unfinished,
+                undeliverable: 0,
                 perf: Default::default(),
             },
         }
