@@ -9,7 +9,7 @@ use phastlane_bench::chart::{render_log_y, Series};
 use phastlane_bench::{print_row, quick_flag, Config};
 use phastlane_netsim::geometry::Mesh;
 use phastlane_netsim::harness::SyntheticOptions;
-use phastlane_netsim::sweep::{latency_sweep, saturation_rate, SweepPoint};
+use phastlane_netsim::sweep::{latency_sweep, saturation, Saturation, SweepPoint};
 use phastlane_traffic::patterns::Pattern;
 use phastlane_traffic::synthetic::BernoulliTraffic;
 
@@ -73,9 +73,10 @@ fn main() {
         }
         let mut cells = vec!["sat.".to_string()];
         for curve in &curves {
-            match saturation_rate(curve) {
-                Some(r) => cells.push(format!("{r:.2}")),
-                None => cells.push("?".to_string()),
+            match saturation(curve) {
+                Saturation::Stable(r) => cells.push(format!("{r:.2}")),
+                Saturation::SaturatedFromStart(low) => cells.push(format!("<{low:.2}")),
+                Saturation::NotSwept => cells.push("?".to_string()),
             }
         }
         print_row(&cells, &widths);

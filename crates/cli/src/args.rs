@@ -56,6 +56,15 @@ pub const VALUE_KEYS: &[&str] = &[
     "fault-rate",
     "retry-limit",
     "intensities",
+    "workers",
+    "name",
+    "baseline-dir",
+    "perf-out",
+    "bench-out",
+    "tol-mean",
+    "tol-p99",
+    "tol-saturation",
+    "tol-throughput",
 ];
 
 impl Parsed {

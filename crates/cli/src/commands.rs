@@ -1,8 +1,6 @@
 //! Implementations of the `phastlane` subcommands.
 
 use crate::args::{ArgError, Parsed};
-use phastlane_core::{PhastlaneConfig, PhastlaneNetwork};
-use phastlane_electrical::{ElectricalConfig, ElectricalNetwork};
 use phastlane_netsim::fault::FaultPlan;
 use phastlane_netsim::harness::{
     run_synthetic_observed, run_trace, run_trace_observed, SyntheticOptions, Trace, TraceOptions,
@@ -10,7 +8,7 @@ use phastlane_netsim::harness::{
 use phastlane_netsim::network::Network;
 use phastlane_netsim::obs::json::JsonValue;
 use phastlane_netsim::obs::{MetricsCollector, RunReport, Severity, TraceBuffer};
-use phastlane_netsim::{Mesh, NodeId};
+use phastlane_netsim::Mesh;
 use phastlane_photonics::delay::RouterDesign;
 use phastlane_photonics::power::PowerPoint;
 use phastlane_photonics::scaling::Scaling;
@@ -32,6 +30,10 @@ pub fn build_network(name: &str, mesh: Mesh) -> Result<Box<dyn Network>, ArgErro
 /// [`build_network`] with an optional retry-limit override (the fault
 /// subsystem's livelock guard; only meaningful for the optical configs).
 ///
+/// Delegates to the lab runner's builder — one network registry for the
+/// whole workspace — and forgets the `Send` bound the lab's worker pool
+/// needs but the CLI does not.
+///
 /// # Errors
 ///
 /// Errors on an unknown name.
@@ -40,35 +42,9 @@ pub fn build_network_with(
     mesh: Mesh,
     retry_limit: Option<u32>,
 ) -> Result<Box<dyn Network>, ArgError> {
-    let optical = |mut cfg: PhastlaneConfig| -> Box<dyn Network> {
-        cfg.mesh = mesh;
-        if let Some(limit) = retry_limit {
-            cfg.retry_limit = limit;
-        }
-        Box::new(PhastlaneNetwork::new(cfg))
-    };
-    let electrical = |mut cfg: ElectricalConfig| -> Box<dyn Network> {
-        cfg.mesh = mesh;
-        Box::new(ElectricalNetwork::new(cfg))
-    };
-    Ok(match name.to_ascii_lowercase().as_str() {
-        "optical4" => optical(PhastlaneConfig::optical4()),
-        "optical5" => optical(PhastlaneConfig::optical5()),
-        "optical8" => optical(PhastlaneConfig::optical8()),
-        "optical4b32" => optical(PhastlaneConfig::optical4_b32()),
-        "optical4b64" => optical(PhastlaneConfig::optical4_b64()),
-        "optical4ib" => optical(PhastlaneConfig::optical4_ib()),
-        "optical4sp50" => optical(PhastlaneConfig::optical4_shared_pool()),
-        "electrical3" => electrical(ElectricalConfig::electrical3()),
-        "electrical2" => electrical(ElectricalConfig::electrical2()),
-        other => {
-            return Err(ArgError(format!(
-                "unknown network {other:?}; try optical4, optical5, optical8, \
-                 optical4b32, optical4b64, optical4ib, optical4sp50, \
-                 electrical2, electrical3"
-            )))
-        }
-    })
+    phastlane_lab::runner::build_network(name, mesh, retry_limit)
+        .map(|n| n as Box<dyn Network>)
+        .map_err(ArgError)
 }
 
 /// Parses `--mesh WxH` (default 8x8).
@@ -403,24 +379,9 @@ pub fn cmd_compare(p: &Parsed) -> Result<String, ArgError> {
 /// Propagates argument errors.
 pub fn cmd_sweep(p: &Parsed) -> Result<String, ArgError> {
     let mesh = parse_mesh(p)?;
-    let pattern = match p
-        .get("pattern")
-        .unwrap_or("uniform")
-        .to_ascii_lowercase()
-        .as_str()
-    {
-        "uniform" => Pattern::Uniform,
-        "bitcomp" => Pattern::BitComplement,
-        "bitrev" => Pattern::BitReverse,
-        "shuffle" => Pattern::Shuffle,
-        "transpose" => Pattern::Transpose,
-        "neighbor" => Pattern::NearestNeighbor,
-        "hotspot" => Pattern::Hotspot {
-            target: NodeId(0),
-            fraction: 0.3,
-        },
-        other => return Err(ArgError(format!("unknown pattern {other:?}"))),
-    };
+    let pattern_name = p.get("pattern").unwrap_or("uniform");
+    let pattern = Pattern::from_name(pattern_name)
+        .ok_or_else(|| ArgError(format!("unknown pattern {pattern_name:?}")))?;
     let rates: Vec<f64> = match p.get("rates") {
         None => vec![p.get_parsed("rate", 0.05)?],
         Some(list) => list
@@ -863,6 +824,11 @@ USAGE:
   phastlane sweep    [--net N] [--pattern P] [--rate R | --rates R1,R2,..]
   phastlane chaos    [--net N] [--rate R] [--intensities I1,I2,..]
                      [--fault-seed S] [--retry-limit L]
+  phastlane lab run     SPEC [--workers N] [--report-out F] [--perf-out F]
+  phastlane lab record  SPEC [--name NAME] [--baseline-dir DIR] [--workers N]
+  phastlane lab compare SPEC [--name NAME] [--baseline-dir DIR] [--workers N]
+                     [--tol-mean T] [--tol-p99 T] [--tol-saturation T]
+                     [--tol-throughput T]
   phastlane trace gen    [--benchmark B] [--scale S] [--out FILE]
   phastlane trace info   FILE
   phastlane trace replay FILE [--net N]
@@ -883,6 +849,10 @@ fault injection (simulate, sweep, chaos):
   --fault-rate R        seeded random permanent faults of intensity R in [0,1]
   --fault-seed S        seed for the random plan and fault-path RNG (default 1)
   --retry-limit L       retries before a message is declared undeliverable
+
+lab spec keys (one `key value...` per line, # comments):
+  name mesh seed nets patterns rates intensities replicas
+  warmup measure drain retry-limit benchmarks scale max-cycles
 
 networks: optical4 optical5 optical8 optical4b32 optical4b64 optical4ib
           optical4sp50 electrical2 electrical3
@@ -907,6 +877,7 @@ pub fn dispatch(p: &Parsed) -> Result<String, ArgError> {
         Some("compare") => cmd_compare(p),
         Some("sweep") => cmd_sweep(p),
         Some("chaos") => cmd_chaos(p),
+        Some("lab") => crate::lab::cmd_lab(p),
         Some("trace") => cmd_trace(p),
         Some("trace-dump") => cmd_trace_dump(p),
         Some("design") => cmd_design(p),

@@ -1,0 +1,376 @@
+//! The `phastlane lab` subcommand: run a scenario-spec matrix on a
+//! worker pool, record named baselines, and gate regressions.
+//!
+//! * `lab run FILE` — expand and execute the spec, print a per-job
+//!   table, optionally export the canonical report (`--report-out`,
+//!   `.json` or `.csv`) and the perf profile (`--perf-out`). The
+//!   canonical export is byte-identical for any `--workers` value.
+//! * `lab record FILE` — run, then write
+//!   `<baseline-dir>/<name>.json` (canonical + perf) and a
+//!   `BENCH_<name>.json` trajectory point next to the baseline dir.
+//! * `lab compare FILE` — run fresh, diff against the recorded
+//!   baseline, and **fail** (non-zero exit) on any regression beyond
+//!   the `--tol-*` tolerances.
+
+use crate::args::{ArgError, Parsed};
+use phastlane_lab::baseline::{self, Tolerances};
+use phastlane_lab::{run_lab, LabReport, LabSpec};
+use phastlane_netsim::obs::json::{self, JsonValue};
+use std::path::{Path, PathBuf};
+
+fn read_spec(p: &Parsed) -> Result<LabSpec, ArgError> {
+    let path = p
+        .positional(2)
+        .ok_or_else(|| ArgError("lab run|record|compare <spec-file>".into()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    LabSpec::parse(&text).map_err(|e| ArgError(format!("{path}: {e}")))
+}
+
+fn parse_tolerances(p: &Parsed) -> Result<Tolerances, ArgError> {
+    let d = Tolerances::default();
+    Ok(Tolerances {
+        mean: p.get_parsed("tol-mean", d.mean)?,
+        p99: p.get_parsed("tol-p99", d.p99)?,
+        saturation: p.get_parsed("tol-saturation", d.saturation)?,
+        throughput: p.get_parsed("tol-throughput", d.throughput)?,
+    })
+}
+
+fn write_json(path: &str, json: &JsonValue) -> Result<(), ArgError> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| ArgError(format!("cannot create {}: {e}", parent.display())))?;
+        }
+    }
+    std::fs::write(path, json.to_string_pretty())
+        .map_err(|e| ArgError(format!("cannot write {path}: {e}")))
+}
+
+fn execute(p: &Parsed, spec: &LabSpec) -> Result<(LabReport, String), ArgError> {
+    let workers: usize = p.get_parsed("workers", 1)?;
+    let report = run_lab(spec, workers).map_err(ArgError)?;
+    let mut out = format!(
+        "lab {}: {} jobs on {} workers ({}x{}, seed {})\n",
+        spec.name,
+        report.jobs.len(),
+        report.workers,
+        spec.mesh.width(),
+        spec.mesh.height(),
+        spec.seed,
+    );
+    out.push_str(&format!(
+        "{:>4} {:>12} {:>10} {:>6} {:>9} {:>8} {:>7}\n",
+        "job", "net", "work", "rate", "latency", "p99", "stable"
+    ));
+    for j in &report.jobs {
+        let work = j
+            .pattern
+            .clone()
+            .or_else(|| j.benchmark.clone())
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "{:>4} {:>12} {:>10} {:>6} {:>9} {:>8} {:>7}\n",
+            j.index,
+            j.net,
+            work,
+            j.rate.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            j.latency
+                .mean()
+                .map(|m| format!("{m:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            (j.latency.count() > 0)
+                .then(|| j.latency.percentile(99.0))
+                .flatten()
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into()),
+            j.stable
+                .map(|s| if s { "yes" } else { "NO" }.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ));
+    }
+    out.push_str(&format!(
+        "wall: {:.3} s  serial est: {:.3} s  speedup: {:.2}x  {:.0} cycles/s\n",
+        report.wall_seconds,
+        report.serial_wall_seconds(),
+        report.speedup(),
+        report.cycles_per_sec(),
+    ));
+    if let Some(path) = p.get("report-out") {
+        if path.ends_with(".csv") {
+            std::fs::write(path, report.to_csv())
+                .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        } else {
+            write_json(path, &report.canonical_json())?;
+        }
+        out.push_str(&format!("report -> {path}\n"));
+    }
+    if let Some(path) = p.get("perf-out") {
+        write_json(path, &report.perf_json())?;
+        out.push_str(&format!("perf -> {path}\n"));
+    }
+    Ok((report, out))
+}
+
+fn baseline_path(p: &Parsed, spec: &LabSpec) -> (PathBuf, String) {
+    let dir = PathBuf::from(p.get("baseline-dir").unwrap_or("results/baselines"));
+    let name = p.get("name").unwrap_or(&spec.name).to_string();
+    (dir.join(format!("{name}.json")), name)
+}
+
+/// A `BENCH_*.json` trajectory point: the perf layer plus identity, so
+/// successive recordings chart simulator throughput over the repo's
+/// history.
+fn bench_json(name: &str, report: &LabReport) -> JsonValue {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    JsonValue::Obj(vec![
+        ("bench".into(), JsonValue::Str(format!("lab-{name}"))),
+        ("unix_time".into(), JsonValue::Uint(unix_time)),
+        ("jobs".into(), JsonValue::Uint(report.jobs.len() as u64)),
+        ("perf".into(), report.perf_json()),
+    ])
+}
+
+/// `phastlane lab run|record|compare`.
+///
+/// # Errors
+///
+/// Propagates argument/spec/I-O errors; `compare` also errors (non-zero
+/// exit) when the fresh run regresses past tolerance.
+pub fn cmd_lab(p: &Parsed) -> Result<String, ArgError> {
+    match p.positional(1) {
+        Some("run") => {
+            let spec = read_spec(p)?;
+            let (_, out) = execute(p, &spec)?;
+            Ok(out)
+        }
+        Some("record") => {
+            let spec = read_spec(p)?;
+            let (report, mut out) = execute(p, &spec)?;
+            let (path, name) = baseline_path(p, &spec);
+            write_json(
+                path.to_str().expect("utf-8 path"),
+                &baseline::baseline_json(&name, &report),
+            )?;
+            out.push_str(&format!("baseline {name} -> {}\n", path.display()));
+            let bench_path = match p.get("bench-out") {
+                Some(b) => PathBuf::from(b),
+                None => path
+                    .parent()
+                    .and_then(Path::parent)
+                    .unwrap_or_else(|| Path::new("."))
+                    .join(format!("BENCH_{name}.json")),
+            };
+            write_json(
+                bench_path.to_str().expect("utf-8 path"),
+                &bench_json(&name, &report),
+            )?;
+            out.push_str(&format!("bench point -> {}\n", bench_path.display()));
+            Ok(out)
+        }
+        Some("compare") => {
+            let spec = read_spec(p)?;
+            let tol = parse_tolerances(p)?;
+            let (path, name) = baseline_path(p, &spec);
+            let text = std::fs::read_to_string(&path).map_err(|e| {
+                ArgError(format!(
+                    "cannot read baseline {} (record it first with `lab record`): {e}",
+                    path.display()
+                ))
+            })?;
+            let recorded =
+                json::parse(&text).map_err(|e| ArgError(format!("{}: {e}", path.display())))?;
+            let (report, mut out) = execute(p, &spec)?;
+            let regressions = baseline::compare(&recorded, &report, &tol).map_err(ArgError)?;
+            if regressions.is_empty() {
+                out.push_str(&format!("baseline {name}: OK, no regressions\n"));
+                Ok(out)
+            } else {
+                let mut msg = format!("baseline {name}: {} regression(s):\n", regressions.len());
+                for r in &regressions {
+                    msg.push_str(&format!("  {r}\n"));
+                }
+                Err(ArgError(msg))
+            }
+        }
+        other => Err(ArgError(format!(
+            "lab subcommand must be run|record|compare, got {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(words: &[&str]) -> Parsed {
+        Parsed::parse(words.iter().map(|s| s.to_string())).expect("parses")
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("phastlane-lab-cmd-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    fn write_spec(dir: &Path, body: &str) -> String {
+        let path = dir.join("test.lab");
+        std::fs::write(&path, body).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    const SPEC: &str = "name cmd-test\nmesh 4x4\nseed 5\nnets optical4\n\
+                        patterns uniform\nrates 0.02 0.05\n\
+                        warmup 100\nmeasure 300\ndrain 1000\n";
+
+    #[test]
+    fn run_prints_table_and_exports() {
+        let dir = scratch("run");
+        let spec = write_spec(&dir, SPEC);
+        let report = dir.join("report.json");
+        let perf = dir.join("perf.json");
+        let out = cmd_lab(&parsed(&[
+            "lab",
+            "run",
+            &spec,
+            "--workers",
+            "2",
+            "--report-out",
+            report.to_str().unwrap(),
+            "--perf-out",
+            perf.to_str().unwrap(),
+        ]))
+        .expect("runs");
+        assert!(out.contains("2 jobs on 2 workers"), "{out}");
+        assert!(out.contains("speedup"), "{out}");
+        let text = std::fs::read_to_string(&report).unwrap();
+        assert!(text.contains("\"jobs\""));
+        assert!(!text.contains("wall"), "canonical export leaks wall clock");
+        let perf_text = std::fs::read_to_string(&perf).unwrap();
+        assert!(perf_text.contains("speedup"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_then_compare_passes_clean() {
+        let dir = scratch("record-compare");
+        let spec = write_spec(&dir, SPEC);
+        let bdir = dir.join("baselines");
+        let record = parsed(&[
+            "lab",
+            "record",
+            &spec,
+            "--baseline-dir",
+            bdir.to_str().unwrap(),
+        ]);
+        let out = cmd_lab(&record).expect("records");
+        assert!(out.contains("baseline cmd-test ->"), "{out}");
+        assert!(out.contains("bench point ->"), "{out}");
+        assert!(bdir.join("cmd-test.json").exists());
+        assert!(dir.join("BENCH_cmd-test.json").exists());
+
+        let compare = parsed(&[
+            "lab",
+            "compare",
+            &spec,
+            "--baseline-dir",
+            bdir.to_str().unwrap(),
+        ]);
+        let out = cmd_lab(&compare).expect("zero-drift compare passes");
+        assert!(out.contains("no regressions"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compare_fails_on_injected_regression() {
+        let dir = scratch("regression");
+        let spec = write_spec(&dir, SPEC);
+        let bdir = dir.join("baselines");
+        cmd_lab(&parsed(&[
+            "lab",
+            "record",
+            &spec,
+            "--baseline-dir",
+            bdir.to_str().unwrap(),
+        ]))
+        .expect("records");
+
+        // Inject a regression: halve every baseline latency so the fresh
+        // (unchanged) run looks twice as slow.
+        let bpath = bdir.join("cmd-test.json");
+        let text = std::fs::read_to_string(&bpath).unwrap();
+        let mut recorded = json::parse(&text).unwrap();
+        fn halve_latencies(v: &mut JsonValue) {
+            match v {
+                JsonValue::Obj(pairs) => {
+                    for (k, val) in pairs.iter_mut() {
+                        if k == "latency" {
+                            if let JsonValue::Obj(lat) = val {
+                                for (lk, lv) in lat.iter_mut() {
+                                    let halved = match (lk.as_str(), &*lv) {
+                                        ("mean", JsonValue::Num(n)) => {
+                                            Some(JsonValue::Num(n / 2.0))
+                                        }
+                                        ("p99" | "p50", JsonValue::Uint(n)) => {
+                                            Some(JsonValue::Uint(n / 2))
+                                        }
+                                        _ => None,
+                                    };
+                                    if let Some(h) = halved {
+                                        *lv = h;
+                                    }
+                                }
+                            }
+                        } else {
+                            halve_latencies(val);
+                        }
+                    }
+                }
+                JsonValue::Arr(items) => items.iter_mut().for_each(halve_latencies),
+                _ => {}
+            }
+        }
+        halve_latencies(&mut recorded);
+        std::fs::write(&bpath, recorded.to_string_pretty()).unwrap();
+
+        let err = cmd_lab(&parsed(&[
+            "lab",
+            "compare",
+            &spec,
+            "--baseline-dir",
+            bdir.to_str().unwrap(),
+        ]))
+        .expect_err("doctored baseline must flag a regression");
+        assert!(err.to_string().contains("regression"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compare_without_baseline_is_a_clear_error() {
+        let dir = scratch("no-baseline");
+        let spec = write_spec(&dir, SPEC);
+        let err = cmd_lab(&parsed(&[
+            "lab",
+            "compare",
+            &spec,
+            "--baseline-dir",
+            dir.join("nowhere").to_str().unwrap(),
+        ]))
+        .expect_err("missing baseline");
+        assert!(err.to_string().contains("record it first"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_subcommand_and_missing_spec() {
+        assert!(cmd_lab(&parsed(&["lab"])).is_err());
+        assert!(cmd_lab(&parsed(&["lab", "frobnicate"])).is_err());
+        assert!(cmd_lab(&parsed(&["lab", "run"])).is_err());
+        assert!(cmd_lab(&parsed(&["lab", "run", "/no/such/file.lab"])).is_err());
+    }
+}

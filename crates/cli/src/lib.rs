@@ -7,3 +7,4 @@
 
 pub mod args;
 pub mod commands;
+pub mod lab;

@@ -151,3 +151,52 @@ fn seeded_fault_runs_are_byte_identical() {
     assert_ne!(t1, t3, "trace export ignores the fault seed");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Runs `lab run` on `spec_path` with `workers` threads and returns the
+/// raw bytes of the canonical report export.
+fn run_lab_once(dir: &std::path::Path, spec_path: &str, workers: usize) -> Vec<u8> {
+    let report = dir.join(format!("report-w{workers}.json"));
+    let args: Vec<String> = [
+        "lab",
+        "run",
+        spec_path,
+        "--workers",
+        &workers.to_string(),
+        "--report-out",
+        report.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let out = dispatch(&parse(&args)).expect("lab run succeeds");
+    assert!(out.contains("speedup"), "lab output reports perf: {out}");
+    std::fs::read(&report).expect("report file written")
+}
+
+#[test]
+fn lab_report_is_byte_identical_across_worker_counts() {
+    // The lab's whole determinism contract: per-job seeds are derived
+    // from the spec, never from thread scheduling, and the canonical
+    // report contains no wall-clock data — so a parallel run must
+    // export the very same bytes as a serial one. An 8-point spec over
+    // two network families (with a faulted lane) gives the worker pool
+    // real interleaving to get wrong.
+    let dir = scratch_dir("lab-workers");
+    let spec = dir.join("matrix.lab");
+    std::fs::write(
+        &spec,
+        "name workers-test\nmesh 4x4\nseed 9\nnets optical4 electrical2\n\
+         patterns uniform transpose\nrates 0.02 0.05\nintensities 0.0 0.2\n\
+         warmup 100\nmeasure 300\ndrain 2000\n",
+    )
+    .expect("spec written");
+    let spec_path = spec.to_str().unwrap();
+    let serial = run_lab_once(&dir, spec_path, 1);
+    let parallel = run_lab_once(&dir, spec_path, 8);
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "canonical lab report differs between 1 and 8 workers"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -62,3 +62,10 @@ pub mod router;
 pub use config::{BackoffPolicy, BufferDepth, PhastlaneConfig};
 pub use network::PhastlaneNetwork;
 pub use policies::{ArbitrationPolicy, PathPriority};
+
+// Compile-time `Send` guarantee: the `phastlane-lab` scheduler runs
+// whole networks on `std::thread` workers. A future `Rc`/raw-pointer
+// refactor must fail right here at build time, not in the scheduler.
+fn _assert_send<T: Send>() {}
+const _: fn() = _assert_send::<PhastlaneNetwork>;
+const _: fn() = _assert_send::<PhastlaneConfig>;

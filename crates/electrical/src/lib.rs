@@ -39,3 +39,10 @@ pub mod vctm;
 
 pub use config::ElectricalConfig;
 pub use network::ElectricalNetwork;
+
+// Compile-time `Send` guarantee: the `phastlane-lab` scheduler runs
+// whole networks on `std::thread` workers. A future `Rc`/raw-pointer
+// refactor must fail right here at build time, not in the scheduler.
+fn _assert_send<T: Send>() {}
+const _: fn() = _assert_send::<ElectricalNetwork>;
+const _: fn() = _assert_send::<ElectricalConfig>;

@@ -1,0 +1,247 @@
+//! Builds networks by name and executes one lab job end-to-end.
+//!
+//! A job runs entirely on the calling thread: the network is built,
+//! faulted, driven, and dropped here, so nothing but the plain-data
+//! [`JobRecord`] ever crosses a thread boundary. Everything the job does
+//! is seeded from [`JobSpec::seed`] / [`JobSpec::fault_seed`] — both
+//! pure functions of the spec — which is what makes the scheduler's
+//! worker count invisible in the results.
+
+use crate::report::JobRecord;
+use crate::spec::{JobSpec, LabSpec, Work};
+use phastlane_core::{PhastlaneConfig, PhastlaneNetwork};
+use phastlane_electrical::{ElectricalConfig, ElectricalNetwork};
+use phastlane_netsim::fault::FaultPlan;
+use phastlane_netsim::geometry::Mesh;
+use phastlane_netsim::harness::{run_synthetic, run_trace, SyntheticOptions, TraceOptions};
+use phastlane_netsim::network::Network;
+use phastlane_traffic::coherence::generate_trace;
+use phastlane_traffic::splash2;
+use phastlane_traffic::synthetic::BernoulliTraffic;
+use std::time::Instant;
+
+/// Every network configuration name [`build_network`] accepts.
+pub const NETWORKS: [&str; 9] = [
+    "optical4",
+    "optical5",
+    "optical8",
+    "optical4b32",
+    "optical4b64",
+    "optical4ib",
+    "optical4sp50",
+    "electrical2",
+    "electrical3",
+];
+
+/// Whether `name` is a known network configuration (case-insensitive).
+pub fn known_network(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    NETWORKS.contains(&lower.as_str())
+}
+
+/// Builds a network from its configuration name, with an optional
+/// retry-limit override (the fault subsystem's livelock guard; only
+/// meaningful for the optical configs).
+///
+/// The box is `Send` so jobs can run on worker threads.
+///
+/// # Errors
+///
+/// Errors on an unknown name.
+pub fn build_network(
+    name: &str,
+    mesh: Mesh,
+    retry_limit: Option<u32>,
+) -> Result<Box<dyn Network + Send>, String> {
+    let optical = |mut cfg: PhastlaneConfig| -> Box<dyn Network + Send> {
+        cfg.mesh = mesh;
+        if let Some(limit) = retry_limit {
+            cfg.retry_limit = limit;
+        }
+        Box::new(PhastlaneNetwork::new(cfg))
+    };
+    let electrical = |mut cfg: ElectricalConfig| -> Box<dyn Network + Send> {
+        cfg.mesh = mesh;
+        Box::new(ElectricalNetwork::new(cfg))
+    };
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "optical4" => optical(PhastlaneConfig::optical4()),
+        "optical5" => optical(PhastlaneConfig::optical5()),
+        "optical8" => optical(PhastlaneConfig::optical8()),
+        "optical4b32" => optical(PhastlaneConfig::optical4_b32()),
+        "optical4b64" => optical(PhastlaneConfig::optical4_b64()),
+        "optical4ib" => optical(PhastlaneConfig::optical4_ib()),
+        "optical4sp50" => optical(PhastlaneConfig::optical4_shared_pool()),
+        "electrical3" => electrical(ElectricalConfig::electrical3()),
+        "electrical2" => electrical(ElectricalConfig::electrical2()),
+        other => {
+            return Err(format!(
+                "unknown network {other:?}; known: {}",
+                NETWORKS.join(" ")
+            ))
+        }
+    })
+}
+
+/// Runs one job of the expanded matrix and summarizes it.
+///
+/// # Errors
+///
+/// Errors on an unknown network or benchmark name (normally caught at
+/// spec-parse time already).
+pub fn run_job(spec: &LabSpec, job: &JobSpec) -> Result<JobRecord, String> {
+    let wall_start = Instant::now();
+    // Faulted jobs default to the chaos soak's tight retry cap so the
+    // drain phase terminates; fault-free jobs run uncapped.
+    let retry_limit = spec
+        .retry_limit
+        .or_else(|| (job.intensity > 0.0).then_some(50));
+    let mut net = build_network(&job.net, spec.mesh, retry_limit)?;
+    if job.intensity > 0.0 {
+        let plan = FaultPlan::random(spec.mesh, job.fault_seed, job.intensity);
+        net.set_fault_plan(plan, job.fault_seed);
+    }
+
+    let mut rec = match &job.work {
+        Work::Synthetic { pattern, rate } => {
+            let mut workload = BernoulliTraffic::new(spec.mesh, *pattern, *rate, job.seed);
+            let r = run_synthetic(
+                &mut net,
+                &mut workload,
+                SyntheticOptions {
+                    warmup: spec.warmup,
+                    measure: spec.measure,
+                    drain: spec.drain,
+                },
+            );
+            let stable = r.unfinished == 0 && r.delivered_rate >= 0.90 * r.offered_rate;
+            JobRecord {
+                index: job.index,
+                net: job.net.clone(),
+                pattern: Some(pattern.name().to_string()),
+                rate: Some(*rate),
+                benchmark: None,
+                intensity: job.intensity,
+                replica: job.replica,
+                seed: job.seed,
+                cycles: r.perf.cycles,
+                latency: r.latency,
+                energy_pj: r.energy.total_pj(),
+                offered_rate: Some(r.offered_rate),
+                accepted_rate: Some(r.accepted_rate),
+                delivered_rate: Some(r.delivered_rate),
+                completion_cycle: None,
+                unfinished: r.unfinished,
+                undeliverable: r.undeliverable,
+                timed_out: false,
+                stable: Some(stable),
+                wall_seconds: 0.0,
+            }
+        }
+        Work::Replay { benchmark } => {
+            let mut profile = splash2::benchmark(benchmark)
+                .ok_or_else(|| format!("unknown benchmark {benchmark:?}"))?;
+            profile.misses_per_core =
+                ((profile.misses_per_core as f64 * spec.scale).round() as usize).max(2);
+            if spec.mesh != Mesh::PAPER {
+                profile.active_cores = profile.active_cores.min(spec.mesh.nodes());
+            }
+            profile.seed = job.seed;
+            let trace = generate_trace(spec.mesh, &profile);
+            let r = run_trace(
+                &mut net,
+                &trace,
+                TraceOptions {
+                    max_cycles: spec.max_cycles,
+                },
+            );
+            JobRecord {
+                index: job.index,
+                net: job.net.clone(),
+                pattern: None,
+                rate: None,
+                benchmark: Some(benchmark.clone()),
+                intensity: job.intensity,
+                replica: job.replica,
+                seed: job.seed,
+                cycles: r.perf.cycles,
+                latency: r.latency,
+                energy_pj: r.energy.total_pj(),
+                offered_rate: None,
+                accepted_rate: None,
+                delivered_rate: None,
+                completion_cycle: Some(r.completion_cycle),
+                unfinished: 0,
+                undeliverable: r.undeliverable,
+                timed_out: r.timed_out,
+                stable: None,
+                wall_seconds: 0.0,
+            }
+        }
+    };
+    rec.wall_seconds = wall_start.elapsed().as_secs_f64();
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::expand;
+
+    #[test]
+    fn every_advertised_network_builds() {
+        for n in NETWORKS {
+            assert!(known_network(n), "{n}");
+            assert!(build_network(n, Mesh::new(4, 4), None).is_ok(), "{n}");
+        }
+        assert!(!known_network("warp-drive"));
+        assert!(build_network("warp-drive", Mesh::new(4, 4), None).is_err());
+    }
+
+    #[test]
+    fn synthetic_job_is_reproducible() {
+        let spec = LabSpec::parse(
+            "mesh 4x4\nnets optical4\npatterns uniform\nrates 0.03\n\
+             warmup 100\nmeasure 400\ndrain 1000\n",
+        )
+        .unwrap();
+        let jobs = expand(&spec);
+        assert_eq!(jobs.len(), 1);
+        let a = run_job(&spec, &jobs[0]).unwrap();
+        let b = run_job(&spec, &jobs[0]).unwrap();
+        assert!(a.latency.count() > 0, "some packets measured");
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.delivered_rate, b.delivered_rate);
+        assert_eq!(a.energy_pj, b.energy_pj);
+    }
+
+    #[test]
+    fn replay_job_completes() {
+        let spec = LabSpec::parse(
+            "mesh 4x4\nnets electrical2\npatterns uniform\nrates 0.02\n\
+             benchmarks LU\nscale 0.02\nwarmup 50\nmeasure 100\ndrain 500\n",
+        )
+        .unwrap();
+        let job = expand(&spec)
+            .into_iter()
+            .find(|j| matches!(j.work, Work::Replay { .. }))
+            .expect("replay job exists");
+        let rec = run_job(&spec, &job).unwrap();
+        assert!(!rec.timed_out);
+        assert!(rec.completion_cycle.unwrap() > 0);
+        assert_eq!(rec.benchmark.as_deref(), Some("LU"));
+    }
+
+    #[test]
+    fn faulted_job_applies_a_plan() {
+        let spec = LabSpec::parse(
+            "mesh 4x4\nnets optical4\npatterns uniform\nrates 0.03\n\
+             intensities 0.25\nwarmup 100\nmeasure 400\ndrain 4000\n",
+        )
+        .unwrap();
+        let jobs = expand(&spec);
+        let rec = run_job(&spec, &jobs[0]).unwrap();
+        // Under a non-trivial plan the run still resolves every packet.
+        assert_eq!(rec.unfinished, 0, "drain resolved all packets");
+    }
+}

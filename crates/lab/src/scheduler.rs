@@ -1,0 +1,127 @@
+//! Deterministic `std::thread` worker pool over the expanded job list.
+//!
+//! Determinism holds by construction, not by locking discipline:
+//! * every job's seeds come from [`crate::spec::expand`] — a pure
+//!   function of the spec, fixed before any thread starts;
+//! * each job builds, drives, and drops its own network on its worker
+//!   thread; no simulation state is shared;
+//! * results land in a slot indexed by the job's matrix index, so the
+//!   report order is the matrix order no matter which worker finished
+//!   first.
+//!
+//! The only cross-thread state is the `AtomicUsize` job cursor and the
+//! mutex-guarded result slots — neither influences any simulated bit.
+
+use crate::report::{JobRecord, LabReport};
+use crate::runner;
+use crate::spec::{expand, LabSpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Expands `spec` and runs every job on a pool of `workers` threads
+/// (clamped to `1..=jobs`). A single-worker run produces a byte-identical
+/// canonical report.
+///
+/// # Errors
+///
+/// Errors if the spec expands to no jobs, or any job fails (unknown
+/// network/benchmark — normally caught at parse time).
+pub fn run_lab(spec: &LabSpec, workers: usize) -> Result<LabReport, String> {
+    let jobs = expand(spec);
+    if jobs.is_empty() {
+        return Err("spec expands to zero jobs".into());
+    }
+    let workers = workers.max(1).min(jobs.len());
+    let wall_start = Instant::now();
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<JobRecord, String>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let result = runner::run_job(spec, job);
+                *slots[i].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+
+    let mut records = Vec::with_capacity(jobs.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        let result = slot
+            .into_inner()
+            .expect("slot lock")
+            .unwrap_or_else(|| Err(format!("job {i} never ran")));
+        records.push(result.map_err(|e| format!("job {i}: {e}"))?);
+    }
+
+    Ok(LabReport::new(
+        spec.clone(),
+        records,
+        workers,
+        wall_start.elapsed().as_secs_f64(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> LabSpec {
+        LabSpec::parse(
+            "name pool-test\nmesh 4x4\nseed 3\nnets optical4 electrical2\n\
+             patterns uniform transpose\nrates 0.02 0.04\n\
+             warmup 100\nmeasure 300\ndrain 1000\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_byte_for_byte() {
+        let spec = small_spec();
+        let serial = run_lab(&spec, 1).unwrap();
+        let parallel = run_lab(&spec, 8).unwrap();
+        assert_eq!(serial.jobs.len(), 8);
+        assert_eq!(
+            serial.canonical_json().to_string_pretty(),
+            parallel.canonical_json().to_string_pretty()
+        );
+        assert_eq!(serial.workers, 1);
+        // Worker count is clamped to the job count.
+        assert_eq!(parallel.workers, 8);
+    }
+
+    #[test]
+    fn workers_clamped_to_job_count() {
+        let spec = LabSpec::parse(
+            "mesh 4x4\nnets optical4\npatterns uniform\nrates 0.02\n\
+             warmup 50\nmeasure 100\ndrain 400\n",
+        )
+        .unwrap();
+        let report = run_lab(&spec, 64).unwrap();
+        assert_eq!(report.jobs.len(), 1);
+        assert_eq!(report.workers, 1);
+    }
+
+    #[test]
+    fn zero_workers_means_one() {
+        let spec = LabSpec::parse(
+            "mesh 4x4\nnets optical4\npatterns uniform\nrates 0.02\n\
+             warmup 50\nmeasure 100\ndrain 400\n",
+        )
+        .unwrap();
+        assert_eq!(run_lab(&spec, 0).unwrap().workers, 1);
+    }
+
+    #[test]
+    fn records_come_back_in_matrix_order() {
+        let report = run_lab(&small_spec(), 4).unwrap();
+        for (i, j) in report.jobs.iter().enumerate() {
+            assert_eq!(j.index, i);
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! The lab scenario-spec format and its expansion into a job matrix.
+//!
+//! A spec is a plain text file in the same hand-rolled style as
+//! [`phastlane_netsim::fault::FaultPlan::parse`] (the build is offline —
+//! no serde): one `key value...` pair per line, `#` comments, every key
+//! optional with a sensible default, unknown or duplicate keys rejected.
+//!
+//! ```text
+//! # fig9-shuffle.lab — one Figure 9 panel as a lab matrix
+//! name fig9-shuffle
+//! mesh 8x8
+//! seed 7
+//! nets optical4 electrical3
+//! patterns shuffle
+//! rates 0.02 0.06 0.10 0.16 0.22 0.30
+//! warmup 500
+//! measure 2000
+//! drain 6000
+//! ```
+//!
+//! [`expand`] unrolls the matrix — networks × patterns × rates ×
+//! intensities × replicas, then networks × benchmarks × intensities ×
+//! replicas for the optional replay jobs — into an ordered [`JobSpec`]
+//! list. Job order, and therefore every derived seed, is a pure function
+//! of the spec: the scheduler may execute jobs on any thread in any
+//! order without perturbing a single result bit.
+
+use crate::runner;
+use phastlane_netsim::geometry::Mesh;
+use phastlane_netsim::rng::SimRng;
+use phastlane_traffic::{splash2, Pattern};
+
+/// A declarative description of an experiment matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabSpec {
+    /// Experiment name (used in reports and baseline files).
+    pub name: String,
+    /// Mesh every job runs on.
+    pub mesh: Mesh,
+    /// Master seed; every job derives its own stream from it.
+    pub seed: u64,
+    /// Network configuration names (see [`runner::NETWORKS`]).
+    pub nets: Vec<String>,
+    /// Synthetic traffic patterns.
+    pub patterns: Vec<Pattern>,
+    /// Injection rates (packets per node per cycle) for synthetic jobs.
+    pub rates: Vec<f64>,
+    /// Fault intensities in `[0, 1]`; `0.0` means no fault plan.
+    pub intensities: Vec<f64>,
+    /// Seed replicas per matrix cell.
+    pub replicas: u32,
+    /// Synthetic warm-up cycles.
+    pub warmup: u64,
+    /// Synthetic measurement-window cycles.
+    pub measure: u64,
+    /// Synthetic drain cycles.
+    pub drain: u64,
+    /// Retry cap before a destination is declared undeliverable. When
+    /// unset, faulted jobs (intensity > 0) default to 50 like the
+    /// `chaos` soak; fault-free jobs run uncapped.
+    pub retry_limit: Option<u32>,
+    /// SPLASH2 benchmarks to replay (empty = no replay jobs).
+    pub benchmarks: Vec<String>,
+    /// Miss-count scale factor for replay jobs.
+    pub scale: f64,
+    /// Replay cycle limit (livelock guard).
+    pub max_cycles: u64,
+}
+
+impl Default for LabSpec {
+    fn default() -> Self {
+        LabSpec {
+            name: "lab".into(),
+            mesh: Mesh::PAPER,
+            seed: 7,
+            nets: vec!["optical4".into()],
+            patterns: vec![Pattern::Uniform],
+            rates: vec![0.05],
+            intensities: vec![0.0],
+            replicas: 1,
+            warmup: 500,
+            measure: 2_000,
+            drain: 6_000,
+            retry_limit: None,
+            benchmarks: Vec::new(),
+            scale: 0.05,
+            max_cycles: 10_000_000,
+        }
+    }
+}
+
+impl LabSpec {
+    /// Parses a spec from its text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-tagged message on unknown/duplicate keys, bad
+    /// values, unknown networks/patterns/benchmarks, or out-of-range
+    /// rates and intensities.
+    pub fn parse(text: &str) -> Result<LabSpec, String> {
+        let mut spec = LabSpec::default();
+        let mut seen: Vec<String> = Vec::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| format!("lab spec line {}: {msg}: {raw:?}", ln + 1);
+            let mut words = line.split_whitespace();
+            let key = words.next().expect("non-empty line has a first word");
+            let values: Vec<&str> = words.collect();
+            if seen.iter().any(|k| k == key) {
+                return Err(err("duplicate key"));
+            }
+            seen.push(key.to_string());
+            if values.is_empty() {
+                return Err(err("key needs at least one value"));
+            }
+            let one = || -> Result<&str, String> {
+                if values.len() == 1 {
+                    Ok(values[0])
+                } else {
+                    Err(err("key takes exactly one value"))
+                }
+            };
+            match key {
+                "name" => spec.name = one()?.to_string(),
+                "mesh" => {
+                    let v = one()?;
+                    let (w, h) = v.split_once('x').ok_or_else(|| err("mesh expects WxH"))?;
+                    let w: u16 = w.parse().map_err(|_| err("bad mesh width"))?;
+                    let h: u16 = h.parse().map_err(|_| err("bad mesh height"))?;
+                    if w == 0 || h == 0 {
+                        return Err(err("mesh dimensions must be positive"));
+                    }
+                    spec.mesh = Mesh::new(w, h);
+                }
+                "seed" => spec.seed = one()?.parse().map_err(|_| err("bad seed"))?,
+                "nets" => {
+                    for v in &values {
+                        if !runner::known_network(v) {
+                            return Err(err(&format!(
+                                "unknown network {v:?}; known: {}",
+                                runner::NETWORKS.join(" ")
+                            )));
+                        }
+                    }
+                    spec.nets = values.iter().map(|v| v.to_lowercase()).collect();
+                }
+                "patterns" => {
+                    spec.patterns = values
+                        .iter()
+                        .map(|v| {
+                            Pattern::from_name(v)
+                                .ok_or_else(|| err(&format!("unknown pattern {v:?}")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "rates" => {
+                    spec.rates = parse_f64_list(&values, 0.0..=1.0)
+                        .map_err(|m| err(&format!("bad rate: {m}")))?;
+                }
+                "intensities" => {
+                    spec.intensities = parse_f64_list(&values, 0.0..=1.0)
+                        .map_err(|m| err(&format!("bad intensity: {m}")))?;
+                }
+                "replicas" => {
+                    spec.replicas = one()?.parse().map_err(|_| err("bad replicas"))?;
+                    if spec.replicas == 0 {
+                        return Err(err("replicas must be positive"));
+                    }
+                }
+                "warmup" => spec.warmup = one()?.parse().map_err(|_| err("bad warmup"))?,
+                "measure" => {
+                    spec.measure = one()?.parse().map_err(|_| err("bad measure"))?;
+                    if spec.measure == 0 {
+                        return Err(err("measure must be positive"));
+                    }
+                }
+                "drain" => spec.drain = one()?.parse().map_err(|_| err("bad drain"))?,
+                "retry-limit" => {
+                    spec.retry_limit = Some(one()?.parse().map_err(|_| err("bad retry-limit"))?);
+                }
+                "benchmarks" => {
+                    for v in &values {
+                        if splash2::benchmark(v).is_none() {
+                            return Err(err(&format!("unknown benchmark {v:?}")));
+                        }
+                    }
+                    spec.benchmarks = values.iter().map(|v| v.to_string()).collect();
+                }
+                "scale" => {
+                    spec.scale = one()?.parse().map_err(|_| err("bad scale"))?;
+                    if spec.scale <= 0.0 || !spec.scale.is_finite() {
+                        return Err(err("scale must be positive"));
+                    }
+                }
+                "max-cycles" => {
+                    spec.max_cycles = one()?.parse().map_err(|_| err("bad max-cycles"))?;
+                    if spec.max_cycles == 0 {
+                        return Err(err("max-cycles must be positive"));
+                    }
+                }
+                _ => return Err(err("unknown key")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Renders the spec back to its [`parse`](LabSpec::parse) text form.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        let join_f = |v: &[f64]| v.iter().map(f64::to_string).collect::<Vec<_>>().join(" ");
+        out.push_str(&format!("name {}\n", self.name));
+        out.push_str(&format!(
+            "mesh {}x{}\n",
+            self.mesh.width(),
+            self.mesh.height()
+        ));
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("nets {}\n", self.nets.join(" ")));
+        out.push_str(&format!(
+            "patterns {}\n",
+            self.patterns
+                .iter()
+                .map(|p| p.name())
+                .collect::<Vec<_>>()
+                .join(" ")
+        ));
+        out.push_str(&format!("rates {}\n", join_f(&self.rates)));
+        out.push_str(&format!("intensities {}\n", join_f(&self.intensities)));
+        out.push_str(&format!("replicas {}\n", self.replicas));
+        out.push_str(&format!("warmup {}\n", self.warmup));
+        out.push_str(&format!("measure {}\n", self.measure));
+        out.push_str(&format!("drain {}\n", self.drain));
+        if let Some(r) = self.retry_limit {
+            out.push_str(&format!("retry-limit {r}\n"));
+        }
+        if !self.benchmarks.is_empty() {
+            out.push_str(&format!("benchmarks {}\n", self.benchmarks.join(" ")));
+            out.push_str(&format!("scale {}\n", self.scale));
+        }
+        out.push_str(&format!("max-cycles {}\n", self.max_cycles));
+        out
+    }
+
+    /// Number of jobs the matrix expands to.
+    pub fn job_count(&self) -> usize {
+        let cells = self.nets.len() * self.patterns.len() * self.rates.len();
+        let replays = self.nets.len() * self.benchmarks.len();
+        (cells + replays) * self.intensities.len() * self.replicas as usize
+    }
+}
+
+fn parse_f64_list(
+    values: &[&str],
+    range: std::ops::RangeInclusive<f64>,
+) -> Result<Vec<f64>, String> {
+    values
+        .iter()
+        .map(|v| {
+            let x: f64 = v.parse().map_err(|_| format!("{v:?} is not a number"))?;
+            if range.contains(&x) {
+                Ok(x)
+            } else {
+                Err(format!("{x} outside [{}, {}]", range.start(), range.end()))
+            }
+        })
+        .collect()
+}
+
+/// What one job runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Work {
+    /// An open-loop synthetic run.
+    Synthetic {
+        /// Traffic pattern.
+        pattern: Pattern,
+        /// Injection rate (packets per node per cycle).
+        rate: f64,
+    },
+    /// A closed-loop SPLASH2 trace replay.
+    Replay {
+        /// Benchmark name (see [`phastlane_traffic::splash2`]).
+        benchmark: String,
+    },
+}
+
+/// One fully-resolved job of the expanded matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Position in the expanded matrix (stable across runs).
+    pub index: usize,
+    /// Network configuration name.
+    pub net: String,
+    /// The workload.
+    pub work: Work,
+    /// Fault intensity (`0.0` = no fault plan).
+    pub intensity: f64,
+    /// Seed replica within the matrix cell.
+    pub replica: u32,
+    /// Workload RNG seed, derived from the spec seed and `index`.
+    pub seed: u64,
+    /// Fault-plan/fault-path RNG seed, derived from the spec seed and
+    /// `replica` only, so every cell of one replica degrades under the
+    /// *same* fault plan (comparable curves).
+    pub fault_seed: u64,
+}
+
+/// Derives an independent seed stream from a base seed and a stream
+/// index through [`SimRng`]. The derivation is a pure function of its
+/// arguments — thread scheduling can never influence it.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut rng = SimRng::seed_from_u64(base ^ (stream + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    rng.next_u64()
+}
+
+/// Expands a spec into its ordered job list: synthetic cells first
+/// (nets × patterns × rates × intensities × replicas, inner-to-outer in
+/// that reading order), then replay cells (nets × benchmarks ×
+/// intensities × replicas).
+pub fn expand(spec: &LabSpec) -> Vec<JobSpec> {
+    let mut jobs = Vec::with_capacity(spec.job_count());
+    let push = |net: &str, work: Work, intensity: f64, replica: u32, jobs: &mut Vec<JobSpec>| {
+        let index = jobs.len();
+        jobs.push(JobSpec {
+            index,
+            net: net.to_string(),
+            work,
+            intensity,
+            replica,
+            seed: derive_seed(spec.seed, index as u64),
+            fault_seed: derive_seed(spec.seed, 0xFA17_0000 + u64::from(replica)),
+        });
+    };
+    for net in &spec.nets {
+        for &pattern in &spec.patterns {
+            for &rate in &spec.rates {
+                for &intensity in &spec.intensities {
+                    for replica in 0..spec.replicas {
+                        push(
+                            net,
+                            Work::Synthetic { pattern, rate },
+                            intensity,
+                            replica,
+                            &mut jobs,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    for net in &spec.nets {
+        for benchmark in &spec.benchmarks {
+            for &intensity in &spec.intensities {
+                for replica in 0..spec.replicas {
+                    push(
+                        net,
+                        Work::Replay {
+                            benchmark: benchmark.clone(),
+                        },
+                        intensity,
+                        replica,
+                        &mut jobs,
+                    );
+                }
+            }
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a comment
+name smoke
+mesh 4x4
+seed 11
+nets optical4 electrical3
+patterns uniform transpose
+rates 0.02 0.05   # trailing comment
+intensities 0.0 0.25
+replicas 2
+warmup 100
+measure 400
+drain 1000
+retry-limit 20
+benchmarks FFT
+scale 0.1
+max-cycles 500000
+";
+
+    #[test]
+    fn parse_reads_every_key() {
+        let spec = LabSpec::parse(SAMPLE).unwrap();
+        assert_eq!(spec.name, "smoke");
+        assert_eq!(spec.mesh, Mesh::new(4, 4));
+        assert_eq!(spec.seed, 11);
+        assert_eq!(spec.nets, vec!["optical4", "electrical3"]);
+        assert_eq!(spec.patterns, vec![Pattern::Uniform, Pattern::Transpose]);
+        assert_eq!(spec.rates, vec![0.02, 0.05]);
+        assert_eq!(spec.intensities, vec![0.0, 0.25]);
+        assert_eq!(spec.replicas, 2);
+        assert_eq!((spec.warmup, spec.measure, spec.drain), (100, 400, 1000));
+        assert_eq!(spec.retry_limit, Some(20));
+        assert_eq!(spec.benchmarks, vec!["FFT"]);
+        assert_eq!(spec.scale, 0.1);
+        assert_eq!(spec.max_cycles, 500_000);
+    }
+
+    #[test]
+    fn encode_roundtrips() {
+        let spec = LabSpec::parse(SAMPLE).unwrap();
+        let reparsed = LabSpec::parse(&spec.encode()).unwrap();
+        assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn defaults_apply_for_empty_spec() {
+        let spec = LabSpec::parse("# nothing\n").unwrap();
+        assert_eq!(spec, LabSpec::default());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "warp 1",                   // unknown key
+            "nets warp-drive",          // unknown network
+            "patterns zigzag",          // unknown pattern
+            "benchmarks NotABenchmark", // unknown benchmark
+            "rates 1.5",                // out of range
+            "intensities -0.1",         // out of range
+            "mesh 4",                   // malformed
+            "mesh 0x4",                 // zero dimension
+            "replicas 0",               // zero
+            "measure 0",                // zero
+            "seed",                     // missing value
+            "seed 1 2",                 // too many values
+            "seed 1\nseed 2",           // duplicate
+        ] {
+            assert!(LabSpec::parse(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn expansion_covers_the_matrix_in_stable_order() {
+        let spec = LabSpec::parse(SAMPLE).unwrap();
+        let jobs = expand(&spec);
+        // 2 nets x 2 patterns x 2 rates x 2 intensities x 2 replicas
+        // + 2 nets x 1 benchmark x 2 intensities x 2 replicas
+        assert_eq!(jobs.len(), 32 + 8);
+        assert_eq!(jobs.len(), spec.job_count());
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.index, i);
+        }
+        // First job is the first cell; replicas vary fastest.
+        assert_eq!(jobs[0].net, "optical4");
+        assert!(matches!(
+            &jobs[0].work,
+            Work::Synthetic { pattern: Pattern::Uniform, rate } if *rate == 0.02
+        ));
+        assert_eq!((jobs[0].intensity, jobs[0].replica), (0.0, 0));
+        assert_eq!((jobs[1].intensity, jobs[1].replica), (0.0, 1));
+        assert_eq!((jobs[2].intensity, jobs[2].replica), (0.25, 0));
+        // Replay jobs come after every synthetic job.
+        assert!(matches!(&jobs[32].work, Work::Replay { benchmark } if benchmark == "FFT"));
+        // Expansion is deterministic.
+        assert_eq!(expand(&spec), jobs);
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_and_deterministic() {
+        let spec = LabSpec::parse(SAMPLE).unwrap();
+        let jobs = expand(&spec);
+        let mut seeds: Vec<u64> = jobs.iter().map(|j| j.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), jobs.len(), "every job gets its own seed");
+        assert_eq!(derive_seed(11, 3), derive_seed(11, 3));
+        assert_ne!(derive_seed(11, 3), derive_seed(12, 3));
+        // Fault seeds depend only on the replica.
+        assert_eq!(jobs[0].fault_seed, jobs[4].fault_seed);
+        assert_ne!(jobs[0].fault_seed, jobs[1].fault_seed);
+    }
+}

@@ -60,3 +60,18 @@ pub use fault::{FailedDelivery, Fault, FaultKind, FaultPlan};
 pub use geometry::{Direction, Mesh, NodeId, Port};
 pub use network::Network;
 pub use packet::{Delivery, DestSet, NewPacket, PacketId, PacketKind};
+pub use sweep::Saturation;
+
+// Compile-time `Send` guarantees: everything the `phastlane-lab`
+// worker-pool scheduler moves to (or builds on) worker threads must be
+// `Send`, and a future `Rc`/raw-pointer refactor must fail right here
+// at build time instead of breaking the scheduler. The two concrete
+// `Network` impls assert the same in their own crates.
+fn _assert_send<T: Send>() {}
+const _: fn() = _assert_send::<ideal::IdealNetwork>;
+const _: fn() = _assert_send::<fault::FaultPlan>;
+const _: fn() = _assert_send::<harness::Trace>;
+const _: fn() = _assert_send::<harness::SyntheticResult>;
+const _: fn() = _assert_send::<harness::TraceResult>;
+const _: fn() = _assert_send::<obs::TraceBuffer>;
+const _: fn() = _assert_send::<rng::SimRng>;

@@ -42,3 +42,12 @@ pub mod synthetic;
 pub use coherence::BenchmarkProfile;
 pub use patterns::Pattern;
 pub use synthetic::BernoulliTraffic;
+
+// Compile-time `Send` guarantee: the `phastlane-lab` scheduler builds
+// and drives workloads on `std::thread` workers. A future `Rc`/raw-
+// pointer refactor must fail right here at build time, not there.
+fn _assert_send<T: Send>() {}
+const _: fn() = _assert_send::<BernoulliTraffic>;
+const _: fn() = _assert_send::<Pattern>;
+const _: fn() = _assert_send::<BenchmarkProfile>;
+const _: fn() = _assert_send::<cachegen::CacheWorkload>;

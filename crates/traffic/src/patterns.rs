@@ -89,6 +89,40 @@ impl Pattern {
         NodeId(d as u16)
     }
 
+    /// Parses a pattern from its CLI/spec-file name (`uniform`,
+    /// `bitcomp`, `bitrev`, `shuffle`, `transpose`, `neighbor`,
+    /// `hotspot`), case-insensitively. The hotspot pattern uses its
+    /// conventional parameters (node 0, 30 % of traffic).
+    pub fn from_name(name: &str) -> Option<Pattern> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "uniform" => Pattern::Uniform,
+            "bitcomp" => Pattern::BitComplement,
+            "bitrev" => Pattern::BitReverse,
+            "shuffle" => Pattern::Shuffle,
+            "transpose" => Pattern::Transpose,
+            "neighbor" => Pattern::NearestNeighbor,
+            "hotspot" => Pattern::Hotspot {
+                target: NodeId(0),
+                fraction: 0.3,
+            },
+            _ => return None,
+        })
+    }
+
+    /// The `from_name` spelling of this pattern (its canonical
+    /// spec-file/CLI token).
+    pub fn name(self) -> &'static str {
+        match self {
+            Pattern::Uniform => "uniform",
+            Pattern::BitComplement => "bitcomp",
+            Pattern::BitReverse => "bitrev",
+            Pattern::Shuffle => "shuffle",
+            Pattern::Transpose => "transpose",
+            Pattern::Hotspot { .. } => "hotspot",
+            Pattern::NearestNeighbor => "neighbor",
+        }
+    }
+
     /// The label used in figure output.
     pub fn label(self) -> &'static str {
         match self {
@@ -115,6 +149,25 @@ mod tests {
 
     fn rng() -> SimRng {
         SimRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn names_roundtrip_through_from_name() {
+        for p in [
+            Pattern::Uniform,
+            Pattern::BitComplement,
+            Pattern::BitReverse,
+            Pattern::Shuffle,
+            Pattern::Transpose,
+            Pattern::NearestNeighbor,
+        ] {
+            assert_eq!(Pattern::from_name(p.name()), Some(p));
+        }
+        assert!(matches!(
+            Pattern::from_name("HOTSPOT"),
+            Some(Pattern::Hotspot { .. })
+        ));
+        assert_eq!(Pattern::from_name("warp"), None);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! where pattern is one of: uniform, bitcomp, bitrev, shuffle, transpose.
 
 use phastlane_repro::netsim::harness::SyntheticOptions;
-use phastlane_repro::netsim::sweep::{latency_sweep, saturation_rate};
+use phastlane_repro::netsim::sweep::{latency_sweep, saturation, Saturation};
 use phastlane_repro::netsim::Mesh;
 use phastlane_repro::optical::{PhastlaneConfig, PhastlaneNetwork};
 use phastlane_repro::traffic::{BernoulliTraffic, Pattern};
@@ -47,8 +47,13 @@ fn main() {
             if p.is_stable() { "yes" } else { "saturated" }
         );
     }
-    match saturation_rate(&points) {
-        Some(r) => println!("\nsaturation throughput ~= {r:.2} packets/node/cycle"),
-        None => println!("\nsaturated at every measured rate"),
+    match saturation(&points) {
+        Saturation::Stable(r) => {
+            println!("\nsaturation throughput ~= {r:.2} packets/node/cycle");
+        }
+        Saturation::SaturatedFromStart(low) => {
+            println!("\nsaturated at every measured rate (throughput < {low:.2})");
+        }
+        Saturation::NotSwept => println!("\nno rates were swept"),
     }
 }
