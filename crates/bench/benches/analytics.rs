@@ -10,7 +10,6 @@ use phastlane_photonics::scaling::figure4_series;
 use phastlane_photonics::units::TechNode;
 use phastlane_traffic::coherence::generate_trace;
 use phastlane_traffic::splash2;
-use std::collections::VecDeque;
 
 fn main() {
     bench("fig4_scaling_fits", figure4_series);
@@ -22,7 +21,7 @@ fn main() {
     bench("fig7_power_grid", || figure7_grid(&effs, &hops));
 
     let mesh = Mesh::PAPER;
-    let targets: VecDeque<NodeId> = [NodeId(63)].into_iter().collect();
+    let targets = [NodeId(63)];
     bench("plan_build_corner_to_corner", || {
         phastlane_core::plan::Plan::build(mesh, NodeId(0), &targets, false, 4)
     });

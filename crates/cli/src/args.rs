@@ -57,6 +57,7 @@ pub const VALUE_KEYS: &[&str] = &[
     "retry-limit",
     "intensities",
     "workers",
+    "batch",
     "name",
     "baseline-dir",
     "perf-out",

@@ -824,11 +824,13 @@ USAGE:
   phastlane sweep    [--net N] [--pattern P] [--rate R | --rates R1,R2,..]
   phastlane chaos    [--net N] [--rate R] [--intensities I1,I2,..]
                      [--fault-seed S] [--retry-limit L]
-  phastlane lab run     SPEC [--workers N] [--report-out F] [--perf-out F]
+  phastlane lab run     SPEC [--workers N] [--batch K] [--report-out F]
+                     [--perf-out F]
   phastlane lab record  SPEC [--name NAME] [--baseline-dir DIR] [--workers N]
+                     [--batch K] [--bench-out F]
   phastlane lab compare SPEC [--name NAME] [--baseline-dir DIR] [--workers N]
-                     [--tol-mean T] [--tol-p99 T] [--tol-saturation T]
-                     [--tol-throughput T]
+                     [--batch K] [--tol-mean T] [--tol-p99 T]
+                     [--tol-saturation T] [--tol-throughput T]
   phastlane trace gen    [--benchmark B] [--scale S] [--out FILE]
   phastlane trace info   FILE
   phastlane trace replay FILE [--net N]
@@ -852,7 +854,9 @@ fault injection (simulate, sweep, chaos):
 
 lab spec keys (one `key value...` per line, # comments):
   name mesh seed nets patterns rates intensities replicas
-  warmup measure drain retry-limit benchmarks scale max-cycles
+  warmup measure drain retry-limit benchmarks scale max-cycles batch
+  (batch K advances up to K same-cell replicas in lockstep; like
+  --workers it never changes a canonical-report bit)
 
 networks: optical4 optical5 optical8 optical4b32 optical4b64 optical4ib
           optical4sp50 electrical2 electrical3

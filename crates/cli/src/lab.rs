@@ -4,7 +4,9 @@
 //! * `lab run FILE` — expand and execute the spec, print a per-job
 //!   table, optionally export the canonical report (`--report-out`,
 //!   `.json` or `.csv`) and the perf profile (`--perf-out`). The
-//!   canonical export is byte-identical for any `--workers` value.
+//!   canonical export is byte-identical for any `--workers` or
+//!   `--batch` value (`--batch K` advances up to `K` same-cell
+//!   replicas in lockstep per scheduler slot).
 //! * `lab record FILE` — run, then write
 //!   `<baseline-dir>/<name>.json` (canonical + perf) and a
 //!   `BENCH_<name>.json` trajectory point next to the baseline dir.
@@ -50,7 +52,13 @@ fn write_json(path: &str, json: &JsonValue) -> Result<(), ArgError> {
 
 fn execute(p: &Parsed, spec: &LabSpec) -> Result<(LabReport, String), ArgError> {
     let workers: usize = p.get_parsed("workers", 1)?;
-    let report = run_lab(spec, workers).map_err(ArgError)?;
+    let batch: u32 = p.get_parsed("batch", spec.batch)?;
+    if batch == 0 {
+        return Err(ArgError("--batch must be at least 1".into()));
+    }
+    let mut spec = spec.clone();
+    spec.batch = batch;
+    let report = run_lab(&spec, workers).map_err(ArgError)?;
     let mut out = format!(
         "lab {}: {} jobs on {} workers ({}x{}, seed {})\n",
         spec.name,
@@ -119,9 +127,28 @@ fn baseline_path(p: &Parsed, spec: &LabSpec) -> (PathBuf, String) {
     (dir.join(format!("{name}.json")), name)
 }
 
-/// A `BENCH_*.json` trajectory point: the perf layer plus identity, so
+/// The commit the bench point was measured at: `GITHUB_SHA` in CI,
+/// `git rev-parse HEAD` locally, `"unknown"` outside a checkout.
+fn git_commit() -> String {
+    std::env::var("GITHUB_SHA")
+        .ok()
+        .filter(|s| !s.is_empty())
+        .or_else(|| {
+            std::process::Command::new("git")
+                .args(["rev-parse", "HEAD"])
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+                .filter(|s| !s.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// A `BENCH_*.json` trajectory point: the perf layer plus enough
+/// identity (commit, arena layout, batch/worker configuration) that
 /// successive recordings chart simulator throughput over the repo's
-/// history.
+/// history and every number is attributable to the code that made it.
 fn bench_json(name: &str, report: &LabReport) -> JsonValue {
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -130,6 +157,21 @@ fn bench_json(name: &str, report: &LabReport) -> JsonValue {
     JsonValue::Obj(vec![
         ("bench".into(), JsonValue::Str(format!("lab-{name}"))),
         ("unix_time".into(), JsonValue::Uint(unix_time)),
+        ("commit".into(), JsonValue::Str(git_commit())),
+        (
+            "config".into(),
+            JsonValue::Obj(vec![
+                (
+                    "arena_layout".into(),
+                    JsonValue::Str(phastlane_core::ARENA_LAYOUT.into()),
+                ),
+                (
+                    "batch".into(),
+                    JsonValue::Uint(u64::from(report.spec.batch)),
+                ),
+                ("workers".into(), JsonValue::Uint(report.workers as u64)),
+            ]),
+        ),
         ("jobs".into(), JsonValue::Uint(report.jobs.len() as u64)),
         ("perf".into(), report.perf_json()),
     ])
@@ -253,6 +295,81 @@ mod tests {
         assert!(!text.contains("wall"), "canonical export leaks wall clock");
         let perf_text = std::fs::read_to_string(&perf).unwrap();
         assert!(perf_text.contains("speedup"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_flag_keeps_the_canonical_export_identical() {
+        let dir = scratch("batch");
+        let spec = write_spec(
+            &dir,
+            "name batch-cli\nmesh 4x4\nnets optical4\npatterns uniform\n\
+             rates 0.02\nreplicas 4\nwarmup 100\nmeasure 300\ndrain 1000\n",
+        );
+        let plain = dir.join("plain.json");
+        let batched = dir.join("batched.json");
+        cmd_lab(&parsed(&[
+            "lab",
+            "run",
+            &spec,
+            "--report-out",
+            plain.to_str().unwrap(),
+        ]))
+        .expect("unbatched run");
+        cmd_lab(&parsed(&[
+            "lab",
+            "run",
+            &spec,
+            "--batch",
+            "4",
+            "--report-out",
+            batched.to_str().unwrap(),
+        ]))
+        .expect("batched run");
+        assert_eq!(
+            std::fs::read_to_string(&plain).unwrap(),
+            std::fs::read_to_string(&batched).unwrap(),
+            "--batch must not change a canonical bit"
+        );
+        let err =
+            cmd_lab(&parsed(&["lab", "run", &spec, "--batch", "0"])).expect_err("batch 0 rejected");
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_point_carries_commit_and_config() {
+        let dir = scratch("bench-id");
+        let spec = write_spec(&dir, SPEC);
+        let bdir = dir.join("baselines");
+        let bench = dir.join("BENCH_cmd-test.json");
+        cmd_lab(&parsed(&[
+            "lab",
+            "record",
+            &spec,
+            "--batch",
+            "2",
+            "--baseline-dir",
+            bdir.to_str().unwrap(),
+            "--bench-out",
+            bench.to_str().unwrap(),
+        ]))
+        .expect("records");
+        let text = std::fs::read_to_string(&bench).unwrap();
+        for key in [
+            "\"commit\"",
+            "\"config\"",
+            "\"arena_layout\"",
+            "\"batch\"",
+            "\"workers\"",
+        ] {
+            assert!(text.contains(key), "bench point missing {key}: {text}");
+        }
+        assert!(
+            text.contains(&format!("\"{}\"", phastlane_core::ARENA_LAYOUT)),
+            "{text}"
+        );
+        assert!(text.contains("\"batch\": 2"), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

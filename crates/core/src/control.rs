@@ -268,9 +268,8 @@ mod tests {
     use super::*;
     use crate::plan::Plan;
     use phastlane_netsim::geometry::{Mesh, NodeId};
-    use std::collections::VecDeque;
 
-    fn vd(ids: &[u16]) -> VecDeque<NodeId> {
+    fn vd(ids: &[u16]) -> Vec<NodeId> {
         ids.iter().map(|&i| NodeId(i)).collect()
     }
 

@@ -14,8 +14,7 @@
 //! so their reverses never share a directed link. [`ReturnPathRegistry`]
 //! checks the invariant at runtime (debug builds assert it).
 
-use phastlane_netsim::geometry::{Direction, Mesh, NodeId};
-use std::collections::HashSet;
+use phastlane_netsim::geometry::{Direction, Mesh, NodeId, Port};
 use std::fmt;
 
 /// Bits carried by a drop signal: Packet Dropped plus the 6-bit Node ID.
@@ -125,10 +124,34 @@ impl fmt::Display for ReturnPathOverlap {
 impl std::error::Error for ReturnPathOverlap {}
 
 /// Per-cycle tracker of the links used by drop signals.
-#[derive(Debug, Default)]
+///
+/// Stored as an epoch-stamped dense array indexed by directed link
+/// (`node * 4 + direction`): a link is in use iff its stamp equals the
+/// current epoch, and `clear` is a single epoch bump instead of a hash
+/// clear. The array grows on demand to the highest node registered.
+#[derive(Debug)]
 pub struct ReturnPathRegistry {
-    used: HashSet<(NodeId, Direction)>,
+    stamp: Vec<u64>,
+    epoch: u64,
     signals_total: u64,
+}
+
+impl Default for ReturnPathRegistry {
+    fn default() -> Self {
+        // Epoch starts above the zero-initialised stamps so a fresh
+        // registry has no link in use.
+        ReturnPathRegistry {
+            stamp: Vec::new(),
+            epoch: 1,
+            signals_total: 0,
+        }
+    }
+}
+
+/// Flattened index of a directed link (matches [`Port::index`] order).
+#[inline]
+fn link_index(link: (NodeId, Direction)) -> usize {
+    link.0.index() * 4 + Port::Dir(link.1).index()
 }
 
 impl ReturnPathRegistry {
@@ -145,15 +168,23 @@ impl ReturnPathRegistry {
     /// registered one (nothing is recorded in that case).
     pub fn register(&mut self, path: &ReturnPath) -> Result<(), ReturnPathOverlap> {
         for link in path.links() {
-            if !self.used.insert(link) {
+            let idx = link_index(link);
+            if idx >= self.stamp.len() {
+                self.stamp.resize(idx + 1, 0);
+            }
+            if self.stamp[idx] == self.epoch {
+                // Undo this path's links registered before the conflict.
+                // A return path never repeats a directed link, so
+                // un-stamping them cannot clobber another path's claim.
                 for undo in path.links() {
                     if undo == link {
                         break;
                     }
-                    self.used.remove(&undo);
+                    self.stamp[link_index(undo)] = self.epoch - 1;
                 }
                 return Err(ReturnPathOverlap { link });
             }
+            self.stamp[idx] = self.epoch;
         }
         self.signals_total += 1;
         Ok(())
@@ -161,12 +192,12 @@ impl ReturnPathRegistry {
 
     /// Clears the registry for the next cycle.
     pub fn clear(&mut self) {
-        self.used.clear();
+        self.epoch += 1;
     }
 
-    /// Number of links currently registered.
+    /// Number of links currently registered (a scan; diagnostics only).
     pub fn links_in_use(&self) -> usize {
-        self.used.len()
+        self.stamp.iter().filter(|&&s| s == self.epoch).count()
     }
 
     /// Cumulative count of signals registered over the registry's

@@ -63,6 +63,12 @@ pub use config::{BackoffPolicy, BufferDepth, PhastlaneConfig};
 pub use network::PhastlaneNetwork;
 pub use policies::{ArbitrationPolicy, PathPriority};
 
+/// Version tag for the hot-path data layout (flight arena, parked
+/// launch entries, arbitrable bitmask). Recorded in `BENCH_*.json`
+/// trajectory points so a perf number is attributable to the layout
+/// that produced it; bump when the per-cycle memory layout changes.
+pub const ARENA_LAYOUT: &str = "soa-v2";
+
 // Compile-time `Send` guarantee: the `phastlane-lab` scheduler runs
 // whole networks on `std::thread` workers. A future `Rc`/raw-pointer
 // refactor must fail right here at build time, not in the scheduler.

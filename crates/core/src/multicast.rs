@@ -9,7 +9,7 @@
 //! the column.
 
 use phastlane_netsim::geometry::{Coord, Mesh, NodeId};
-use std::collections::VecDeque;
+use phastlane_netsim::packet::TargetList;
 
 /// Splits a set of delivery targets into dimension-order multicast
 /// messages. Each returned list is ordered along the message's path
@@ -17,7 +17,7 @@ use std::collections::VecDeque;
 /// [`crate::plan::Plan::build`] requires.
 ///
 /// Targets equal to `src` are ignored.
-pub fn split_multicast(mesh: Mesh, src: NodeId, targets: &[NodeId]) -> Vec<VecDeque<NodeId>> {
+pub fn split_multicast(mesh: Mesh, src: NodeId, targets: &[NodeId]) -> Vec<TargetList> {
     let s = mesh.coord(src);
     let width = usize::from(mesh.width());
     // Partition targets by column.
@@ -49,20 +49,20 @@ pub fn split_multicast(mesh: Mesh, src: NodeId, targets: &[NodeId]) -> Vec<VecDe
         if up.len() == 1 && up[0].y == s.y && !down.is_empty() {
             let mut merged = up.clone();
             merged.extend(&down);
-            messages.push(to_deque(mesh, &merged));
+            messages.push(to_list(mesh, &merged));
             continue;
         }
         if !up.is_empty() {
-            messages.push(to_deque(mesh, &up));
+            messages.push(to_list(mesh, &up));
         }
         if !down.is_empty() {
-            messages.push(to_deque(mesh, &down));
+            messages.push(to_list(mesh, &down));
         }
     }
     messages
 }
 
-fn to_deque(mesh: Mesh, coords: &[Coord]) -> VecDeque<NodeId> {
+fn to_list(mesh: Mesh, coords: &[Coord]) -> TargetList {
     coords.iter().map(|&c| mesh.node_at(c)).collect()
 }
 
@@ -74,7 +74,7 @@ mod tests {
         mesh.iter_nodes().filter(|&n| n != src).collect()
     }
 
-    fn all_covered(messages: &[VecDeque<NodeId>], targets: &[NodeId]) {
+    fn all_covered(messages: &[TargetList], targets: &[NodeId]) {
         let mut seen = std::collections::HashSet::new();
         for m in messages {
             for &t in m {

@@ -26,21 +26,22 @@ use crate::control::RouteControl;
 use crate::dropnet::{ReturnPath, ReturnPathRegistry};
 use crate::multicast::split_multicast;
 use crate::plan::{Plan, StepExit, StopKind};
+use crate::policies::ArbitrationPolicy;
 use crate::power::EnergyLedger;
 use crate::router::{Entry, PacketCore, RouterState};
 use phastlane_netsim::ecc::{self, Decoded};
+use phastlane_netsim::fastmap::FastMap;
 use phastlane_netsim::fault::{productive_detour, FailedDelivery, FaultPlan};
-use phastlane_netsim::geometry::{Direction, Mesh, NodeId};
+use phastlane_netsim::geometry::{Direction, Mesh, NodeId, Port};
 use phastlane_netsim::network::Network;
 use phastlane_netsim::nic::Nic;
 use phastlane_netsim::obs::{EventKind, Obs, TraceBuffer};
-use phastlane_netsim::packet::{Delivery, NewPacket, PacketId};
+use phastlane_netsim::packet::{Delivery, DestSet, NewPacket, PacketId, PacketKind, TargetList};
 use phastlane_netsim::rng::SimRng;
 use phastlane_netsim::routing::{classify_turn, xy_first_hop, Turn};
 use phastlane_netsim::stats::{EnergyReport, NetworkStats};
 use phastlane_netsim::telemetry::LinkCounters;
 use phastlane_photonics::power::PowerPoint;
-use std::collections::{HashMap, VecDeque};
 
 /// What a transient bit error did to one delivery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,28 +56,125 @@ enum EccOutcome {
 }
 
 /// An in-flight optical packet during one cycle's wavefront.
+///
+/// Flights are pooled: at the start of each launch phase the previous
+/// cycle's flights return to a free list and are reset in place, so
+/// their plan/trail/target buffers are reused instead of reallocated.
 #[derive(Debug)]
 struct Flight {
     uid: u64,
     core: PacketCore,
     plan: Plan,
     /// Targets not yet delivered (shrinks as taps/accepts happen).
-    remaining: VecDeque<NodeId>,
+    remaining: TargetList,
     /// `(router, exit)` claims made this cycle, for return-path
     /// construction on a drop.
     trail: Vec<(NodeId, Direction)>,
     alive: bool,
 }
 
+impl Flight {
+    /// An inert flight for the pool; every field is overwritten on
+    /// launch.
+    fn blank() -> Flight {
+        Flight {
+            uid: 0,
+            core: PacketCore {
+                id: PacketId(0),
+                src: NodeId(0),
+                kind: PacketKind::Data,
+                multicast: false,
+                injected_cycle: 0,
+            },
+            plan: Plan::default(),
+            remaining: TargetList::new(),
+            trail: Vec::new(),
+            alive: false,
+        }
+    }
+}
+
 /// An output-port claim for the current cycle.
 #[derive(Debug, Clone, Copy)]
 struct Claim {
-    flight: usize,
-    step: usize,
-    /// Priority rank, lower wins. Buffered launches claim at (0, 0) and
-    /// are never displaced; through-traffic ranks come from the
-    /// configured [`PathPriority`].
-    rank: (u8, u8),
+    /// Index into the cycle's flight arena.
+    flight: u32,
+    /// Plan step at which the claim was made.
+    step: u16,
+    /// Priority rank, lower wins: the former `(u8, u8)` lexicographic
+    /// rank packed big-endian, so `u16` order matches tuple order.
+    /// Buffered launches claim at rank 0 and are never displaced;
+    /// through-traffic ranks come from the configured `PathPriority`.
+    rank: u16,
+}
+
+/// Packs a `PathPriority` rank pair preserving lexicographic order.
+#[inline]
+fn pack_rank((a, b): (u8, u8)) -> u16 {
+    (u16::from(a) << 8) | u16::from(b)
+}
+
+/// Output-port claims for the current cycle, indexed by directed link
+/// (`router * 4 + direction`, matching [`Port::index`] order).
+///
+/// Epoch-stamped: a slot is live iff its stamp equals the current epoch,
+/// so clearing between cycles is one counter bump instead of a hash-map
+/// clear, and every lookup is a direct array access instead of a SipHash
+/// probe — this table is hit on every optical hop.
+#[derive(Debug)]
+struct ClaimTable {
+    stamp: Vec<u64>,
+    claim: Vec<Claim>,
+    epoch: u64,
+}
+
+impl ClaimTable {
+    fn new(nodes: usize) -> ClaimTable {
+        ClaimTable {
+            stamp: vec![0; nodes * 4],
+            claim: vec![
+                Claim {
+                    flight: 0,
+                    step: 0,
+                    rank: 0,
+                };
+                nodes * 4
+            ],
+            epoch: 0,
+        }
+    }
+
+    /// Invalidates every claim (start of the launch phase).
+    fn begin_cycle(&mut self) {
+        self.epoch += 1;
+    }
+
+    #[inline]
+    fn index(node: NodeId, dir: Direction) -> usize {
+        node.index() * 4 + Port::Dir(dir).index()
+    }
+
+    #[inline]
+    fn get(&self, node: NodeId, dir: Direction) -> Option<Claim> {
+        let idx = Self::index(node, dir);
+        if self.stamp[idx] == self.epoch {
+            Some(self.claim[idx])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn contains(&self, node: NodeId, dir: Direction) -> bool {
+        self.stamp[Self::index(node, dir)] == self.epoch
+    }
+
+    #[inline]
+    fn insert(&mut self, node: NodeId, dir: Direction, claim: Claim) {
+        let idx = Self::index(node, dir);
+        self.stamp[idx] = self.epoch;
+        self.claim[idx] = claim;
+    }
 }
 
 /// The Phastlane hybrid electrical/optical network.
@@ -88,12 +186,28 @@ pub struct PhastlaneNetwork {
     nics: Vec<Nic<Entry>>,
     next_packet_id: u64,
     next_uid: u64,
-    /// Remaining undelivered targets per packet id.
-    outstanding: HashMap<PacketId, usize>,
+    /// Remaining undelivered targets per packet id (keyed by the raw
+    /// id — sequential, so the open-addressing map probes are short).
+    outstanding: FastMap<usize>,
     deliveries: Vec<Delivery>,
-    /// Drop signals travelling the return path: launcher entry uid ->
-    /// targets still owed. Consumed at the start of the next cycle.
-    drop_map: HashMap<u64, VecDeque<NodeId>>,
+    /// Drop signals travelling the return path, indexed by the launching
+    /// cycle's flight index: `Some(targets still owed)` when that flight
+    /// was dropped. Consumed at the start of the next cycle by the
+    /// launcher, whose launch record remembers its flight index.
+    drop_slots: Vec<Option<TargetList>>,
+    /// Flight arena: the first [`Self::n_flights`] slots are this
+    /// cycle's optical flights; slots beyond that are retired flights
+    /// whose plan/trail/target buffers await in-place reuse. A launch
+    /// never moves a `Flight` — it refills the next slot.
+    flights: Vec<Flight>,
+    /// Live-flight count (arena prefix length), reset each launch phase.
+    n_flights: usize,
+    /// Output-port claims for the current cycle.
+    claims: ClaimTable,
+    /// Confirm-phase scratch: swaps with each router's launched list.
+    confirm_scratch: Vec<(u8, u32)>,
+    /// Plan-construction scratch (hop direction list).
+    plan_dirs: Vec<Direction>,
     energy: EnergyLedger,
     stats: NetworkStats,
     rng: SimRng,
@@ -129,9 +243,14 @@ impl PhastlaneNetwork {
             nics,
             next_packet_id: 0,
             next_uid: 0,
-            outstanding: HashMap::new(),
+            outstanding: FastMap::new(),
             deliveries: Vec::new(),
-            drop_map: HashMap::new(),
+            drop_slots: Vec::new(),
+            flights: Vec::new(),
+            n_flights: 0,
+            claims: ClaimTable::new(nodes),
+            confirm_scratch: Vec::new(),
+            plan_dirs: Vec::new(),
             energy,
             stats: NetworkStats::default(),
             rng,
@@ -170,7 +289,7 @@ impl PhastlaneNetwork {
 
     #[allow(clippy::too_many_arguments)]
     fn deliver(
-        outstanding: &mut HashMap<PacketId, usize>,
+        outstanding: &mut FastMap<usize>,
         deliveries: &mut Vec<Delivery>,
         stats: &mut NetworkStats,
         energy: &mut EnergyLedger,
@@ -201,11 +320,11 @@ impl PhastlaneNetwork {
         stats.latency.record(lat);
         stats.latency_by_kind.record(flight.core.kind, lat);
         let rem = outstanding
-            .get_mut(&flight.core.id)
+            .get_mut(flight.core.id.0)
             .expect("delivery for unknown packet");
         *rem -= 1;
         if *rem == 0 {
-            outstanding.remove(&flight.core.id);
+            outstanding.remove(flight.core.id.0);
         }
     }
 
@@ -215,13 +334,14 @@ impl PhastlaneNetwork {
     fn block_flight(
         mesh: Mesh,
         routers: &mut [RouterState],
-        drop_map: &mut HashMap<u64, VecDeque<NodeId>>,
+        drop_slots: &mut [Option<TargetList>],
         return_paths: &mut ReturnPathRegistry,
         stats: &mut NetworkStats,
         energy: &mut EnergyLedger,
         obs: &mut Obs,
         next_uid: &mut u64,
         flight: &mut Flight,
+        flight_idx: usize,
         router: NodeId,
         entry_dir: Direction,
         now: u64,
@@ -278,8 +398,11 @@ impl PhastlaneNetwork {
                 "return paths overlapped: {registered:?}"
             );
             energy.on_drop_signal();
-            let prev = drop_map.insert(flight.uid, flight.remaining.clone());
-            debug_assert!(prev.is_none(), "one launch cannot drop twice");
+            debug_assert!(
+                drop_slots[flight_idx].is_none(),
+                "one launch cannot drop twice"
+            );
+            drop_slots[flight_idx] = Some(std::mem::take(&mut flight.remaining));
         }
     }
 
@@ -287,7 +410,7 @@ impl PhastlaneNetwork {
     /// `entry` becomes a terminal [`FailedDelivery`]. The packet leaves
     /// the in-flight set so closed-loop harnesses observe completion.
     fn give_up(
-        outstanding: &mut HashMap<PacketId, usize>,
+        outstanding: &mut FastMap<usize>,
         failures: &mut Vec<FailedDelivery>,
         stats: &mut NetworkStats,
         obs: &mut Obs,
@@ -306,11 +429,11 @@ impl PhastlaneNetwork {
             });
             obs.emit(now, EventKind::Undeliverable, at, None, Some(entry.core.id));
             let rem = outstanding
-                .get_mut(&entry.core.id)
+                .get_mut(entry.core.id.0)
                 .expect("failure for unknown packet");
             *rem -= 1;
             if *rem == 0 {
-                outstanding.remove(&entry.core.id);
+                outstanding.remove(entry.core.id.0);
             }
         }
     }
@@ -378,8 +501,46 @@ impl Network for PhastlaneNetwork {
 
     fn inject(&mut self, packet: NewPacket) -> Option<PacketId> {
         let nodes = self.cfg.mesh.nodes();
-        let dests = packet.dests.expand(packet.src, nodes);
         let id = PacketId(self.next_packet_id);
+
+        // Unicast fast path: synthetic sweeps inject thousands of
+        // single-destination packets per run, none of which need the
+        // destination-list or multicast-split allocations below.
+        if let DestSet::Unicast(d) = packet.dests {
+            if d != packet.src {
+                let nic = &self.nics[packet.src.index()];
+                if nic.len() + 1 > nic.capacity() {
+                    self.obs
+                        .emit(self.cycle, EventKind::NicRetry, packet.src, None, None);
+                    return None;
+                }
+                let core = PacketCore {
+                    id,
+                    src: packet.src,
+                    kind: packet.kind,
+                    multicast: false,
+                    injected_cycle: self.cycle,
+                };
+                let uid = self.fresh_uid();
+                let entry = Entry {
+                    uid,
+                    core,
+                    targets: [d].into_iter().collect(),
+                    ready_at: self.cycle,
+                    attempts: 0,
+                };
+                let pushed = self.nics[packet.src.index()].try_push(entry);
+                assert!(pushed.is_ok(), "capacity verified above");
+                self.outstanding.insert(id.0, 1);
+                self.stats.injected += 1;
+                self.next_packet_id += 1;
+                self.obs
+                    .emit(self.cycle, EventKind::Inject, packet.src, None, Some(id));
+                return Some(id);
+            }
+        }
+
+        let dests = packet.dests.expand(packet.src, nodes);
 
         if dests.is_empty() {
             // Degenerate self-send: delivered locally without the network.
@@ -401,10 +562,10 @@ impl Network for PhastlaneNetwork {
         }
 
         let multicast = dests.len() > 1;
-        let messages: Vec<VecDeque<NodeId>> = if multicast {
+        let messages: Vec<TargetList> = if multicast {
             split_multicast(self.cfg.mesh, packet.src, &dests)
         } else {
-            vec![dests.iter().copied().collect()]
+            vec![dests.as_slice().into()]
         };
         debug_assert!(!messages.is_empty());
 
@@ -434,7 +595,7 @@ impl Network for PhastlaneNetwork {
             let pushed = self.nics[packet.src.index()].try_push(entry);
             assert!(pushed.is_ok(), "capacity verified above");
         }
-        self.outstanding.insert(id, dests.len());
+        self.outstanding.insert(id.0, dests.len());
         self.stats.injected += 1;
         self.next_packet_id += 1;
         self.obs
@@ -468,10 +629,19 @@ impl Network for PhastlaneNetwork {
             )
         };
 
-        // Phase 1: confirm or revert last cycle's launches.
+        // Phase 1: confirm or revert last cycle's launches. Routers that
+        // launched nothing are skipped outright; for the rest, the
+        // launched list swaps into a reused scratch buffer.
+        let mut scratch = std::mem::take(&mut self.confirm_scratch);
         for (r_idx, state) in self.routers.iter_mut().enumerate() {
-            for (qi, mut entry) in state.take_launched() {
-                if let Some(remaining) = self.drop_map.remove(&entry.uid) {
+            if !state.has_launched() {
+                continue;
+            }
+            state.begin_confirm(&mut scratch);
+            for &(queue, flight) in &scratch {
+                let qi = usize::from(queue);
+                let mut entry = state.pop_launched(qi);
+                if let Some(remaining) = self.drop_slots[flight as usize].take() {
                     let launcher = NodeId(r_idx as u16);
                     self.obs.emit(
                         now,
@@ -509,14 +679,18 @@ impl Network for PhastlaneNetwork {
                 // else: confirmed — the slot simply frees.
             }
         }
+        self.confirm_scratch = scratch;
         debug_assert!(
-            self.drop_map.is_empty(),
+            self.drop_slots.iter().all(Option::is_none),
             "drop signal with no matching launch"
         );
 
         // Phase 2: NIC -> local buffer.
         let local_q = RouterState::local_queue();
         for (state, nic) in self.routers.iter_mut().zip(&mut self.nics) {
+            if nic.is_empty() {
+                continue;
+            }
             while state.has_room(local_q) {
                 match nic.pop() {
                     Some(entry) => {
@@ -528,24 +702,54 @@ impl Network for PhastlaneNetwork {
             }
         }
 
-        // Phase 3: rotating-priority arbitration and launch.
-        let mut claims: HashMap<(NodeId, Direction), Claim> = HashMap::new();
-        let mut flights: Vec<Flight> = Vec::new();
+        // Phase 3: rotating-priority arbitration and launch. Last
+        // cycle's flights retire to the pool (keeping their buffers) and
+        // the claim table rolls its epoch instead of clearing.
+        self.claims.begin_cycle();
+        self.n_flights = 0;
+        self.drop_slots.clear();
         for r_idx in 0..self.routers.len() {
             let here = NodeId(r_idx as u16);
+            // An idle router still advances its rotating-priority
+            // pointer — the fast path must not change arbitration state.
+            if self.routers[r_idx].waiting() == 0 {
+                self.routers[r_idx].advance();
+                continue;
+            }
             let rotation = self.routers[r_idx].rotate();
-            let order = {
-                let state = &self.routers[r_idx];
-                let heads = [0, 1, 2, 3, 4].map(|q| state.head(q));
-                self.cfg.arbitration.queue_order(rotation, heads)
+            // Only age-based arbitration inspects the queue heads; the
+            // rotating/fixed orders are pure permutations, so skip the
+            // five head loads for them.
+            let order = match self.cfg.arbitration {
+                ArbitrationPolicy::OldestFirst => {
+                    let state = &self.routers[r_idx];
+                    let heads = [0, 1, 2, 3, 4].map(|q| state.head(q));
+                    self.cfg.arbitration.queue_order(rotation, heads)
+                }
+                policy => policy.queue_order(rotation, [None; 5]),
             };
             let mut launches = 0u32;
             let mut progress = true;
+            // Re-pass filter: without faults, a queue skipped in one
+            // pass (empty, not ready, or claim-blocked — all invariant
+            // within the cycle) cannot become launchable in a later
+            // pass; only a queue that just launched exposes a new head.
+            // Fault handling mutates heads in place, so it keeps the
+            // full rescan.
+            let fault_free = self.fault_plan.is_empty();
+            let mut eligible = [true; 5];
             while launches < 4 && progress {
                 progress = false;
                 for &qi in &order {
                     if launches >= 4 {
                         break;
+                    }
+                    if fault_free && !eligible[qi] {
+                        continue;
+                    }
+                    eligible[qi] = false;
+                    if self.routers[r_idx].arbitrable() & (1 << qi) == 0 {
+                        continue;
                     }
                     let Some(head) = self.routers[r_idx].head(qi) else {
                         continue;
@@ -553,7 +757,7 @@ impl Network for PhastlaneNetwork {
                     if head.ready_at > now {
                         continue;
                     }
-                    if !self.fault_plan.is_empty() && head.targets.contains(&here) {
+                    if !fault_free && head.targets.contains(&here) {
                         // Only an ECC-rejected optical delivery re-buffers a
                         // packet at its own target router. The electrical
                         // buffer copy is clean (SECDED covers the optical
@@ -584,11 +788,11 @@ impl Network for PhastlaneNetwork {
                         self.stats.latency_by_kind.record(kind, lat);
                         let rem = self
                             .outstanding
-                            .get_mut(&id)
+                            .get_mut(id.0)
                             .expect("delivery for unknown packet");
                         *rem -= 1;
                         if *rem == 0 {
-                            self.outstanding.remove(&id);
+                            self.outstanding.remove(id.0);
                         }
                         if done {
                             let _ = self.routers[r_idx].pop_head(qi);
@@ -596,7 +800,7 @@ impl Network for PhastlaneNetwork {
                         progress = true;
                         continue;
                     }
-                    let first = *head.targets.front().expect("entries keep >= 1 target");
+                    let first = *head.targets.first().expect("entries keep >= 1 target");
                     let unicast = !head.core.multicast && head.targets.len() == 1;
                     let attempts = head.attempts;
                     let mut out = xy_first_hop(mesh, here, first)
@@ -661,19 +865,37 @@ impl Network for PhastlaneNetwork {
                             }
                         }
                     }
-                    if claims.contains_key(&(here, out)) {
+                    if self.claims.contains(here, out) {
                         continue;
                     }
-                    let entry = self.routers[r_idx].launch_head(qi);
-                    let plan = match waypoint {
+                    let flight_idx = self.n_flights;
+                    if self.flights.len() == flight_idx {
+                        self.flights.push(Flight::blank());
+                    }
+                    let entry = self.routers[r_idx].launch_head(qi, flight_idx as u32);
+                    let flight = &mut self.flights[flight_idx];
+                    match waypoint {
                         Some(corner) => {
                             // Detour expressed as an ordinary two-waypoint
                             // unicast plan; the corner is not tapped
                             // because the plan is not multicast.
-                            let legs: VecDeque<NodeId> = [corner, first].into_iter().collect();
-                            Plan::build(mesh, here, &legs, false, hops)
+                            flight.plan.rebuild_with(
+                                &mut self.plan_dirs,
+                                mesh,
+                                here,
+                                &[corner, first],
+                                false,
+                                hops,
+                            );
                         }
-                        None => Plan::build(mesh, here, &entry.targets, entry.core.multicast, hops),
+                        None => flight.plan.rebuild_with(
+                            &mut self.plan_dirs,
+                            mesh,
+                            here,
+                            &entry.targets,
+                            entry.core.multicast,
+                            hops,
+                        ),
                     };
                     if waypoint.is_some() {
                         self.stats.rerouted += 1;
@@ -685,17 +907,18 @@ impl Network for PhastlaneNetwork {
                             Some(entry.core.id),
                         );
                     }
-                    debug_assert_eq!(plan.first_exit(), out);
+                    debug_assert_eq!(flight.plan.first_exit(), out);
                     debug_assert_eq!(
-                        RouteControl::encode(&plan).len(),
-                        plan.steps().len() - 1 + usize::from(plan.ends_at_interim())
+                        RouteControl::encode(&flight.plan).len(),
+                        flight.plan.steps().len() - 1 + usize::from(flight.plan.ends_at_interim())
                     );
-                    claims.insert(
-                        (here, out),
+                    self.claims.insert(
+                        here,
+                        out,
                         Claim {
-                            flight: flights.len(),
+                            flight: flight_idx as u32,
                             step: 0,
-                            rank: (0, 0),
+                            rank: 0,
                         },
                     );
                     self.links.record(here, out);
@@ -706,36 +929,42 @@ impl Network for PhastlaneNetwork {
                         Some(out),
                         Some(entry.core.id),
                     );
-                    flights.push(Flight {
-                        uid: entry.uid,
-                        core: entry.core,
-                        plan,
-                        remaining: entry.targets.clone(),
-                        trail: vec![(here, out)],
-                        alive: true,
-                    });
+                    flight.uid = entry.uid;
+                    flight.core = entry.core;
+                    flight.remaining.clone_from_list(&entry.targets);
+                    flight.trail.clear();
+                    flight.trail.push((here, out));
+                    flight.alive = true;
+                    self.n_flights += 1;
+                    self.drop_slots.push(None);
                     self.energy.on_buffer_read();
                     self.energy.on_launch();
                     launches += 1;
                     progress = true;
+                    eligible[qi] = true;
                 }
             }
         }
 
         // Phase 4: optical wavefront, hop by hop within the cycle.
-        let max_len = flights
+        let max_len = self.flights[..self.n_flights]
             .iter()
             .map(|f| f.plan.steps().len())
             .max()
             .unwrap_or(0);
         for s in 1..max_len {
-            for fi in 0..flights.len() {
-                if !flights[fi].alive || flights[fi].plan.steps().len() <= s {
+            for fi in 0..self.n_flights {
+                let f = &self.flights[fi];
+                if !f.alive {
                     continue;
                 }
-                let step = flights[fi].plan.steps()[s];
+                let steps = f.plan.steps();
+                if steps.len() <= s {
+                    continue;
+                }
+                let step = steps[s];
                 if step.tap {
-                    match Self::roll_bit_error(ber, &mut self.fault_rng, flights[fi].uid) {
+                    match Self::roll_bit_error(ber, &mut self.fault_rng, self.flights[fi].uid) {
                         EccOutcome::Uncorrectable => {
                             // SECDED detected a double upset at the tap:
                             // reject the delivery and re-buffer the whole
@@ -746,19 +975,20 @@ impl Network for PhastlaneNetwork {
                                 EventKind::EccUncorrectable,
                                 step.router,
                                 None,
-                                Some(flights[fi].core.id),
+                                Some(self.flights[fi].core.id),
                             );
                             let entry_dir = step.entry.expect("tap steps have an entry");
                             Self::block_flight(
                                 mesh,
                                 &mut self.routers,
-                                &mut self.drop_map,
+                                &mut self.drop_slots,
                                 &mut self.return_paths,
                                 &mut self.stats,
                                 &mut self.energy,
                                 &mut self.obs,
                                 &mut self.next_uid,
-                                &mut flights[fi],
+                                &mut self.flights[fi],
+                                fi,
                                 step.router,
                                 entry_dir,
                                 now,
@@ -772,7 +1002,7 @@ impl Network for PhastlaneNetwork {
                                     EventKind::EccCorrected,
                                     step.router,
                                     None,
-                                    Some(flights[fi].core.id),
+                                    Some(self.flights[fi].core.id),
                                 );
                             }
                             Self::deliver(
@@ -781,13 +1011,13 @@ impl Network for PhastlaneNetwork {
                                 &mut self.stats,
                                 &mut self.energy,
                                 &mut self.obs,
-                                &mut flights[fi],
+                                &mut self.flights[fi],
                                 step.router,
                                 now,
                             );
                         }
                     }
-                    if !flights[fi].alive {
+                    if !self.flights[fi].alive {
                         continue;
                     }
                 }
@@ -806,18 +1036,19 @@ impl Network for PhastlaneNetwork {
                                 EventKind::FaultReroute,
                                 step.router,
                                 Some(out),
-                                Some(flights[fi].core.id),
+                                Some(self.flights[fi].core.id),
                             );
                             Self::block_flight(
                                 mesh,
                                 &mut self.routers,
-                                &mut self.drop_map,
+                                &mut self.drop_slots,
                                 &mut self.return_paths,
                                 &mut self.stats,
                                 &mut self.energy,
                                 &mut self.obs,
                                 &mut self.next_uid,
-                                &mut flights[fi],
+                                &mut self.flights[fi],
+                                fi,
                                 step.router,
                                 entry_dir,
                                 now,
@@ -829,67 +1060,71 @@ impl Network for PhastlaneNetwork {
                             Turn::Left => 2,
                             Turn::Right => 3,
                         };
-                        let rank = self
-                            .cfg
-                            .path_priority
-                            .rank(turn_class, entry_dir as u8, now);
-                        let key = (step.router, out);
-                        match claims.get(&key).copied() {
+                        let rank = pack_rank(self.cfg.path_priority.rank(
+                            turn_class,
+                            entry_dir as u8,
+                            now,
+                        ));
+                        match self.claims.get(step.router, out) {
                             None => {
-                                claims.insert(
-                                    key,
+                                self.claims.insert(
+                                    step.router,
+                                    out,
                                     Claim {
-                                        flight: fi,
-                                        step: s,
+                                        flight: fi as u32,
+                                        step: s as u16,
                                         rank,
                                     },
                                 );
-                                flights[fi].trail.push((step.router, out));
+                                self.flights[fi].trail.push((step.router, out));
                                 self.links.record(step.router, out);
                                 self.obs.emit(
                                     now,
                                     EventKind::OpticalTransit,
                                     step.router,
                                     Some(out),
-                                    Some(flights[fi].core.id),
+                                    Some(self.flights[fi].core.id),
                                 );
                             }
-                            Some(c) if c.step == s && rank < c.rank => {
+                            Some(c) if c.step as usize == s && rank < c.rank => {
                                 // This packet's control bits force the
                                 // incumbent (a lower-priority turn) to be
                                 // received at its input port.
-                                claims.insert(
-                                    key,
+                                self.claims.insert(
+                                    step.router,
+                                    out,
                                     Claim {
-                                        flight: fi,
-                                        step: s,
+                                        flight: fi as u32,
+                                        step: s as u16,
                                         rank,
                                     },
                                 );
-                                flights[fi].trail.push((step.router, out));
+                                self.flights[fi].trail.push((step.router, out));
                                 self.obs.emit(
                                     now,
                                     EventKind::OpticalTransit,
                                     step.router,
                                     Some(out),
-                                    Some(flights[fi].core.id),
+                                    Some(self.flights[fi].core.id),
                                 );
-                                let loser_step = flights[c.flight].plan.steps()[s];
+                                let loser = c.flight as usize;
+                                let loser_step = self.flights[loser].plan.steps()[s];
                                 let loser_entry =
                                     loser_step.entry.expect("incumbent arrived via a link");
                                 // The incumbent never actually exits this
                                 // router: undo its claim in the trail.
-                                flights[c.flight].trail.pop();
+                                self.flights[loser].trail.pop();
                                 Self::block_flight(
                                     mesh,
                                     &mut self.routers,
-                                    &mut self.drop_map,
+                                    &mut self.drop_slots,
                                     &mut self.return_paths,
                                     &mut self.stats,
                                     &mut self.energy,
                                     &mut self.obs,
                                     &mut self.next_uid,
-                                    &mut flights[c.flight],
+                                    &mut self.flights[loser],
+                                    loser,
                                     loser_step.router,
                                     loser_entry,
                                     now,
@@ -899,13 +1134,14 @@ impl Network for PhastlaneNetwork {
                                 Self::block_flight(
                                     mesh,
                                     &mut self.routers,
-                                    &mut self.drop_map,
+                                    &mut self.drop_slots,
                                     &mut self.return_paths,
                                     &mut self.stats,
                                     &mut self.energy,
                                     &mut self.obs,
                                     &mut self.next_uid,
-                                    &mut flights[fi],
+                                    &mut self.flights[fi],
+                                    fi,
                                     step.router,
                                     entry_dir,
                                     now,
@@ -914,7 +1150,7 @@ impl Network for PhastlaneNetwork {
                         }
                     }
                     StepExit::Stop(StopKind::Accept) => {
-                        match Self::roll_bit_error(ber, &mut self.fault_rng, flights[fi].uid) {
+                        match Self::roll_bit_error(ber, &mut self.fault_rng, self.flights[fi].uid) {
                             EccOutcome::Uncorrectable => {
                                 self.stats.ecc_uncorrectable += 1;
                                 self.obs.emit(
@@ -922,19 +1158,20 @@ impl Network for PhastlaneNetwork {
                                     EventKind::EccUncorrectable,
                                     step.router,
                                     None,
-                                    Some(flights[fi].core.id),
+                                    Some(self.flights[fi].core.id),
                                 );
                                 let entry_dir = step.entry.expect("accept steps have an entry");
                                 Self::block_flight(
                                     mesh,
                                     &mut self.routers,
-                                    &mut self.drop_map,
+                                    &mut self.drop_slots,
                                     &mut self.return_paths,
                                     &mut self.stats,
                                     &mut self.energy,
                                     &mut self.obs,
                                     &mut self.next_uid,
-                                    &mut flights[fi],
+                                    &mut self.flights[fi],
+                                    fi,
                                     step.router,
                                     entry_dir,
                                     now,
@@ -948,7 +1185,7 @@ impl Network for PhastlaneNetwork {
                                         EventKind::EccCorrected,
                                         step.router,
                                         None,
-                                        Some(flights[fi].core.id),
+                                        Some(self.flights[fi].core.id),
                                     );
                                 }
                                 Self::deliver(
@@ -957,12 +1194,12 @@ impl Network for PhastlaneNetwork {
                                     &mut self.stats,
                                     &mut self.energy,
                                     &mut self.obs,
-                                    &mut flights[fi],
+                                    &mut self.flights[fi],
                                     step.router,
                                     now,
                                 );
-                                flights[fi].alive = false;
-                                debug_assert!(flights[fi].remaining.is_empty());
+                                self.flights[fi].alive = false;
+                                debug_assert!(self.flights[fi].remaining.is_empty());
                             }
                         }
                     }
@@ -971,13 +1208,14 @@ impl Network for PhastlaneNetwork {
                         Self::block_flight(
                             mesh,
                             &mut self.routers,
-                            &mut self.drop_map,
+                            &mut self.drop_slots,
                             &mut self.return_paths,
                             &mut self.stats,
                             &mut self.energy,
                             &mut self.obs,
                             &mut self.next_uid,
-                            &mut flights[fi],
+                            &mut self.flights[fi],
+                            fi,
                             step.router,
                             entry_dir,
                             now,
@@ -1001,6 +1239,10 @@ impl Network for PhastlaneNetwork {
         std::mem::take(&mut self.deliveries)
     }
 
+    fn drain_deliveries_into(&mut self, out: &mut Vec<Delivery>) {
+        out.append(&mut self.deliveries);
+    }
+
     fn set_fault_plan(&mut self, plan: FaultPlan, seed: u64) {
         self.fault_plan = plan;
         self.fault_rng = SimRng::seed_from_u64(seed);
@@ -1008,6 +1250,10 @@ impl Network for PhastlaneNetwork {
 
     fn drain_failures(&mut self) -> Vec<FailedDelivery> {
         std::mem::take(&mut self.failures)
+    }
+
+    fn drain_failures_into(&mut self, out: &mut Vec<FailedDelivery>) {
+        out.append(&mut self.failures);
     }
 
     fn in_flight(&self) -> usize {

@@ -9,8 +9,7 @@
 //! in a later cycle.
 
 use phastlane_netsim::geometry::{Direction, Mesh, NodeId};
-use phastlane_netsim::routing::{classify_turn, xy_route, Turn};
-use std::collections::VecDeque;
+use phastlane_netsim::routing::{classify_turn, xy_route_into, Turn};
 
 /// Why a plan ends at its last router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,7 +59,10 @@ impl PlanStep {
 }
 
 /// The traversal a single launch attempts in one cycle.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The `Default` plan is empty and only valid as pooled storage for a
+/// later [`Plan::rebuild_with`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Plan {
     steps: Vec<PlanStep>,
 }
@@ -81,20 +83,40 @@ impl Plan {
     pub fn build(
         mesh: Mesh,
         from: NodeId,
-        targets: &VecDeque<NodeId>,
+        targets: &[NodeId],
         multicast: bool,
         max_hops: u32,
     ) -> Plan {
+        let mut plan = Plan { steps: Vec::new() };
+        let mut dirs = Vec::new();
+        plan.rebuild_with(&mut dirs, mesh, from, targets, multicast, max_hops);
+        plan
+    }
+
+    /// Rebuilds this plan in place, reusing its step storage and the
+    /// caller's `dirs` scratch buffer — the hot path builds one plan per
+    /// launch, so this avoids two allocations per launch.
+    ///
+    /// Same contract and panics as [`Plan::build`].
+    pub fn rebuild_with(
+        &mut self,
+        dirs: &mut Vec<Direction>,
+        mesh: Mesh,
+        from: NodeId,
+        targets: &[NodeId],
+        multicast: bool,
+        max_hops: u32,
+    ) {
         assert!(!targets.is_empty(), "plan needs at least one target");
         assert!(max_hops > 0, "max_hops must be positive");
 
         // Full hop direction list through all targets, and the set of
         // nodes that are targets.
-        let mut dirs: Vec<Direction> = Vec::new();
+        dirs.clear();
         let mut cursor = from;
         for &t in targets {
             assert!(t != cursor, "target {t} coincides with current position");
-            dirs.extend(xy_route(mesh, cursor, t));
+            xy_route_into(mesh, cursor, t, dirs);
             cursor = t;
         }
         debug_assert!(
@@ -105,7 +127,9 @@ impl Plan {
         let total_hops = dirs.len() as u32;
         let seg_hops = total_hops.min(max_hops) as usize;
 
-        let mut steps = Vec::with_capacity(seg_hops + 1);
+        let steps = &mut self.steps;
+        steps.clear();
+        steps.reserve(seg_hops + 1);
         steps.push(PlanStep {
             router: from,
             entry: None,
@@ -116,7 +140,6 @@ impl Plan {
         for (i, &dir) in dirs.iter().take(seg_hops).enumerate() {
             node = mesh.neighbor(node, dir).expect("route stays in mesh");
             let is_last_of_segment = i + 1 == seg_hops;
-            let is_target = targets.contains(&node);
             let exit = if is_last_of_segment {
                 if (i as u32) + 1 == total_hops {
                     StepExit::Stop(StopKind::Accept)
@@ -127,8 +150,11 @@ impl Plan {
                 StepExit::Forward(dirs[i + 1])
             };
             // A target reached mid-flight is a tap; the final Accept
-            // consumes the packet at the last target directly.
-            let tap = multicast && is_target && exit != StepExit::Stop(StopKind::Accept);
+            // consumes the packet at the last target directly. The
+            // target scan is skipped outright for unicast plans (the
+            // overwhelmingly common case on the hot path).
+            let tap =
+                multicast && exit != StepExit::Stop(StopKind::Accept) && targets.contains(&node);
             steps.push(PlanStep {
                 router: node,
                 entry: Some(dir),
@@ -136,7 +162,6 @@ impl Plan {
                 exit,
             });
         }
-        Plan { steps }
     }
 
     /// The steps, launch router first.
@@ -185,7 +210,7 @@ mod tests {
         Mesh::PAPER
     }
 
-    fn vd(ids: &[u16]) -> VecDeque<NodeId> {
+    fn vd(ids: &[u16]) -> Vec<NodeId> {
         ids.iter().map(|&i| NodeId(i)).collect()
     }
 
@@ -280,9 +305,20 @@ mod tests {
     }
 
     #[test]
+    fn rebuild_with_matches_fresh_build() {
+        // Reusing the step and direction buffers must be invisible.
+        let mut dirs = Vec::new();
+        let mut p = Plan::build(mesh(), NodeId(0), &vd(&[63]), false, 4);
+        p.rebuild_with(&mut dirs, mesh(), NodeId(5), &vd(&[7]), false, 4);
+        assert_eq!(p, Plan::build(mesh(), NodeId(5), &vd(&[7]), false, 4));
+        p.rebuild_with(&mut dirs, mesh(), NodeId(0), &vd(&[18]), true, 8);
+        assert_eq!(p, Plan::build(mesh(), NodeId(0), &vd(&[18]), true, 8));
+    }
+
+    #[test]
     #[should_panic(expected = "at least one target")]
     fn empty_targets_rejected() {
-        let _ = Plan::build(mesh(), NodeId(0), &VecDeque::new(), false, 4);
+        let _ = Plan::build(mesh(), NodeId(0), &[], false, 4);
     }
 
     #[test]

@@ -108,7 +108,6 @@ mod tests {
     use crate::router::PacketCore;
     use phastlane_netsim::packet::{PacketId, PacketKind};
     use phastlane_netsim::NodeId;
-    use std::collections::VecDeque;
 
     fn entry(injected: u64) -> Entry {
         Entry {
@@ -120,7 +119,7 @@ mod tests {
                 multicast: false,
                 injected_cycle: injected,
             },
-            targets: VecDeque::from([NodeId(1)]),
+            targets: [NodeId(1)].into_iter().collect(),
             ready_at: 0,
             attempts: 0,
         }

@@ -3,7 +3,7 @@
 
 use crate::config::BufferDepth;
 use phastlane_netsim::geometry::{Direction, Port};
-use phastlane_netsim::packet::{PacketId, PacketKind};
+use phastlane_netsim::packet::{PacketId, PacketKind, TargetList};
 use phastlane_netsim::NodeId;
 use std::collections::VecDeque;
 
@@ -32,7 +32,7 @@ pub struct Entry {
     /// Packet identity.
     pub core: PacketCore,
     /// Remaining delivery targets, in path order.
-    pub targets: VecDeque<NodeId>,
+    pub targets: TargetList,
     /// Earliest cycle this entry may launch (backoff after drops).
     pub ready_at: u64,
     /// Consecutive drops suffered by this entry (drives backoff).
@@ -40,16 +40,36 @@ pub struct Entry {
 }
 
 /// The electrical side of one Phastlane router.
+///
+/// Entries launched this cycle are *not* moved out of their queue: they
+/// stay parked at the front (still holding buffer space, exactly as the
+/// paper's buffers do) and only their `(queue, flight)` coordinates are
+/// recorded, in launch order. Next cycle's confirm phase pops each
+/// parked entry once — either freeing it (confirmed) or re-queueing it
+/// with backoff (dropped) — so the hot launch path never copies an
+/// [`Entry`].
 #[derive(Debug, Clone)]
 pub struct RouterState {
     /// Waiting entries per port (N, S, E, W, Local order per
-    /// [`Port::index`]).
+    /// [`Port::index`]); the first `launched_per_queue[q]` entries of
+    /// queue `q` are launched-but-unconfirmed.
     queues: [VecDeque<Entry>; 5],
-    /// Entries launched this cycle, awaiting the (absence of a) drop
-    /// signal; they still occupy their queue's buffer space.
-    launched: Vec<(usize, Entry)>,
+    /// `(queue, flight-arena index)` of entries launched this cycle,
+    /// awaiting the (absence of a) drop signal, in launch order.
+    launched: Vec<(u8, u32)>,
+    /// Launched-entry count per queue: the head for arbitration purposes
+    /// is the first entry *past* that prefix.
+    launched_per_queue: [u32; 5],
+    /// Bitmask of queues with an arbitrable head: bit `q` is set iff
+    /// `queues[q].len() > launched_per_queue[q]`. Kept in sync by every
+    /// queue mutation so the arbitration scan can reject empty queues
+    /// with one bit test instead of touching their storage.
+    arbitrable: u8,
     /// Rotating-priority pointer over the five queues.
     rr: usize,
+    /// Total waiting entries across all queues, excluding launched ones
+    /// (cached; the idle-router fast path checks this every cycle).
+    waiting: u32,
     depth: BufferDepth,
 }
 
@@ -59,14 +79,18 @@ impl RouterState {
         RouterState {
             queues: Default::default(),
             launched: Vec::new(),
+            launched_per_queue: [0; 5],
+            arbitrable: 0,
             rr: 0,
+            waiting: 0,
             depth,
         }
     }
 
-    /// Occupancy of one queue, counting launched-but-unconfirmed entries.
+    /// Occupancy of one queue, counting launched-but-unconfirmed entries
+    /// (which stay parked in the queue).
     pub fn occupancy(&self, queue: usize) -> usize {
-        self.queues[queue].len() + self.launched.iter().filter(|(q, _)| *q == queue).count()
+        self.queues[queue].len()
     }
 
     /// Total occupancy across all queues, counting launched entries.
@@ -96,57 +120,132 @@ impl RouterState {
     /// [`has_room`](Self::has_room) (infinite depths always have room).
     pub fn push(&mut self, queue: usize, entry: Entry) {
         self.queues[queue].push_back(entry);
+        self.waiting += 1;
+        self.arbitrable |= 1 << queue;
     }
 
-    /// Head of a queue, if any.
+    /// Head of a queue for arbitration purposes — the first entry past
+    /// the launched prefix, if any.
+    #[inline]
     pub fn head(&self, queue: usize) -> Option<&Entry> {
-        self.queues[queue].front()
+        self.queues[queue].get(self.launched_per_queue[queue] as usize)
     }
 
     /// Mutable head of a queue (used to back off an entry in place when
     /// every usable output is faulted).
     pub fn head_mut(&mut self, queue: usize) -> Option<&mut Entry> {
-        self.queues[queue].front_mut()
+        self.queues[queue].get_mut(self.launched_per_queue[queue] as usize)
     }
 
     /// Removes and returns the head of a queue *without* marking it
     /// launched (used when the network terminally gives up on an entry).
     pub fn pop_head(&mut self, queue: usize) -> Entry {
-        self.queues[queue]
-            .pop_front()
-            .expect("pop_head on empty queue")
+        let e = self.queues[queue]
+            .remove(self.launched_per_queue[queue] as usize)
+            .expect("pop_head on empty queue");
+        self.waiting -= 1;
+        if self.queues[queue].len() <= self.launched_per_queue[queue] as usize {
+            self.arbitrable &= !(1 << queue);
+        }
+        e
     }
 
-    /// Removes and returns the head of a queue, marking it launched.
-    pub fn launch_head(&mut self, queue: usize) -> &Entry {
+    /// Marks the head of a queue launched as flight `flight` of this
+    /// cycle's flight arena and returns a reference to it. The entry
+    /// stays parked in the queue (still holding its buffer slot) until
+    /// next cycle's confirm phase.
+    pub fn launch_head(&mut self, queue: usize, flight: u32) -> &Entry {
+        let pos = self.launched_per_queue[queue] as usize;
+        assert!(pos < self.queues[queue].len(), "launch_head on empty queue");
+        self.waiting -= 1;
+        self.launched_per_queue[queue] += 1;
+        self.launched.push((queue as u8, flight));
+        if self.queues[queue].len() == self.launched_per_queue[queue] as usize {
+            self.arbitrable &= !(1 << queue);
+        }
+        &self.queues[queue][pos]
+    }
+
+    /// Bitmask of queues whose [`head`](Self::head) is `Some` — the
+    /// arbitration scan's cheap pre-filter.
+    #[inline]
+    pub fn arbitrable(&self) -> u8 {
+        self.arbitrable
+    }
+
+    /// Whether any entries were launched last cycle (confirm-phase fast
+    /// path: idle routers skip it entirely).
+    pub fn has_launched(&self) -> bool {
+        !self.launched.is_empty()
+    }
+
+    /// Moves the launch-order `(queue, flight)` list into `scratch`
+    /// (cleared first) so the confirm phase can process it, and resets
+    /// the launch bookkeeping. The two buffers swap storage, so both
+    /// retain their capacity across cycles — no allocation once warm.
+    /// The parked entries themselves are retrieved one by one with
+    /// [`pop_launched`](Self::pop_launched).
+    pub fn begin_confirm(&mut self, scratch: &mut Vec<(u8, u32)>) {
+        scratch.clear();
+        std::mem::swap(&mut self.launched, scratch);
+        self.launched_per_queue = [0; 5];
+        let mut mask = 0u8;
+        for (q, queue) in self.queues.iter().enumerate() {
+            if !queue.is_empty() {
+                mask |= 1 << q;
+            }
+        }
+        self.arbitrable = mask;
+    }
+
+    /// Removes and returns the oldest still-parked launched entry of a
+    /// queue (its front). Valid only between
+    /// [`begin_confirm`](Self::begin_confirm) and the next launch phase,
+    /// once per recorded `(queue, flight)` pair — per-queue launch order
+    /// matches queue order, so repeated front pops line up with the
+    /// launch-order list.
+    pub fn pop_launched(&mut self, queue: usize) -> Entry {
         let e = self.queues[queue]
             .pop_front()
-            .expect("launch_head on empty queue");
-        self.launched.push((queue, e));
-        &self.launched.last().expect("just pushed").1
-    }
-
-    /// Takes all launched entries (called at the start of the next cycle
-    /// to confirm or revert them).
-    pub fn take_launched(&mut self) -> Vec<(usize, Entry)> {
-        std::mem::take(&mut self.launched)
+            .expect("launched entry parked at queue front");
+        if self.queues[queue].is_empty() {
+            self.arbitrable &= !(1 << queue);
+        }
+        e
     }
 
     /// The queue visit order for this cycle's rotating-priority
     /// arbitration, then advances the pointer.
+    #[inline]
     pub fn rotate(&mut self) -> [usize; 5] {
+        const ORDERS: [[usize; 5]; 5] = [
+            [0, 1, 2, 3, 4],
+            [1, 2, 3, 4, 0],
+            [2, 3, 4, 0, 1],
+            [3, 4, 0, 1, 2],
+            [4, 0, 1, 2, 3],
+        ];
         let start = self.rr;
-        self.rr = (self.rr + 1) % 5;
-        let mut order = [0usize; 5];
-        for (i, slot) in order.iter_mut().enumerate() {
-            *slot = (start + i) % 5;
-        }
-        order
+        self.advance();
+        ORDERS[start]
+    }
+
+    /// Advances the rotating-priority pointer without materializing the
+    /// visit order — the idle-router fast path must still rotate so the
+    /// arbitration state is independent of traffic on *other* routers.
+    #[inline]
+    pub fn advance(&mut self) {
+        self.rr = if self.rr == 4 { 0 } else { self.rr + 1 };
     }
 
     /// Total waiting entries across all queues (excludes launched).
+    #[inline]
     pub fn waiting(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        debug_assert_eq!(
+            self.waiting as usize,
+            self.queues.iter().map(VecDeque::len).sum::<usize>() - self.launched.len()
+        );
+        self.waiting as usize
     }
 
     /// Iterates waiting entries of one queue.
@@ -181,12 +280,19 @@ mod tests {
         r.push(0, entry(1));
         r.push(0, entry(2));
         assert!(!r.has_room(0));
-        r.launch_head(0);
-        // Launched entry still occupies its slot.
+        r.launch_head(0, 7);
+        // Launched entry still occupies its slot, and the arbitration
+        // head moves past it.
         assert_eq!(r.occupancy(0), 2);
         assert!(!r.has_room(0));
-        let launched = r.take_launched();
-        assert_eq!(launched.len(), 1);
+        assert!(r.has_launched());
+        assert_eq!(r.head(0).unwrap().uid, 2);
+        let mut scratch = Vec::new();
+        r.begin_confirm(&mut scratch);
+        assert_eq!(scratch, vec![(0u8, 7u32)]);
+        assert!(!r.has_launched());
+        let confirmed = r.pop_launched(0);
+        assert_eq!(confirmed.uid, 1);
         assert_eq!(r.occupancy(0), 1);
         assert!(r.has_room(0));
     }
@@ -223,6 +329,6 @@ mod tests {
     #[should_panic(expected = "empty queue")]
     fn launch_from_empty_panics() {
         let mut r = RouterState::new(BufferDepth::Infinite);
-        r.launch_head(1);
+        r.launch_head(1, 0);
     }
 }

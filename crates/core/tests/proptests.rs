@@ -8,7 +8,6 @@ use phastlane_core::multicast::split_multicast;
 use phastlane_core::plan::{Plan, StepExit, StopKind};
 use phastlane_netsim::geometry::{Mesh, NodeId};
 use phastlane_netsim::rng::SimRng;
-use std::collections::VecDeque;
 
 fn mesh() -> Mesh {
     Mesh::PAPER
@@ -54,8 +53,7 @@ fn unicast_plan_respects_hop_limit() {
     for _ in 0..256 {
         let (src, dst) = random_pair(&mut rng);
         let max_hops = rng.gen_range(1u32..9);
-        let targets: VecDeque<NodeId> = [dst].into_iter().collect();
-        let plan = Plan::build(mesh(), src, &targets, false, max_hops);
+        let plan = Plan::build(mesh(), src, &[dst], false, max_hops);
         assert!(plan.hops() <= max_hops);
         let dist = mesh().distance(src, dst);
         if dist <= max_hops {
@@ -77,8 +75,7 @@ fn control_roundtrip() {
     for _ in 0..256 {
         let (src, dst) = random_pair(&mut rng);
         let max_hops = rng.gen_range(1u32..15);
-        let targets: VecDeque<NodeId> = [dst].into_iter().collect();
-        let plan = Plan::build(mesh(), src, &targets, false, max_hops);
+        let plan = Plan::build(mesh(), src, &[dst], false, max_hops);
         let mut ctl = RouteControl::encode(&plan);
         for step in &plan.steps()[1..] {
             let entry = step.entry.expect("hop steps have entries");
@@ -149,8 +146,7 @@ fn return_path_reverses_forward() {
     let mut rng = SimRng::seed_from_u64(0x00C0_4E05);
     for _ in 0..256 {
         let (src, dst) = random_pair(&mut rng);
-        let targets: VecDeque<NodeId> = [dst].into_iter().collect();
-        let plan = Plan::build(mesh(), src, &targets, false, 8);
+        let plan = Plan::build(mesh(), src, &[dst], false, 8);
         let trail: Vec<_> = plan
             .steps()
             .iter()

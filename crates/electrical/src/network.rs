@@ -15,6 +15,7 @@ use crate::config::ElectricalConfig;
 use crate::islip::Islip;
 use crate::power::EnergyLedger;
 use crate::vctm::{mask_of, tree_fork, TargetMask};
+use phastlane_netsim::fastmap::FastMap;
 use phastlane_netsim::fault::{productive_detour, FailedDelivery, FaultPlan};
 use phastlane_netsim::geometry::{Direction, Mesh, NodeId, Port};
 use phastlane_netsim::mask::NodeMask;
@@ -25,7 +26,6 @@ use phastlane_netsim::packet::{Delivery, NewPacket, PacketId, PacketKind};
 use phastlane_netsim::routing::xy_first_hop;
 use phastlane_netsim::stats::{EnergyReport, NetworkStats};
 use phastlane_netsim::telemetry::LinkCounters;
-use std::collections::HashMap;
 
 /// Immutable identity of a packet.
 #[derive(Debug, Clone, Copy)]
@@ -131,11 +131,13 @@ pub struct ElectricalNetwork {
     nics: Vec<Nic<(Core, Route)>>,
     incoming: Vec<Arrival>,
     credit_returns: Vec<CreditReturn>,
-    outstanding: HashMap<PacketId, usize>,
+    /// Remaining undelivered targets per packet id (keyed by the raw
+    /// sequential id, so open-addressing probes stay short).
+    outstanding: FastMap<usize>,
     deliveries: Vec<Delivery>,
     next_id: u64,
-    /// Sources whose VCTM tree is already installed.
-    warm_trees: std::collections::HashSet<NodeId>,
+    /// Sources whose VCTM tree is already installed (dense, per node).
+    warm_trees: Vec<bool>,
     energy: EnergyLedger,
     stats: NetworkStats,
     links: LinkCounters,
@@ -172,10 +174,10 @@ impl ElectricalNetwork {
             nics,
             incoming: Vec::new(),
             credit_returns: Vec::new(),
-            outstanding: HashMap::new(),
+            outstanding: FastMap::new(),
             deliveries: Vec::new(),
             next_id: 0,
-            warm_trees: std::collections::HashSet::new(),
+            warm_trees: vec![false; nodes],
             energy,
             stats: NetworkStats::default(),
             links: LinkCounters::new(),
@@ -260,7 +262,7 @@ impl ElectricalNetwork {
     /// would, keeping closed-loop harnesses live.
     #[allow(clippy::too_many_arguments)]
     fn record_failure(
-        outstanding: &mut HashMap<PacketId, usize>,
+        outstanding: &mut FastMap<usize>,
         failures: &mut Vec<FailedDelivery>,
         stats: &mut NetworkStats,
         obs: &mut Obs,
@@ -278,16 +280,16 @@ impl ElectricalNetwork {
         });
         obs.emit(now, EventKind::Undeliverable, at, None, Some(core.id));
         let rem = outstanding
-            .get_mut(&core.id)
+            .get_mut(core.id.0)
             .expect("failure for unknown packet");
         *rem -= 1;
         if *rem == 0 {
-            outstanding.remove(&core.id);
+            outstanding.remove(core.id.0);
         }
     }
 
     fn deliver(
-        outstanding: &mut HashMap<PacketId, usize>,
+        outstanding: &mut FastMap<usize>,
         deliveries: &mut Vec<Delivery>,
         stats: &mut NetworkStats,
         obs: &mut Obs,
@@ -308,11 +310,11 @@ impl ElectricalNetwork {
         stats.latency.record(lat);
         stats.latency_by_kind.record(core.kind, lat);
         let rem = outstanding
-            .get_mut(&core.id)
+            .get_mut(core.id.0)
             .expect("unknown packet delivered");
         *rem -= 1;
         if *rem == 0 {
-            outstanding.remove(&core.id);
+            outstanding.remove(core.id.0);
         }
     }
 
@@ -378,7 +380,7 @@ impl Network for ElectricalNetwork {
                 .emit(self.cycle, EventKind::NicRetry, packet.src, None, None);
             return None;
         }
-        self.outstanding.insert(id, dests.len());
+        self.outstanding.insert(id.0, dests.len());
         self.stats.injected += 1;
         self.next_id += 1;
         self.obs
@@ -510,7 +512,9 @@ impl Network for ElectricalNetwork {
             let (core, route) = self.nics[r_idx].pop().expect("checked non-empty");
             let mut flit = self.make_flit(here, core, route, Port::Local, now);
             if let Route::Tree(_) = route {
-                if self.cfg.vctm_setup_penalty > 0 && self.warm_trees.insert(core.src) {
+                if self.cfg.vctm_setup_penalty > 0
+                    && !std::mem::replace(&mut self.warm_trees[core.src.index()], true)
+                {
                     flit.eligible_at += self.cfg.vctm_setup_penalty;
                 }
             }
@@ -779,6 +783,10 @@ impl Network for ElectricalNetwork {
         std::mem::take(&mut self.deliveries)
     }
 
+    fn drain_deliveries_into(&mut self, out: &mut Vec<Delivery>) {
+        out.append(&mut self.deliveries);
+    }
+
     fn set_fault_plan(&mut self, plan: FaultPlan, _seed: u64) {
         // The electrical model uses no fault-path randomness: link and
         // router faults mask deterministically, and the optical-only
@@ -788,6 +796,10 @@ impl Network for ElectricalNetwork {
 
     fn drain_failures(&mut self) -> Vec<FailedDelivery> {
         std::mem::take(&mut self.failures)
+    }
+
+    fn drain_failures_into(&mut self, out: &mut Vec<FailedDelivery>) {
+        out.append(&mut self.failures);
     }
 
     fn in_flight(&self) -> usize {

@@ -13,11 +13,15 @@ use phastlane_core::{PhastlaneConfig, PhastlaneNetwork};
 use phastlane_electrical::{ElectricalConfig, ElectricalNetwork};
 use phastlane_netsim::fault::FaultPlan;
 use phastlane_netsim::geometry::Mesh;
-use phastlane_netsim::harness::{run_synthetic, run_trace, SyntheticOptions, TraceOptions};
+use phastlane_netsim::harness::{
+    run_synthetic, run_synthetic_lockstep, run_trace, SyntheticOptions, SyntheticResult,
+    TraceOptions,
+};
 use phastlane_netsim::network::Network;
 use phastlane_traffic::coherence::generate_trace;
 use phastlane_traffic::splash2;
 use phastlane_traffic::synthetic::BernoulliTraffic;
+use phastlane_traffic::Pattern;
 use std::time::Instant;
 
 /// Every network configuration name [`build_network`] accepts.
@@ -83,16 +87,10 @@ pub fn build_network(
     })
 }
 
-/// Runs one job of the expanded matrix and summarizes it.
-///
-/// # Errors
-///
-/// Errors on an unknown network or benchmark name (normally caught at
-/// spec-parse time already).
-pub fn run_job(spec: &LabSpec, job: &JobSpec) -> Result<JobRecord, String> {
-    let wall_start = Instant::now();
-    // Faulted jobs default to the chaos soak's tight retry cap so the
-    // drain phase terminates; fault-free jobs run uncapped.
+/// Builds one job's network with the spec's retry policy and fault plan
+/// applied: faulted jobs default to the chaos soak's tight retry cap so
+/// the drain phase terminates; fault-free jobs run uncapped.
+fn build_job_network(spec: &LabSpec, job: &JobSpec) -> Result<Box<dyn Network + Send>, String> {
     let retry_limit = spec
         .retry_limit
         .or_else(|| (job.intensity > 0.0).then_some(50));
@@ -101,6 +99,93 @@ pub fn run_job(spec: &LabSpec, job: &JobSpec) -> Result<JobRecord, String> {
         let plan = FaultPlan::random(spec.mesh, job.fault_seed, job.intensity);
         net.set_fault_plan(plan, job.fault_seed);
     }
+    Ok(net)
+}
+
+/// Summarizes one synthetic run as its job's record (wall clock still
+/// zero; the caller attributes it).
+fn synthetic_record(job: &JobSpec, pattern: &Pattern, rate: f64, r: SyntheticResult) -> JobRecord {
+    let stable = r.unfinished == 0 && r.delivered_rate >= 0.90 * r.offered_rate;
+    JobRecord {
+        index: job.index,
+        net: job.net.clone(),
+        pattern: Some(pattern.name().to_string()),
+        rate: Some(rate),
+        benchmark: None,
+        intensity: job.intensity,
+        replica: job.replica,
+        seed: job.seed,
+        cycles: r.perf.cycles,
+        latency: r.latency,
+        energy_pj: r.energy.total_pj(),
+        offered_rate: Some(r.offered_rate),
+        accepted_rate: Some(r.accepted_rate),
+        delivered_rate: Some(r.delivered_rate),
+        completion_cycle: None,
+        unfinished: r.unfinished,
+        undeliverable: r.undeliverable,
+        timed_out: false,
+        stable: Some(stable),
+        wall_seconds: 0.0,
+    }
+}
+
+/// Runs a group of same-cell synthetic replicas in one lockstep batch
+/// (see [`run_synthetic_lockstep`]) and summarizes each. Results are
+/// bit-identical to running the jobs one by one; each record's wall
+/// clock is the batch wall divided evenly across the lanes.
+///
+/// # Errors
+///
+/// Errors on an unknown network name, or if any job is not synthetic
+/// (the scheduler only groups synthetic replicas).
+pub fn run_job_batch(spec: &LabSpec, jobs: &[JobSpec]) -> Result<Vec<JobRecord>, String> {
+    let wall_start = Instant::now();
+    let mut nets = Vec::with_capacity(jobs.len());
+    let mut workloads = Vec::with_capacity(jobs.len());
+    let mut cells = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let Work::Synthetic { pattern, rate } = &job.work else {
+            return Err(format!(
+                "job {} in a batch group is not synthetic",
+                job.index
+            ));
+        };
+        nets.push(build_job_network(spec, job)?);
+        workloads.push(BernoulliTraffic::new(spec.mesh, *pattern, *rate, job.seed));
+        cells.push((pattern, *rate));
+    }
+    let results = run_synthetic_lockstep(
+        &mut nets,
+        &mut workloads,
+        SyntheticOptions {
+            warmup: spec.warmup,
+            measure: spec.measure,
+            drain: spec.drain,
+        },
+    );
+    let wall_share = wall_start.elapsed().as_secs_f64() / jobs.len().max(1) as f64;
+    Ok(jobs
+        .iter()
+        .zip(cells)
+        .zip(results)
+        .map(|((job, (pattern, rate)), r)| {
+            let mut rec = synthetic_record(job, pattern, rate, r);
+            rec.wall_seconds = wall_share;
+            rec
+        })
+        .collect())
+}
+
+/// Runs one job of the expanded matrix and summarizes it.
+///
+/// # Errors
+///
+/// Errors on an unknown network or benchmark name (normally caught at
+/// spec-parse time already).
+pub fn run_job(spec: &LabSpec, job: &JobSpec) -> Result<JobRecord, String> {
+    let wall_start = Instant::now();
+    let mut net = build_job_network(spec, job)?;
 
     let mut rec = match &job.work {
         Work::Synthetic { pattern, rate } => {
@@ -114,29 +199,7 @@ pub fn run_job(spec: &LabSpec, job: &JobSpec) -> Result<JobRecord, String> {
                     drain: spec.drain,
                 },
             );
-            let stable = r.unfinished == 0 && r.delivered_rate >= 0.90 * r.offered_rate;
-            JobRecord {
-                index: job.index,
-                net: job.net.clone(),
-                pattern: Some(pattern.name().to_string()),
-                rate: Some(*rate),
-                benchmark: None,
-                intensity: job.intensity,
-                replica: job.replica,
-                seed: job.seed,
-                cycles: r.perf.cycles,
-                latency: r.latency,
-                energy_pj: r.energy.total_pj(),
-                offered_rate: Some(r.offered_rate),
-                accepted_rate: Some(r.accepted_rate),
-                delivered_rate: Some(r.delivered_rate),
-                completion_cycle: None,
-                unfinished: r.unfinished,
-                undeliverable: r.undeliverable,
-                timed_out: false,
-                stable: Some(stable),
-                wall_seconds: 0.0,
-            }
+            synthetic_record(job, pattern, *rate, r)
         }
         Work::Replay { benchmark } => {
             let mut profile = splash2::benchmark(benchmark)

@@ -14,14 +14,48 @@
 
 use crate::report::{JobRecord, LabReport};
 use crate::runner;
-use crate::spec::{expand, LabSpec};
+use crate::spec::{expand, JobSpec, LabSpec, Work};
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+/// Whether `b` is the next lockstep-batchable replica after `a`: the
+/// same synthetic matrix cell, differing only in the replica number
+/// (which [`expand`] varies fastest, so same-cell replicas are always
+/// adjacent in the job list).
+fn next_replica_of(a: &JobSpec, b: &JobSpec) -> bool {
+    matches!(a.work, Work::Synthetic { .. })
+        && a.net == b.net
+        && a.work == b.work
+        && a.intensity == b.intensity
+        && b.replica == a.replica + 1
+}
+
+/// Chunks the job list into scheduler units: runs of up to `batch`
+/// consecutive same-cell synthetic replicas (executed as one lockstep
+/// batch), everything else as singleton groups. Replay jobs never
+/// batch.
+fn batch_groups(jobs: &[JobSpec], batch: usize) -> Vec<Range<usize>> {
+    let batch = batch.max(1);
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < jobs.len() {
+        let mut j = i + 1;
+        while j < jobs.len() && j - i < batch && next_replica_of(&jobs[j - 1], &jobs[j]) {
+            j += 1;
+        }
+        groups.push(i..j);
+        i = j;
+    }
+    groups
+}
+
 /// Expands `spec` and runs every job on a pool of `workers` threads
-/// (clamped to `1..=jobs`). A single-worker run produces a byte-identical
-/// canonical report.
+/// (clamped to `1..=groups`), grouping same-cell synthetic replicas
+/// into lockstep batches of up to `spec.batch` lanes
+/// ([`runner::run_job_batch`]). A single-worker run — and any batch
+/// size — produces a byte-identical canonical report.
 ///
 /// # Errors
 ///
@@ -32,7 +66,8 @@ pub fn run_lab(spec: &LabSpec, workers: usize) -> Result<LabReport, String> {
     if jobs.is_empty() {
         return Err("spec expands to zero jobs".into());
     }
-    let workers = workers.max(1).min(jobs.len());
+    let groups = batch_groups(&jobs, spec.batch as usize);
+    let workers = workers.max(1).min(groups.len());
     let wall_start = Instant::now();
 
     let cursor = AtomicUsize::new(0);
@@ -42,10 +77,27 @@ pub fn run_lab(spec: &LabSpec, workers: usize) -> Result<LabReport, String> {
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                let result = runner::run_job(spec, job);
-                *slots[i].lock().expect("slot lock") = Some(result);
+                let g = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(group) = groups.get(g) else { break };
+                if group.len() == 1 {
+                    let i = group.start;
+                    let result = runner::run_job(spec, &jobs[i]);
+                    *slots[i].lock().expect("slot lock") = Some(result);
+                } else {
+                    match runner::run_job_batch(spec, &jobs[group.clone()]) {
+                        Ok(records) => {
+                            for rec in records {
+                                let i = rec.index;
+                                *slots[i].lock().expect("slot lock") = Some(Ok(rec));
+                            }
+                        }
+                        Err(e) => {
+                            for i in group.clone() {
+                                *slots[i].lock().expect("slot lock") = Some(Err(e.clone()));
+                            }
+                        }
+                    }
+                }
             });
         }
     });
@@ -115,6 +167,53 @@ mod tests {
         )
         .unwrap();
         assert_eq!(run_lab(&spec, 0).unwrap().workers, 1);
+    }
+
+    #[test]
+    fn batch_groups_chunk_same_cell_replicas_only() {
+        let spec = LabSpec::parse(
+            "mesh 4x4\nnets optical4\npatterns uniform\nrates 0.02 0.04\n\
+             replicas 3\nbenchmarks FFT\nscale 0.02\n\
+             warmup 50\nmeasure 100\ndrain 400\n",
+        )
+        .unwrap();
+        let jobs = expand(&spec);
+        // 2 rate cells x 3 replicas synthetic + 3 replay replicas.
+        assert_eq!(jobs.len(), 9);
+        // Batch 1: every group is a singleton.
+        assert_eq!(batch_groups(&jobs, 1).len(), 9);
+        // Batch 2: each 3-replica cell splits 2+1; replay never batches.
+        let groups = batch_groups(&jobs, 2);
+        let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+        assert_eq!(sizes, vec![2, 1, 2, 1, 1, 1, 1]);
+        // Batch 8: a whole cell is one group, capped at the cell edge.
+        let groups = batch_groups(&jobs, 8);
+        let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 1, 1, 1]);
+        // Groups always tile the job list in order.
+        let mut next = 0;
+        for g in &groups {
+            assert_eq!(g.start, next);
+            next = g.end;
+        }
+        assert_eq!(next, jobs.len());
+    }
+
+    #[test]
+    fn batched_run_matches_unbatched_byte_for_byte() {
+        let mut spec = LabSpec::parse(
+            "name batch-test\nmesh 4x4\nnets optical4\npatterns uniform\n\
+             rates 0.02 0.05\nreplicas 4\nwarmup 100\nmeasure 300\ndrain 1000\n",
+        )
+        .unwrap();
+        let unbatched = run_lab(&spec, 1).unwrap();
+        spec.batch = 4;
+        let batched = run_lab(&spec, 2).unwrap();
+        assert_eq!(
+            unbatched.canonical_json().to_string_pretty(),
+            batched.canonical_json().to_string_pretty(),
+            "lockstep batching must not change a single canonical bit"
+        );
     }
 
     #[test]

@@ -65,6 +65,15 @@ pub struct LabSpec {
     pub scale: f64,
     /// Replay cycle limit (livelock guard).
     pub max_cycles: u64,
+    /// Lockstep replica batch size: up to this many consecutive
+    /// same-cell synthetic replicas advance through one driver loop
+    /// (see `phastlane_netsim::harness::run_synthetic_lockstep`).
+    ///
+    /// Pure execution strategy, like the worker count: results are
+    /// bit-identical for any value, so it is **excluded** from
+    /// [`encode`](LabSpec::encode) and therefore from the canonical
+    /// report and baseline identity.
+    pub batch: u32,
 }
 
 impl Default for LabSpec {
@@ -85,6 +94,7 @@ impl Default for LabSpec {
             benchmarks: Vec::new(),
             scale: 0.05,
             max_cycles: 10_000_000,
+            batch: 1,
         }
     }
 }
@@ -201,6 +211,12 @@ impl LabSpec {
                         return Err(err("max-cycles must be positive"));
                     }
                 }
+                "batch" => {
+                    spec.batch = one()?.parse().map_err(|_| err("bad batch"))?;
+                    if spec.batch == 0 {
+                        return Err(err("batch must be positive"));
+                    }
+                }
                 _ => return Err(err("unknown key")),
             }
         }
@@ -208,6 +224,10 @@ impl LabSpec {
     }
 
     /// Renders the spec back to its [`parse`](LabSpec::parse) text form.
+    ///
+    /// `batch` is deliberately omitted: like the worker count it is an
+    /// execution strategy, not an experiment identity, and the encoding
+    /// doubles as the canonical report's spec string.
     pub fn encode(&self) -> String {
         let mut out = String::new();
         let join_f = |v: &[f64]| v.iter().map(f64::to_string).collect::<Vec<_>>().join(" ");
@@ -419,6 +439,16 @@ max-cycles 500000
     }
 
     #[test]
+    fn batch_parses_but_stays_out_of_the_canonical_encoding() {
+        let spec = LabSpec::parse("mesh 4x4\nbatch 8\n").unwrap();
+        assert_eq!(spec.batch, 8);
+        assert!(!spec.encode().contains("batch"), "{}", spec.encode());
+        // Reparsing the encoding resets batch to its default: the
+        // canonical identity of a run is batch-independent.
+        assert_eq!(LabSpec::parse(&spec.encode()).unwrap().batch, 1);
+    }
+
+    #[test]
     fn defaults_apply_for_empty_spec() {
         let spec = LabSpec::parse("# nothing\n").unwrap();
         assert_eq!(spec, LabSpec::default());
@@ -437,6 +467,7 @@ max-cycles 500000
             "mesh 0x4",                 // zero dimension
             "replicas 0",               // zero
             "measure 0",                // zero
+            "batch 0",                  // zero
             "seed",                     // missing value
             "seed 1 2",                 // too many values
             "seed 1\nseed 2",           // duplicate

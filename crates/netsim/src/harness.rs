@@ -8,6 +8,7 @@
 //! request it answers was delivered, so a faster network finishes the
 //! trace sooner — which is what "network speedup" measures.
 
+use crate::fastmap::FastMap;
 use crate::geometry::NodeId;
 use crate::network::Network;
 use crate::obs::{CycleTotals, MetricsCollector, PerfProfile};
@@ -25,6 +26,14 @@ use std::time::Instant;
 pub trait SyntheticWorkload {
     /// Packets generated in `cycle`.
     fn generate(&mut self, cycle: u64) -> Vec<NewPacket>;
+
+    /// Appends this cycle's packets to `out` instead of returning a
+    /// fresh allocation. The harness calls this once per cycle with a
+    /// reused buffer; workloads with a hand-rolled generator should
+    /// override it (the default falls back to [`generate`](Self::generate)).
+    fn generate_into(&mut self, cycle: u64, out: &mut Vec<NewPacket>) {
+        out.append(&mut self.generate(cycle));
+    }
 }
 
 impl<F: FnMut(u64) -> Vec<NewPacket>> SyntheticWorkload for F {
@@ -110,59 +119,173 @@ pub fn run_synthetic_observed<N: Network + ?Sized, W: SyntheticWorkload>(
     mut metrics: Option<&mut MetricsCollector>,
 ) -> SyntheticResult {
     let wall_start = Instant::now();
-    let nodes = net.mesh().nodes();
-    let mut source_queues: Vec<VecDeque<(NewPacket, u64)>> = vec![VecDeque::new(); nodes];
-    // PacketId -> (generation cycle, measured?)
-    let mut gen_cycle: HashMap<PacketId, (u64, bool)> = HashMap::new();
-    let mut latency = LatencyStats::new();
-    let mut offered = 0u64;
-    let mut accepted = 0u64;
-    let mut delivered = 0u64;
-    let mut undeliverable = 0u64;
-    let mut measured_outstanding = 0u64;
+    let mut drive = SyntheticDrive::new(net, opts);
+    while !drive.done() {
+        drive.tick(net, workload, metrics.as_deref_mut());
+    }
+    drive.finish(net, metrics, wall_start.elapsed())
+}
 
-    let measure_start = opts.warmup;
-    let measure_end = opts.warmup + opts.measure;
-    let hard_end = measure_end + opts.drain;
-    let energy_start_holder = std::cell::Cell::new(None::<EnergyReport>);
+/// Runs several independent `(network, workload)` replicas in lockstep:
+/// one loop advances every unfinished replica by one cycle per round, so
+/// the instruction stream of the simulator core is shared across the
+/// whole batch instead of being re-fetched per job.
+///
+/// Each replica's results are **bit-identical** to running it alone —
+/// the lanes share no simulation state, only the driver loop. The
+/// wall-clock share attributed to each lane's [`SyntheticResult::perf`]
+/// is the batch wall divided by the lane count (the perf layer is the
+/// only place wall time surfaces, so canonical outputs are unaffected).
+///
+/// # Panics
+///
+/// Panics if `nets` and `workloads` differ in length.
+pub fn run_synthetic_lockstep<W: SyntheticWorkload>(
+    nets: &mut [Box<dyn Network + Send>],
+    workloads: &mut [W],
+    opts: SyntheticOptions,
+) -> Vec<SyntheticResult> {
+    assert_eq!(nets.len(), workloads.len(), "one workload per network lane");
+    let wall_start = Instant::now();
+    let mut drives: Vec<SyntheticDrive> = nets
+        .iter()
+        .map(|n| SyntheticDrive::new(n.as_ref(), opts))
+        .collect();
+    loop {
+        let mut live = false;
+        for ((drive, net), workload) in drives.iter_mut().zip(&mut *nets).zip(&mut *workloads) {
+            if !drive.done() {
+                drive.tick(net.as_mut(), workload, None);
+                live = true;
+            }
+        }
+        if !live {
+            break;
+        }
+    }
+    let share = wall_start.elapsed() / nets.len().max(1) as u32;
+    drives
+        .into_iter()
+        .zip(nets)
+        .map(|(drive, net)| drive.finish(net.as_mut(), None, share))
+        .collect()
+}
 
-    let mut cycle = net.cycle();
-    let base_cycle = cycle;
-    while cycle - base_cycle < hard_end {
-        let rel = cycle - base_cycle;
-        let measuring = rel >= measure_start && rel < measure_end;
-        if rel == measure_start {
-            energy_start_holder.set(Some(net.energy()));
+/// The per-cycle state machine behind [`run_synthetic`]: source queues,
+/// measurement-window bookkeeping, and scratch buffers for one synthetic
+/// run, steppable one cycle at a time so a batch driver can interleave
+/// several replicas ([`run_synthetic_lockstep`]).
+pub struct SyntheticDrive {
+    opts: SyntheticOptions,
+    nodes: usize,
+    source_queues: Vec<VecDeque<(NewPacket, u64)>>,
+    /// Packet id -> (generation cycle, measured?). Keyed by the raw
+    /// sequential id; hit once per accepted packet and once per delivery.
+    gen_cycle: FastMap<(u64, bool)>,
+    // Per-cycle scratch buffers, reused across the whole run.
+    gen_buf: Vec<NewPacket>,
+    delivery_buf: Vec<crate::packet::Delivery>,
+    failure_buf: Vec<crate::FailedDelivery>,
+    latency: LatencyStats,
+    offered: u64,
+    accepted: u64,
+    delivered: u64,
+    undeliverable: u64,
+    measured_outstanding: u64,
+    measure_start: u64,
+    measure_end: u64,
+    hard_end: u64,
+    energy_start: Option<EnergyReport>,
+    base_cycle: u64,
+    /// Cycles simulated so far (`net.cycle() - base_cycle` after the
+    /// last [`tick`](Self::tick)).
+    rel: u64,
+    /// Set when every measured packet drained early.
+    drained: bool,
+}
+
+impl SyntheticDrive {
+    /// Prepares a drive for `net` (which supplies the node count and the
+    /// base cycle). The network must not be stepped by anything else
+    /// between `new` and [`finish`](Self::finish).
+    pub fn new<N: Network + ?Sized>(net: &N, opts: SyntheticOptions) -> Self {
+        let nodes = net.mesh().nodes();
+        SyntheticDrive {
+            opts,
+            nodes,
+            source_queues: vec![VecDeque::new(); nodes],
+            gen_cycle: FastMap::new(),
+            gen_buf: Vec::new(),
+            delivery_buf: Vec::new(),
+            failure_buf: Vec::new(),
+            latency: LatencyStats::new(),
+            offered: 0,
+            accepted: 0,
+            delivered: 0,
+            undeliverable: 0,
+            measured_outstanding: 0,
+            measure_start: opts.warmup,
+            measure_end: opts.warmup + opts.measure,
+            hard_end: opts.warmup + opts.measure + opts.drain,
+            energy_start: None,
+            base_cycle: net.cycle(),
+            rel: 0,
+            drained: false,
+        }
+    }
+
+    /// Whether the run is over: the hard cycle limit was reached or
+    /// every measured packet resolved after the measurement window.
+    pub fn done(&self) -> bool {
+        self.drained || self.rel >= self.hard_end
+    }
+
+    /// Advances the run by one cycle: generate, inject, step the
+    /// network, account deliveries and failures.
+    pub fn tick<N: Network + ?Sized, W: SyntheticWorkload>(
+        &mut self,
+        net: &mut N,
+        workload: &mut W,
+        mut metrics: Option<&mut MetricsCollector>,
+    ) {
+        debug_assert!(!self.done(), "tick called on a finished drive");
+        let cycle = net.cycle();
+        let rel = cycle - self.base_cycle;
+        let measuring = rel >= self.measure_start && rel < self.measure_end;
+        if rel == self.measure_start {
+            self.energy_start = Some(net.energy());
         }
 
         // Generate new packets (only until the measurement window closes;
         // afterwards we just drain).
-        if rel < measure_end {
-            for p in workload.generate(cycle) {
+        if rel < self.measure_end {
+            self.gen_buf.clear();
+            workload.generate_into(cycle, &mut self.gen_buf);
+            for p in self.gen_buf.drain(..) {
                 if measuring {
-                    offered += 1;
+                    self.offered += 1;
                 }
                 if let Some(m) = metrics.as_deref_mut() {
                     m.on_offered(1);
                 }
-                source_queues[p.src.index()].push_back((p, cycle));
+                self.source_queues[p.src.index()].push_back((p, cycle));
             }
         }
 
         // Try to inject from each source queue, in order.
-        for q in &mut source_queues {
+        for q in &mut self.source_queues {
             while let Some((p, gen)) = q.front() {
                 let (p, gen) = (p.clone(), *gen);
                 match net.inject(p) {
                     Some(id) => {
                         q.pop_front();
-                        let rel_gen = gen - base_cycle;
-                        let measured = rel_gen >= measure_start && rel_gen < measure_end;
+                        let rel_gen = gen - self.base_cycle;
+                        let measured = rel_gen >= self.measure_start && rel_gen < self.measure_end;
                         if measured {
-                            accepted += 1;
-                            measured_outstanding += 1;
+                            self.accepted += 1;
+                            self.measured_outstanding += 1;
                         }
-                        gen_cycle.insert(id, (gen, measured));
+                        self.gen_cycle.insert(id.0, (gen, measured));
                         if let Some(m) = metrics.as_deref_mut() {
                             m.on_accepted(1);
                         }
@@ -178,23 +301,25 @@ pub fn run_synthetic_observed<N: Network + ?Sized, W: SyntheticWorkload>(
         }
 
         net.step();
-        cycle = net.cycle();
+        self.rel = net.cycle() - self.base_cycle;
 
-        for d in net.drain_deliveries() {
-            if let Some(&(gen, measured)) = gen_cycle.get(&d.packet) {
+        self.delivery_buf.clear();
+        net.drain_deliveries_into(&mut self.delivery_buf);
+        for d in &self.delivery_buf {
+            if let Some(&(gen, measured)) = self.gen_cycle.get(d.packet.0) {
                 if let Some(m) = metrics.as_deref_mut() {
                     m.on_delivered(d.delivered_cycle.saturating_sub(gen));
                 }
                 if measured {
-                    latency.record(d.delivered_cycle.saturating_sub(gen));
+                    self.latency.record(d.delivered_cycle.saturating_sub(gen));
                     // Throughput counts only deliveries inside the
                     // measurement window: a saturated network keeps
                     // delivering during the drain, but that is backlog,
                     // not sustained throughput.
-                    if d.delivered_cycle - base_cycle < measure_end {
-                        delivered += 1;
+                    if d.delivered_cycle - self.base_cycle < self.measure_end {
+                        self.delivered += 1;
                     }
-                    measured_outstanding -= 1;
+                    self.measured_outstanding -= 1;
                 }
             }
         }
@@ -202,16 +327,18 @@ pub fn run_synthetic_observed<N: Network + ?Sized, W: SyntheticWorkload>(
         // Terminally-failed deliveries (retry cap under a fault plan)
         // resolve their packet just like a delivery would — otherwise the
         // drain loop would wait forever on packets that can never arrive.
-        for f in net.drain_failures() {
-            undeliverable += 1;
-            if let Some(&(_, measured)) = gen_cycle.get(&f.packet) {
+        self.failure_buf.clear();
+        net.drain_failures_into(&mut self.failure_buf);
+        for f in &self.failure_buf {
+            self.undeliverable += 1;
+            if let Some(&(_, measured)) = self.gen_cycle.get(f.packet.0) {
                 if measured {
-                    measured_outstanding -= 1;
+                    self.measured_outstanding -= 1;
                 }
             }
         }
 
-        if let Some(m) = metrics.as_deref_mut() {
+        if let Some(m) = metrics {
             if m.at_boundary(rel) {
                 let st = net.stats();
                 let totals =
@@ -221,29 +348,38 @@ pub fn run_synthetic_observed<N: Network + ?Sized, W: SyntheticWorkload>(
         }
 
         // Early exit once every measured packet has drained.
-        if rel + 1 >= measure_end && measured_outstanding == 0 {
-            break;
+        if rel + 1 >= self.measure_end && self.measured_outstanding == 0 {
+            self.drained = true;
         }
     }
 
-    if let Some(m) = metrics {
-        let st = net.stats();
-        let rel = cycle - base_cycle;
-        let totals = CycleTotals::from_stats(&st, net.in_flight() as u64, net.buffer_occupancy());
-        m.finish(rel.saturating_sub(1), totals);
-    }
-
-    let energy_start = energy_start_holder.get().unwrap_or_default();
-    let denom = (nodes as f64) * (opts.measure as f64);
-    SyntheticResult {
-        latency,
-        offered_rate: offered as f64 / denom,
-        accepted_rate: accepted as f64 / denom,
-        delivered_rate: delivered as f64 / denom,
-        energy: net.energy().delta_since(&energy_start),
-        unfinished: measured_outstanding,
-        undeliverable,
-        perf: PerfProfile::new(cycle - base_cycle, wall_start.elapsed()),
+    /// Closes the run and summarizes it. `wall` is the wall-clock time
+    /// to attribute to this run's [`PerfProfile`] — the caller measures
+    /// it because a lockstep batch splits one clock across its lanes.
+    pub fn finish<N: Network + ?Sized>(
+        self,
+        net: &mut N,
+        metrics: Option<&mut MetricsCollector>,
+        wall: std::time::Duration,
+    ) -> SyntheticResult {
+        if let Some(m) = metrics {
+            let st = net.stats();
+            let totals =
+                CycleTotals::from_stats(&st, net.in_flight() as u64, net.buffer_occupancy());
+            m.finish(self.rel.saturating_sub(1), totals);
+        }
+        let energy_start = self.energy_start.unwrap_or_default();
+        let denom = (self.nodes as f64) * (self.opts.measure as f64);
+        SyntheticResult {
+            latency: self.latency,
+            offered_rate: self.offered as f64 / denom,
+            accepted_rate: self.accepted as f64 / denom,
+            delivered_rate: self.delivered as f64 / denom,
+            energy: net.energy().delta_since(&energy_start),
+            unfinished: self.measured_outstanding,
+            undeliverable: self.undeliverable,
+            perf: PerfProfile::new(self.rel, wall),
+        }
     }
 }
 

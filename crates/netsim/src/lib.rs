@@ -11,6 +11,8 @@
 //!   deliveries;
 //! * [`nic`] — the 50-entry network-interface buffer;
 //! * [`ecc`] — SECDED protection for the 64-byte payload;
+//! * [`fastmap`] — the deterministic open-addressing map used on the
+//!   simulator hot path;
 //! * [`fault`] — deterministic fault injection (dead links, stuck
 //!   routers, laser droop, bit errors) and terminal delivery failures;
 //! * [`mask`] — 256-node bitsets for multicast target tracking;
@@ -41,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod ecc;
+pub mod fastmap;
 pub mod fault;
 pub mod geometry;
 pub mod harness;

@@ -41,6 +41,14 @@ pub trait Network {
     /// destination.
     fn drain_deliveries(&mut self) -> Vec<Delivery>;
 
+    /// Appends the pending deliveries to `out` and clears them, without
+    /// surrendering the internal buffer — per-cycle harness loops call
+    /// this with a reused scratch vector so neither side reallocates.
+    /// The default delegates to [`drain_deliveries`](Self::drain_deliveries).
+    fn drain_deliveries_into(&mut self, out: &mut Vec<Delivery>) {
+        out.append(&mut self.drain_deliveries());
+    }
+
     /// Number of packets accepted but not yet delivered to all of their
     /// destinations. Zero means the network is idle.
     fn in_flight(&self) -> usize;
@@ -94,6 +102,12 @@ pub trait Network {
     fn drain_failures(&mut self) -> Vec<FailedDelivery> {
         Vec::new()
     }
+
+    /// Appends the pending terminal failures to `out` and clears them
+    /// (buffer-reusing counterpart of [`drain_failures`](Self::drain_failures)).
+    fn drain_failures_into(&mut self, out: &mut Vec<FailedDelivery>) {
+        out.append(&mut self.drain_failures());
+    }
 }
 
 /// Blanket impl so `Box<dyn Network>` composes with generic harness code.
@@ -115,6 +129,9 @@ impl<N: Network + ?Sized> Network for Box<N> {
     }
     fn drain_deliveries(&mut self) -> Vec<Delivery> {
         (**self).drain_deliveries()
+    }
+    fn drain_deliveries_into(&mut self, out: &mut Vec<Delivery>) {
+        (**self).drain_deliveries_into(out)
     }
     fn in_flight(&self) -> usize {
         (**self).in_flight()
@@ -142,5 +159,8 @@ impl<N: Network + ?Sized> Network for Box<N> {
     }
     fn drain_failures(&mut self) -> Vec<FailedDelivery> {
         (**self).drain_failures()
+    }
+    fn drain_failures_into(&mut self, out: &mut Vec<FailedDelivery>) {
+        (**self).drain_failures_into(out)
     }
 }

@@ -42,6 +42,22 @@ pub enum PacketKind {
 }
 
 impl PacketKind {
+    /// Every kind, in declaration order (dense-array indexing).
+    pub const ALL: [PacketKind; 6] = [
+        PacketKind::ReadRequest,
+        PacketKind::WriteRequest,
+        PacketKind::DataResponse,
+        PacketKind::Invalidate,
+        PacketKind::Writeback,
+        PacketKind::Data,
+    ];
+
+    /// Dense index of this kind (position in [`PacketKind::ALL`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Whether this kind is broadcast in a snoopy protocol.
     pub fn is_snoop_broadcast(self) -> bool {
         matches!(
@@ -98,6 +114,161 @@ impl DestSet {
             DestSet::Multicast(list) => list.len() > 1,
             DestSet::Broadcast => true,
         }
+    }
+}
+
+/// Destinations a message still has to reach, stored inline when short.
+///
+/// The Phastlane hot path clones and shrinks these lists on every launch
+/// and delivery; a heap list would make that a malloc per event. Up to
+/// [`TargetList::INLINE`] targets live directly in the structure — which
+/// covers every per-column message an 8x8 broadcast produces — and only
+/// longer lists (large-mesh broadcasts) spill to the heap. Order is
+/// preserved; the list dereferences to a `[NodeId]` slice.
+#[derive(Clone)]
+pub struct TargetList(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        buf: [NodeId; TargetList::INLINE],
+    },
+    Spill(Vec<NodeId>),
+}
+
+impl TargetList {
+    /// Number of targets stored without heap allocation.
+    pub const INLINE: usize = 8;
+
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        TargetList(Repr::Inline {
+            len: 0,
+            buf: [NodeId(0); Self::INLINE],
+        })
+    }
+
+    /// Appends a target, preserving order.
+    pub fn push(&mut self, node: NodeId) {
+        match &mut self.0 {
+            Repr::Inline { len, buf } if (*len as usize) < Self::INLINE => {
+                buf[*len as usize] = node;
+                *len += 1;
+            }
+            Repr::Inline { len, buf } => {
+                let mut v = Vec::with_capacity(Self::INLINE * 2);
+                v.extend_from_slice(&buf[..*len as usize]);
+                v.push(node);
+                self.0 = Repr::Spill(v);
+            }
+            Repr::Spill(v) => v.push(node),
+        }
+    }
+
+    /// Keeps only targets for which `f` returns true, preserving order.
+    pub fn retain(&mut self, mut f: impl FnMut(&NodeId) -> bool) {
+        match &mut self.0 {
+            Repr::Inline { len, buf } => {
+                let mut kept = 0usize;
+                for i in 0..*len as usize {
+                    if f(&buf[i]) {
+                        buf[kept] = buf[i];
+                        kept += 1;
+                    }
+                }
+                *len = kept as u8;
+            }
+            Repr::Spill(v) => v.retain(f),
+        }
+    }
+
+    /// Removes all targets.
+    pub fn clear(&mut self) {
+        match &mut self.0 {
+            Repr::Inline { len, .. } => *len = 0,
+            Repr::Spill(v) => v.clear(),
+        }
+    }
+
+    /// The targets as a slice, in insertion order.
+    pub fn as_slice(&self) -> &[NodeId] {
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Spill(v) => v,
+        }
+    }
+
+    /// The first target, if any.
+    pub fn first(&self) -> Option<&NodeId> {
+        self.as_slice().first()
+    }
+
+    /// Copies the current contents of `other` into `self`, reusing any
+    /// spill capacity `self` already owns (the flight-pool reset path).
+    pub fn clone_from_list(&mut self, other: &TargetList) {
+        match (&mut self.0, &other.0) {
+            (Repr::Spill(dst), Repr::Spill(src)) => {
+                dst.clear();
+                dst.extend_from_slice(src);
+            }
+            (Repr::Spill(dst), Repr::Inline { len, buf }) => {
+                dst.clear();
+                dst.extend_from_slice(&buf[..*len as usize]);
+            }
+            (dst, _) => *dst = other.0.clone(),
+        }
+    }
+}
+
+impl Default for TargetList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for TargetList {
+    type Target = [NodeId];
+    fn deref(&self) -> &[NodeId] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for TargetList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for TargetList {}
+
+impl fmt::Debug for TargetList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl From<&[NodeId]> for TargetList {
+    fn from(nodes: &[NodeId]) -> Self {
+        nodes.iter().copied().collect()
+    }
+}
+
+impl FromIterator<NodeId> for TargetList {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut out = TargetList::new();
+        for n in iter {
+            out.push(n);
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a TargetList {
+    type Item = &'a NodeId;
+    type IntoIter = std::slice::Iter<'a, NodeId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
     }
 }
 
@@ -210,5 +381,52 @@ mod tests {
     #[test]
     fn packet_size_is_80_bytes() {
         assert_eq!(PACKET_BITS, 640);
+    }
+
+    #[test]
+    fn target_list_inline_then_spills() {
+        let mut t = TargetList::new();
+        assert!(t.is_empty());
+        for i in 0..TargetList::INLINE as u16 {
+            t.push(NodeId(i));
+        }
+        assert_eq!(t.len(), TargetList::INLINE);
+        // One more forces the spill; order must be preserved across it.
+        t.push(NodeId(100));
+        assert_eq!(t.len(), TargetList::INLINE + 1);
+        let expect: Vec<NodeId> = (0..TargetList::INLINE as u16)
+            .map(NodeId)
+            .chain([NodeId(100)])
+            .collect();
+        assert_eq!(t.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn target_list_retain_preserves_order() {
+        let mut t: TargetList = [1u16, 2, 3, 4, 5].into_iter().map(NodeId).collect();
+        t.retain(|n| n.0 % 2 == 1);
+        assert_eq!(t.as_slice(), &[NodeId(1), NodeId(3), NodeId(5)]);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn target_list_equality_ignores_representation() {
+        let inline: TargetList = (0..4u16).map(NodeId).collect();
+        let mut spilled: TargetList = (0..12u16).map(NodeId).collect();
+        spilled.retain(|n| n.0 < 4);
+        assert_eq!(inline, spilled);
+        assert_eq!(spilled.first(), Some(&NodeId(0)));
+    }
+
+    #[test]
+    fn target_list_clone_from_list_matches_clone() {
+        let src: TargetList = (0..12u16).map(NodeId).collect();
+        let mut dst = TargetList::new();
+        dst.clone_from_list(&src);
+        assert_eq!(dst, src);
+        let short: TargetList = [NodeId(9)].as_slice().into();
+        dst.clone_from_list(&short);
+        assert_eq!(dst, short);
     }
 }

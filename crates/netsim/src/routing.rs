@@ -11,8 +11,20 @@ use crate::geometry::{Direction, Mesh, NodeId};
 ///
 /// Panics if either node is outside the mesh.
 pub fn xy_route(mesh: Mesh, src: NodeId, dst: NodeId) -> Vec<Direction> {
-    let (a, b) = (mesh.coord(src), mesh.coord(dst));
     let mut dirs = Vec::with_capacity(mesh.distance(src, dst) as usize);
+    xy_route_into(mesh, src, dst, &mut dirs);
+    dirs
+}
+
+/// Appends the XY route from `src` to `dst` onto `dirs` without
+/// allocating (the hot path reuses one scratch buffer across legs and
+/// cycles).
+///
+/// # Panics
+///
+/// Panics if either node is outside the mesh.
+pub fn xy_route_into(mesh: Mesh, src: NodeId, dst: NodeId, dirs: &mut Vec<Direction>) {
+    let (a, b) = (mesh.coord(src), mesh.coord(dst));
     let (dx, dy) = (
         i32::from(b.x) - i32::from(a.x),
         i32::from(b.y) - i32::from(a.y),
@@ -33,7 +45,6 @@ pub fn xy_route(mesh: Mesh, src: NodeId, dst: NodeId) -> Vec<Direction> {
     for _ in 0..dy.unsigned_abs() {
         dirs.push(y_dir);
     }
-    dirs
 }
 
 /// The first hop direction under XY routing, or `None` if already at the
@@ -139,6 +150,17 @@ mod tests {
                 assert_eq!(xy_route(m, src, dst).len() as u32, m.distance(src, dst));
             }
         }
+    }
+
+    #[test]
+    fn route_into_appends() {
+        let m = Mesh::PAPER;
+        let mut dirs = vec![Direction::North];
+        xy_route_into(m, NodeId(0), NodeId(2), &mut dirs);
+        assert_eq!(
+            dirs,
+            vec![Direction::North, Direction::East, Direction::East]
+        );
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Latency, throughput, and energy statistics.
 
 use crate::packet::PacketKind;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Streaming summary of packet latencies, with a log2-bucketed histogram
@@ -182,9 +181,12 @@ impl EnergyReport {
 
 /// Latency summaries broken down by packet kind (requests vs responses
 /// vs writebacks behave very differently under coherence workloads).
+///
+/// Stored as a dense array indexed by [`PacketKind::index`] — recording
+/// is hit once per delivery, so it must not hash.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct KindLatency {
-    map: HashMap<PacketKind, LatencyStats>,
+    slots: [LatencyStats; PacketKind::ALL.len()],
 }
 
 impl KindLatency {
@@ -194,23 +196,28 @@ impl KindLatency {
     }
 
     /// Records one sample for a kind.
+    #[inline]
     pub fn record(&mut self, kind: PacketKind, latency: u64) {
-        self.map.entry(kind).or_default().record(latency);
+        self.slots[kind.index()].record(latency);
     }
 
     /// The summary for one kind, if any samples were recorded.
     pub fn get(&self, kind: PacketKind) -> Option<&LatencyStats> {
-        self.map.get(&kind)
+        let s = &self.slots[kind.index()];
+        (s.count() > 0).then_some(s)
     }
 
-    /// Iterates the recorded kinds.
+    /// Iterates the recorded kinds (declaration order).
     pub fn iter(&self) -> impl Iterator<Item = (PacketKind, &LatencyStats)> {
-        self.map.iter().map(|(&k, v)| (k, v))
+        PacketKind::ALL
+            .iter()
+            .map(|&k| (k, &self.slots[k.index()]))
+            .filter(|(_, s)| s.count() > 0)
     }
 
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.slots.iter().all(|s| s.count() == 0)
     }
 }
 

@@ -2,13 +2,25 @@
 //! heatmap rendering, for understanding *where* a network congests
 //! (e.g. the column-entry turn ports during Phastlane broadcast storms).
 
-use crate::geometry::{Direction, Mesh, NodeId};
-use std::collections::HashMap;
+use crate::geometry::{Direction, Mesh, NodeId, Port};
 
 /// Traversal counters per directed link `(from, direction)`.
+///
+/// Stored as a dense array indexed by `node * 4 + direction` — the hot
+/// path records a traversal per optical hop, so this must be a plain
+/// add, not a hash probe. The array grows on demand to the highest node
+/// seen; absent entries read as zero, exactly like the former map.
 #[derive(Debug, Clone, Default)]
 pub struct LinkCounters {
-    counts: HashMap<(NodeId, Direction), u64>,
+    counts: Vec<u64>,
+}
+
+/// Flattened index of the directed link `(from, dir)`. Direction order
+/// matches [`Port::index`] (N, S, E, W), which is also `Direction`'s
+/// declaration (and `Ord`) order.
+#[inline]
+fn link_index(from: NodeId, dir: Direction) -> usize {
+    from.index() * 4 + Port::Dir(dir).index()
 }
 
 impl LinkCounters {
@@ -18,25 +30,36 @@ impl LinkCounters {
     }
 
     /// Records one traversal of the link leaving `from` toward `dir`.
+    #[inline]
     pub fn record(&mut self, from: NodeId, dir: Direction) {
-        *self.counts.entry((from, dir)).or_default() += 1;
+        let idx = link_index(from, dir);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
     }
 
     /// The count for one link.
     pub fn get(&self, from: NodeId, dir: Direction) -> u64 {
-        self.counts.get(&(from, dir)).copied().unwrap_or(0)
+        self.counts.get(link_index(from, dir)).copied().unwrap_or(0)
     }
 
     /// Total traversals.
     pub fn total(&self) -> u64 {
-        self.counts.values().sum()
+        self.counts.iter().sum()
     }
 
     /// The `n` busiest links, descending. Ties break by node id, then
-    /// direction — a total order, so the result never depends on
-    /// `HashMap` iteration order.
+    /// direction — a total order, and never-traversed links are omitted
+    /// (they were absent from the former map).
     pub fn hottest(&self, n: usize) -> Vec<((NodeId, Direction), u64)> {
-        let mut v: Vec<_> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        let mut v: Vec<_> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| ((NodeId((i / 4) as u16), Direction::ALL[i % 4]), c))
+            .collect();
         v.sort_by(|a, b| {
             b.1.cmp(&a.1)
                 .then(a.0 .0.cmp(&b.0 .0))
@@ -49,7 +72,8 @@ impl LinkCounters {
     /// Outbound traversals summed per node.
     pub fn per_node(&self, mesh: Mesh) -> Vec<u64> {
         let mut out = vec![0u64; mesh.nodes()];
-        for (&(from, _), &c) in &self.counts {
+        for (i, &c) in self.counts.iter().enumerate() {
+            let from = NodeId((i / 4) as u16);
             if mesh.contains(from) {
                 out[from.index()] += c;
             }

@@ -50,8 +50,13 @@ impl BernoulliTraffic {
 }
 
 impl SyntheticWorkload for BernoulliTraffic {
-    fn generate(&mut self, _cycle: u64) -> Vec<NewPacket> {
+    fn generate(&mut self, cycle: u64) -> Vec<NewPacket> {
         let mut out = Vec::new();
+        self.generate_into(cycle, &mut out);
+        out
+    }
+
+    fn generate_into(&mut self, _cycle: u64, out: &mut Vec<NewPacket>) {
         for src in self.mesh.iter_nodes() {
             if self.rng.gen_bool(self.rate) {
                 let dst = self.pattern.dest(self.mesh, src, &mut self.rng);
@@ -64,7 +69,6 @@ impl SyntheticWorkload for BernoulliTraffic {
                 }
             }
         }
-        out
     }
 }
 

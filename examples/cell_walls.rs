@@ -1,0 +1,46 @@
+//! Per-cell wall-clock breakdown of the fig9-perf sweep grid: which
+//! pattern × rate cells dominate the BENCH trajectory workload, so perf
+//! work targets the cells that actually move `cycles_per_sec`.
+//!
+//! Run with: `cargo run --release --example cell_walls`
+use phastlane_repro::netsim::harness::{run_synthetic_observed, SyntheticOptions};
+use phastlane_repro::netsim::Mesh;
+use phastlane_repro::optical::{PhastlaneConfig, PhastlaneNetwork};
+use phastlane_repro::traffic::{BernoulliTraffic, Pattern};
+use std::time::Instant;
+
+fn main() {
+    let opts = SyntheticOptions {
+        warmup: 500,
+        measure: 3000,
+        drain: 4000,
+    };
+    let mut total_wall = 0.0f64;
+    let mut total_cycles = 0u64;
+    for pattern in [
+        Pattern::Uniform,
+        Pattern::Transpose,
+        Pattern::from_name("hotspot").unwrap(),
+    ] {
+        for rate in [0.02f64, 0.05, 0.10, 0.20] {
+            let mut net = PhastlaneNetwork::new(PhastlaneConfig::optical4());
+            let mut workload = BernoulliTraffic::new(Mesh::PAPER, pattern, rate, 42);
+            let t = Instant::now();
+            let res = run_synthetic_observed(&mut net, &mut workload, opts, None);
+            let wall = t.elapsed().as_secs_f64();
+            let cycles = res.perf.cycles;
+            total_wall += wall;
+            total_cycles += cycles;
+            println!(
+                "{pattern:?} {rate:.2}: {cycles} cycles, {:.1} ms, {:.2} us/cycle",
+                wall * 1e3,
+                wall * 1e6 / cycles as f64
+            );
+        }
+    }
+    println!(
+        "total: {total_cycles} cycles, {:.1} ms -> {:.0} cycles/s (1 replica each)",
+        total_wall * 1e3,
+        total_cycles as f64 / total_wall
+    );
+}

@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the per-launch primitives: plan rebuild, router
+//! queue churn, and XY routing. Used to attribute hot-path cost when a
+//! sampling profiler is unavailable.
+//!
+//! Run with: `cargo run --release --example micro_bench`
+
+use phastlane_repro::netsim::routing::xy_route_into;
+use phastlane_repro::netsim::{Mesh, NodeId};
+use phastlane_repro::optical::plan::Plan;
+use std::time::Instant;
+
+fn main() {
+    let mesh = Mesh::PAPER;
+    let iters = 1_000_000u64;
+
+    // Plan rebuild for a 4-hop unicast segment (the common case).
+    let mut plan = Plan::build(mesh, NodeId(0), &[NodeId(4)], false, 4);
+    let mut dirs = Vec::new();
+    let t = Instant::now();
+    let mut acc = 0usize;
+    for i in 0..iters {
+        let from = NodeId((i % 60) as u16);
+        let to = NodeId(((i % 60) + 4) as u16);
+        plan.rebuild_with(&mut dirs, mesh, from, &[to], false, 4);
+        acc += plan.steps().len();
+    }
+    let d = t.elapsed();
+    println!(
+        "rebuild_with 4-hop: {:.1} ns/call (acc {})",
+        d.as_nanos() as f64 / iters as f64,
+        acc
+    );
+
+    // Raw XY routing for the same span.
+    let t = Instant::now();
+    let mut acc = 0usize;
+    for i in 0..iters {
+        let from = NodeId((i % 60) as u16);
+        let to = NodeId(((i % 60) + 4) as u16);
+        dirs.clear();
+        xy_route_into(mesh, from, to, &mut dirs);
+        acc += dirs.len();
+    }
+    let d = t.elapsed();
+    println!(
+        "xy_route_into 4-hop: {:.1} ns/call (acc {})",
+        d.as_nanos() as f64 / iters as f64,
+        acc
+    );
+}

@@ -1,0 +1,78 @@
+//! Section-level timing of the synthetic harness on a hot Figure-9 cell
+//! (uniform 0.20 on Optical4): workload generation + injection, network
+//! step, and delivery drain, so hot-path work is attributable without an
+//! external profiler.
+//!
+//! Run with: `cargo run --release --example profile_step`
+
+use phastlane_repro::netsim::packet::NewPacket;
+use phastlane_repro::netsim::Mesh;
+use phastlane_repro::netsim::Network;
+use phastlane_repro::optical::{PhastlaneConfig, PhastlaneNetwork};
+use phastlane_repro::traffic::{BernoulliTraffic, Pattern};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let mut net = PhastlaneNetwork::new(PhastlaneConfig::optical4());
+    let mut workload = BernoulliTraffic::new(Mesh::PAPER, Pattern::Uniform, 0.20, 42);
+    let nodes = net.mesh().nodes();
+    let cycles = 40_000u64;
+
+    let mut queues: Vec<VecDeque<NewPacket>> = vec![VecDeque::new(); nodes];
+    let mut t_gen = Duration::ZERO;
+    let mut t_inject = Duration::ZERO;
+    let mut t_step = Duration::ZERO;
+    let mut t_drain = Duration::ZERO;
+    let mut delivered = 0u64;
+
+    let start = Instant::now();
+    for cycle in 0..cycles {
+        let t0 = Instant::now();
+        use phastlane_repro::netsim::harness::SyntheticWorkload;
+        let generated = workload.generate(cycle);
+        let t1 = Instant::now();
+        for p in generated {
+            queues[p.src.index()].push_back(p);
+        }
+        for q in &mut queues {
+            while let Some(p) = q.front() {
+                if net.inject(p.clone()).is_some() {
+                    q.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+        let t2 = Instant::now();
+        net.step();
+        let t3 = Instant::now();
+        delivered += net.drain_deliveries().len() as u64;
+        let t4 = Instant::now();
+        t_gen += t1 - t0;
+        t_inject += t2 - t1;
+        t_step += t3 - t2;
+        t_drain += t4 - t3;
+    }
+    let total = start.elapsed();
+    println!("cycles: {cycles}, delivered: {delivered}");
+    let pct = |d: Duration| 100.0 * d.as_secs_f64() / total.as_secs_f64();
+    println!("gen:    {:>8.1?}  {:>5.1}%", t_gen, pct(t_gen));
+    println!("inject: {:>8.1?}  {:>5.1}%", t_inject, pct(t_inject));
+    println!("step:   {:>8.1?}  {:>5.1}%", t_step, pct(t_step));
+    println!("drain:  {:>8.1?}  {:>5.1}%", t_drain, pct(t_drain));
+    println!(
+        "total:  {:>8.1?}  ({:.0} cycles/s)",
+        total,
+        cycles as f64 / total.as_secs_f64()
+    );
+    let st = net.stats();
+    println!(
+        "injected {} delivered {} dropped {} retransmitted {} optical_links {}",
+        st.injected,
+        st.delivered,
+        st.dropped,
+        st.retransmitted,
+        net.link_counters().total()
+    );
+}
