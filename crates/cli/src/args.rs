@@ -66,10 +66,17 @@ pub const VALUE_KEYS: &[&str] = &[
     "tol-p99",
     "tol-saturation",
     "tol-throughput",
+    "flight-recorder",
+    "flight-sample",
+    "profile-sample",
 ];
 
 impl Parsed {
     /// Parses raw arguments (without the program name).
+    ///
+    /// `--key=value` always binds the value inline, which also lets an
+    /// option double as a bare flag (`--progress` vs
+    /// `--progress=FILE`).
     ///
     /// # Errors
     ///
@@ -79,7 +86,9 @@ impl Parsed {
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                if VALUE_KEYS.contains(&key) {
+                if let Some((key, value)) = key.split_once('=') {
+                    out.options.insert(key.to_string(), value.to_string());
+                } else if VALUE_KEYS.contains(&key) {
                     let v = it
                         .next()
                         .ok_or_else(|| ArgError(format!("--{key} requires a value")))?;
@@ -154,6 +163,21 @@ mod tests {
         let p = parse(&["--scale", "abc"]);
         let e = p.get_parsed::<f64>("scale", 1.0).unwrap_err();
         assert!(e.to_string().contains("--scale"));
+    }
+
+    #[test]
+    fn equals_form_binds_inline_and_makes_options_flaggable() {
+        // An unknown key with = is an option, without = a flag.
+        let p = parse(&["lab", "run", "--progress=out.ndjson", "--workers=4"]);
+        assert_eq!(p.get("progress"), Some("out.ndjson"));
+        assert_eq!(p.get_parsed("workers", 1).unwrap(), 4);
+        assert!(!p.flag("progress"));
+        let p = parse(&["lab", "run", "--progress"]);
+        assert!(p.flag("progress"));
+        assert_eq!(p.get("progress"), None);
+        // Values may themselves contain '='.
+        let p = parse(&["--out=a=b.json"]);
+        assert_eq!(p.get("out"), Some("a=b.json"));
     }
 
     #[test]

@@ -7,7 +7,10 @@ use phastlane_netsim::harness::{
 };
 use phastlane_netsim::network::Network;
 use phastlane_netsim::obs::json::JsonValue;
-use phastlane_netsim::obs::{MetricsCollector, RunReport, Severity, TraceBuffer};
+use phastlane_netsim::obs::{
+    FlightRecorder, MetricsCollector, Phase, PhaseBreakdown, PhaseProfiler, RunReport, Severity,
+    TraceBuffer,
+};
 use phastlane_netsim::Mesh;
 use phastlane_photonics::delay::RouterDesign;
 use phastlane_photonics::power::PowerPoint;
@@ -83,6 +86,10 @@ struct ObsArgs {
     sample_interval: u64,
     ring: Option<usize>,
     severity: Severity,
+    flight_out: Option<String>,
+    flight_sample: u64,
+    profile: bool,
+    profile_sample: u32,
 }
 
 fn parse_obs(p: &Parsed) -> Result<ObsArgs, ArgError> {
@@ -105,6 +112,15 @@ fn parse_obs(p: &Parsed) -> Result<ObsArgs, ArgError> {
     if sample_interval == 0 {
         return Err(ArgError("--sample-interval must be positive".into()));
     }
+    let flight_sample: u64 = p.get_parsed("flight-sample", 64)?;
+    if flight_sample == 0 {
+        return Err(ArgError("--flight-sample must be positive".into()));
+    }
+    let profile_sample: u32 =
+        p.get_parsed("profile-sample", PhaseProfiler::DEFAULT_SAMPLE_EVERY)?;
+    if profile_sample == 0 {
+        return Err(ArgError("--profile-sample must be positive".into()));
+    }
     Ok(ObsArgs {
         trace_out: p.get("trace-out").map(str::to_string),
         metrics_out: p.get("metrics-out").map(str::to_string),
@@ -112,6 +128,10 @@ fn parse_obs(p: &Parsed) -> Result<ObsArgs, ArgError> {
         sample_interval,
         ring,
         severity,
+        flight_out: p.get("flight-recorder").map(str::to_string),
+        flight_sample,
+        profile: p.flag("profile"),
+        profile_sample,
     })
 }
 
@@ -129,6 +149,51 @@ impl ObsArgs {
             .as_ref()
             .map(|_| MetricsCollector::new(self.sample_interval, nodes))
     }
+
+    /// Attaches the profiler and (seeded) flight recorder to a freshly
+    /// built network, per the parsed flags.
+    fn instrument(&self, net: &mut dyn Network, seed: u64) {
+        if self.profile {
+            net.set_phase_profiler(PhaseProfiler::enabled(self.profile_sample));
+        }
+        if self.flight_out.is_some() {
+            net.set_flight_recorder(FlightRecorder::new(seed, self.flight_sample));
+        }
+    }
+}
+
+/// Human-readable per-phase table for `--profile` output.
+fn phase_table(b: &PhaseBreakdown) -> String {
+    let mut out = format!(
+        "phase breakdown ({} cycles, {} wall-sampled):\n",
+        b.cycles, b.sampled_cycles
+    );
+    for ph in Phase::ALL {
+        out.push_str(&format!(
+            "  {:>9} {:>6.1}%  work {}\n",
+            ph.name(),
+            b.share(ph) * 100.0,
+            b.work[ph.index()]
+        ));
+    }
+    out
+}
+
+/// Writes a flight-recorder dump as pretty JSON and returns the summary
+/// line for the console.
+fn write_flight(path: &str, fr: &FlightRecorder) -> Result<String, ArgError> {
+    let json = fr.to_json();
+    let mut body = json.to_string_pretty();
+    if !body.ends_with('\n') {
+        body.push('\n');
+    }
+    std::fs::write(path, body).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+    let stat = |k: &str| json.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+    Ok(format!(
+        "flight recorder: {} journeys of {} packets seen -> {path}\n",
+        fr.pinned(),
+        stat("packets_seen"),
+    ))
 }
 
 /// Fault-injection options shared by `simulate`, `sweep`, and `chaos`:
@@ -242,6 +307,10 @@ pub fn cmd_simulate(p: &Parsed) -> Result<String, ArgError> {
     if obs.trace_out.is_some() {
         net.set_trace(obs.make_buffer());
     }
+    // The trace itself is deterministic, so the flight recorder's
+    // sampling seed is the only knob --seed turns here.
+    let seed: u64 = p.get_parsed("seed", 7)?;
+    obs.instrument(net.as_mut(), seed);
     let mut metrics = obs.make_metrics(mesh.nodes());
     let r = run_trace_observed(
         &mut net,
@@ -296,6 +365,12 @@ pub fn cmd_simulate(p: &Parsed) -> Result<String, ArgError> {
         r.perf.cycles_per_sec(),
         r.perf.wall_seconds
     ));
+    if let Some(b) = &r.perf.phases {
+        out.push_str(&phase_table(b));
+    }
+    if let (Some(path), Some(fr)) = (&obs.flight_out, net.take_flight_recorder()) {
+        out.push_str(&write_flight(path, &fr)?);
+    }
     if let Some(path) = &obs.trace_out {
         let tb = net.take_trace().unwrap_or_default();
         write_export(path, &tb.to_json(), || tb.to_csv())?;
@@ -416,6 +491,7 @@ pub fn cmd_sweep(p: &Parsed) -> Result<String, ArgError> {
         if obs.trace_out.is_some() {
             net.set_trace(obs.make_buffer());
         }
+        obs.instrument(net.as_mut(), seed);
         let mut metrics = obs.make_metrics(mesh.nodes());
         let mut w = BernoulliTraffic::new(mesh, pattern, rate, seed);
         let r = run_synthetic_observed(
@@ -442,6 +518,14 @@ pub fn cmd_sweep(p: &Parsed) -> Result<String, ArgError> {
                 r.undeliverable,
                 net.stats().rerouted
             ));
+        }
+        if let Some(b) = &r.perf.phases {
+            out.push_str(&phase_table(b));
+        }
+        if let (Some(path), Some(fr)) = (&obs.flight_out, net.take_flight_recorder()) {
+            let path = rate_path(path, rate, multi);
+            out.push_str("  ");
+            out.push_str(&write_flight(&path, &fr)?);
         }
         if let Some(path) = &obs.trace_out {
             let path = rate_path(path, rate, multi);
@@ -739,6 +823,7 @@ pub fn cmd_chaos(p: &Parsed) -> Result<String, ArgError> {
         if obs.trace_out.is_some() {
             net.set_trace(obs.make_buffer());
         }
+        obs.instrument(net.as_mut(), seed);
         let mut metrics = obs.make_metrics(mesh.nodes());
         let mut w = BernoulliTraffic::new(mesh, Pattern::Uniform, rate, seed);
         let r = run_synthetic_observed(&mut net, &mut w, opts, metrics.as_mut());
@@ -771,6 +856,14 @@ pub fn cmd_chaos(p: &Parsed) -> Result<String, ArgError> {
                 "  UNRESOLVED: {} accepted packets neither delivered nor undeliverable\n",
                 r.unfinished
             ));
+        }
+        if let Some(b) = &r.perf.phases {
+            out.push_str(&phase_table(b));
+        }
+        if let (Some(path), Some(fr)) = (&obs.flight_out, net.take_flight_recorder()) {
+            let path = rate_path(path, intensity, intensities.len() > 1);
+            out.push_str("  ");
+            out.push_str(&write_flight(&path, &fr)?);
         }
         if let Some(path) = &obs.trace_out {
             let path = rate_path(path, intensity, intensities.len() > 1);
@@ -825,7 +918,8 @@ USAGE:
   phastlane chaos    [--net N] [--rate R] [--intensities I1,I2,..]
                      [--fault-seed S] [--retry-limit L]
   phastlane lab run     SPEC [--workers N] [--batch K] [--report-out F]
-                     [--perf-out F]
+                     [--perf-out F] [--progress[=FILE]] [--profile]
+                     [--profile-sample C]
   phastlane lab record  SPEC [--name NAME] [--baseline-dir DIR] [--workers N]
                      [--batch K] [--bench-out F]
   phastlane lab compare SPEC [--name NAME] [--baseline-dir DIR] [--workers N]
@@ -837,13 +931,24 @@ USAGE:
   phastlane trace-dump FILE.json [--kind K] [--node N] [--limit L] [--counts]
   phastlane design   [--wavelengths W] [--hops H] [--efficiency E]
 
-observability (simulate, sweep):
+observability (simulate, sweep, chaos):
   --trace-out FILE      export the cycle-accurate event trace (.json or .csv)
   --metrics-out FILE    export interval-sampled time-series metrics
   --report-out FILE     export the structured run report
   --sample-interval C   metrics window in cycles (default 100)
   --ring N              keep only the latest N trace events
   --severity S          trace floor: debug (default), info, warn
+  --profile             per-phase hot-loop breakdown (table + report/BENCH)
+  --profile-sample C    time one cycle in C under --profile (default 32)
+  --flight-recorder F   dump per-packet journeys (every 1-in-N sampled
+                        packet plus every undeliverable one) to F as JSON
+  --flight-sample N     flight-recorder sampling interval (default 64)
+
+lab progress (lab run):
+  --progress[=FILE]     stream NDJSON job lifecycle events (queued, started,
+                        finished with rolling cycles/s + ETA) to stderr or
+                        FILE; purely observational, canonical report is
+                        byte-identical
 
 fault injection (simulate, sweep, chaos):
   --fault-plan FILE     scheduled faults (link nX DIR / router nX / droop F /
@@ -855,8 +960,10 @@ fault injection (simulate, sweep, chaos):
 lab spec keys (one `key value...` per line, # comments):
   name mesh seed nets patterns rates intensities replicas
   warmup measure drain retry-limit benchmarks scale max-cycles batch
-  (batch K advances up to K same-cell replicas in lockstep; like
-  --workers it never changes a canonical-report bit)
+  profile
+  (batch K advances up to K same-cell replicas in lockstep; profile C
+  attaches the phase profiler timing one cycle in C; like --workers
+  neither ever changes a canonical-report bit)
 
 networks: optical4 optical5 optical8 optical4b32 optical4b64 optical4ib
           optical4sp50 electrical2 electrical3

@@ -16,8 +16,9 @@
 
 use crate::args::{ArgError, Parsed};
 use phastlane_lab::baseline::{self, Tolerances};
-use phastlane_lab::{run_lab, LabReport, LabSpec};
+use phastlane_lab::{run_lab_with, LabReport, LabSpec};
 use phastlane_netsim::obs::json::{self, JsonValue};
+use phastlane_netsim::obs::{EventSink, Phase, PhaseProfiler};
 use std::path::{Path, PathBuf};
 
 fn read_spec(p: &Parsed) -> Result<LabSpec, ArgError> {
@@ -50,6 +51,23 @@ fn write_json(path: &str, json: &JsonValue) -> Result<(), ArgError> {
         .map_err(|e| ArgError(format!("cannot write {path}: {e}")))
 }
 
+/// Builds the `--progress[=FILE]` NDJSON sink: a bare `--progress`
+/// streams to stderr, `--progress=FILE` to the file. Returns the sink
+/// plus its console label.
+fn parse_progress(p: &Parsed) -> Result<Option<(EventSink, String)>, ArgError> {
+    if let Some(path) = p.get("progress") {
+        let file = std::fs::File::create(path)
+            .map_err(|e| ArgError(format!("cannot create {path}: {e}")))?;
+        let sink = EventSink::new(Box::new(file), EventSink::DEFAULT_CAPACITY);
+        Ok(Some((sink, format!("progress -> {path}"))))
+    } else if p.flag("progress") {
+        let sink = EventSink::new(Box::new(std::io::stderr()), EventSink::DEFAULT_CAPACITY);
+        Ok(Some((sink, "progress -> stderr".into())))
+    } else {
+        Ok(None)
+    }
+}
+
 fn execute(p: &Parsed, spec: &LabSpec) -> Result<(LabReport, String), ArgError> {
     let workers: usize = p.get_parsed("workers", 1)?;
     let batch: u32 = p.get_parsed("batch", spec.batch)?;
@@ -58,7 +76,15 @@ fn execute(p: &Parsed, spec: &LabSpec) -> Result<(LabReport, String), ArgError> 
     }
     let mut spec = spec.clone();
     spec.batch = batch;
-    let report = run_lab(&spec, workers).map_err(ArgError)?;
+    if p.flag("profile") || p.get("profile-sample").is_some() {
+        spec.profile = p.get_parsed("profile-sample", PhaseProfiler::DEFAULT_SAMPLE_EVERY)?;
+        if spec.profile == 0 {
+            return Err(ArgError("--profile-sample must be positive".into()));
+        }
+    }
+    let progress = parse_progress(p)?;
+    let report =
+        run_lab_with(&spec, workers, progress.as_ref().map(|(s, _)| s)).map_err(ArgError)?;
     let mut out = format!(
         "lab {}: {} jobs on {} workers ({}x{}, seed {})\n",
         spec.name,
@@ -105,6 +131,20 @@ fn execute(p: &Parsed, spec: &LabSpec) -> Result<(LabReport, String), ArgError> 
         report.speedup(),
         report.cycles_per_sec(),
     ));
+    if let Some(b) = report.merged_phases() {
+        out.push_str("phases:");
+        for ph in Phase::ALL {
+            out.push_str(&format!(" {} {:.1}%", ph.name(), b.share(ph) * 100.0));
+        }
+        out.push('\n');
+    }
+    if let Some((sink, label)) = &progress {
+        let t = sink.finish();
+        out.push_str(&format!(
+            "{label}: {} events ({} dropped, {} write errors)\n",
+            t.emitted, t.dropped, t.write_errors
+        ));
+    }
     if let Some(path) = p.get("report-out") {
         if path.ends_with(".csv") {
             std::fs::write(path, report.to_csv())
@@ -334,6 +374,83 @@ mod tests {
         let err =
             cmd_lab(&parsed(&["lab", "run", &spec, "--batch", "0"])).expect_err("batch 0 rejected");
         assert!(err.to_string().contains("at least 1"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_stream_leaves_canonical_export_identical() {
+        let dir = scratch("progress");
+        let spec = write_spec(&dir, SPEC);
+        let silent = dir.join("silent.json");
+        let streamed = dir.join("streamed.json");
+        let ndjson = dir.join("progress.ndjson");
+        cmd_lab(&parsed(&[
+            "lab",
+            "run",
+            &spec,
+            "--report-out",
+            silent.to_str().unwrap(),
+        ]))
+        .expect("silent run");
+        let out = cmd_lab(&parsed(&[
+            "lab",
+            "run",
+            &spec,
+            "--workers",
+            "2",
+            &format!("--progress={}", ndjson.display()),
+            "--report-out",
+            streamed.to_str().unwrap(),
+        ]))
+        .expect("streamed run");
+        assert!(out.contains("progress ->"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&silent).unwrap(),
+            std::fs::read_to_string(&streamed).unwrap(),
+            "--progress must not change a canonical bit"
+        );
+        let text = std::fs::read_to_string(&ndjson).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2 + 2 * 2, "lifecycle events present: {text}");
+        assert!(lines[0].contains("\"lab_started\""), "{text}");
+        assert!(lines.last().unwrap().contains("\"lab_finished\""), "{text}");
+        for line in &lines {
+            json::parse(line).expect("each progress line is one JSON object");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profile_flag_surfaces_phases_in_perf_but_not_canonical() {
+        let dir = scratch("profile");
+        let spec = write_spec(&dir, SPEC);
+        let report = dir.join("report.json");
+        let perf = dir.join("perf.json");
+        let out = cmd_lab(&parsed(&[
+            "lab",
+            "run",
+            &spec,
+            "--profile",
+            "--report-out",
+            report.to_str().unwrap(),
+            "--perf-out",
+            perf.to_str().unwrap(),
+        ]))
+        .expect("profiled run");
+        assert!(out.contains("phases:"), "{out}");
+        let canonical = std::fs::read_to_string(&report).unwrap();
+        assert!(
+            !canonical.contains("phases"),
+            "canonical export leaks the profile: {canonical}"
+        );
+        let perf_text = std::fs::read_to_string(&perf).unwrap();
+        assert!(perf_text.contains("\"phases\""), "{perf_text}");
+        for name in ["route", "arbitrate", "traverse", "eject", "fault", "drain"] {
+            assert!(
+                perf_text.contains(name),
+                "missing phase {name}: {perf_text}"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -173,6 +173,62 @@ fn run_lab_once(dir: &std::path::Path, spec_path: &str, workers: usize) -> Vec<u
     std::fs::read(&report).expect("report file written")
 }
 
+/// Runs a chaos soak with the flight recorder attached and returns the
+/// raw bytes of the per-intensity journey dump.
+fn run_flight_once(dir: &std::path::Path, tag: &str, seed: u64) -> Vec<u8> {
+    let flight = dir.join(format!("flight-{tag}.json"));
+    let args: Vec<String> = [
+        "chaos",
+        "--mesh",
+        "4x4",
+        "--net",
+        "optical4",
+        "--intensities",
+        "0.25",
+        "--seed",
+        &seed.to_string(),
+        "--fault-seed",
+        "3",
+        "--flight-recorder",
+        flight.to_str().unwrap(),
+        "--flight-sample",
+        "16",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let out = dispatch(&parse(&args)).expect("chaos runs");
+    assert!(
+        out.contains("flight recorder:"),
+        "chaos output mentions the dump: {out}"
+    );
+    std::fs::read(&flight).expect("flight dump written")
+}
+
+#[test]
+fn flight_recorder_dump_is_byte_identical_across_runs() {
+    // The recorder samples by a pure hash of (seed, packet id) and dumps
+    // journeys sorted by id — nothing about wall clock, HashMap ordering,
+    // or eviction timing may leak into the export.
+    let dir = scratch_dir("flight");
+    let d1 = run_flight_once(&dir, "a", 7);
+    let d2 = run_flight_once(&dir, "b", 7);
+    assert!(!d1.is_empty());
+    assert_eq!(d1, d2, "flight dump differs between identical runs");
+
+    let text = String::from_utf8(d1.clone()).expect("dump is utf-8");
+    assert!(text.contains("\"journeys\""), "{text}");
+    assert!(
+        text.contains("\"sampled\": true") || text.contains("\"undeliverable\": true"),
+        "dump holds sampled or pinned-undeliverable journeys: {text}"
+    );
+
+    // The sampling seed must matter.
+    let d3 = run_flight_once(&dir, "c", 8);
+    assert_ne!(d1, d3, "flight dump ignores the sampling seed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn lab_report_is_byte_identical_across_worker_counts() {
     // The lab's whole determinism contract: per-job seeds are derived

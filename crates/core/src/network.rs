@@ -35,7 +35,9 @@ use phastlane_netsim::fault::{productive_detour, FailedDelivery, FaultPlan};
 use phastlane_netsim::geometry::{Direction, Mesh, NodeId, Port};
 use phastlane_netsim::network::Network;
 use phastlane_netsim::nic::Nic;
-use phastlane_netsim::obs::{EventKind, Obs, TraceBuffer};
+use phastlane_netsim::obs::{
+    EventKind, FlightRecorder, Obs, Phase, PhaseBreakdown, PhaseProfiler, TraceBuffer,
+};
 use phastlane_netsim::packet::{Delivery, DestSet, NewPacket, PacketId, PacketKind, TargetList};
 use phastlane_netsim::rng::SimRng;
 use phastlane_netsim::routing::{classify_turn, xy_first_hop, Turn};
@@ -217,6 +219,8 @@ pub struct PhastlaneNetwork {
     links: LinkCounters,
     /// Observability handle: one branch per emit site when disabled.
     obs: Obs,
+    /// Hot-loop phase profiler: one branch per mark site when disabled.
+    profiler: PhaseProfiler,
     /// Scheduled device failures; the empty plan is guaranteed
     /// zero-effect (every fault hook is gated on it).
     fault_plan: FaultPlan,
@@ -231,6 +235,7 @@ pub struct PhastlaneNetwork {
 impl PhastlaneNetwork {
     /// Builds a network from a configuration.
     pub fn new(cfg: PhastlaneConfig) -> Self {
+        let mesh = cfg.mesh;
         let nodes = cfg.mesh.nodes();
         let routers = (0..nodes).map(|_| RouterState::new(cfg.buffers)).collect();
         let nics = (0..nodes).map(|_| Nic::new(cfg.nic_entries)).collect();
@@ -255,8 +260,9 @@ impl PhastlaneNetwork {
             stats: NetworkStats::default(),
             rng,
             return_paths: ReturnPathRegistry::new(),
-            links: LinkCounters::new(),
+            links: LinkCounters::for_mesh(mesh),
             obs: Obs::off(),
+            profiler: PhaseProfiler::off(),
             fault_plan: FaultPlan::new(),
             fault_rng: SimRng::seed_from_u64(0),
             failures: Vec::new(),
@@ -607,6 +613,8 @@ impl Network for PhastlaneNetwork {
         let now = self.cycle;
         let mesh = self.cfg.mesh;
         self.return_paths.clear();
+        self.profiler.begin_cycle();
+        let delivered_before = self.deliveries.len();
 
         // Fault bookkeeping for this cycle: edge events, the hop reach
         // under laser droop, and the transient bit-error rate. Everything
@@ -628,6 +636,7 @@ impl Network for PhastlaneNetwork {
                 self.fault_plan.bit_error_rate(now),
             )
         };
+        self.profiler.mark(Phase::Fault);
 
         // Phase 1: confirm or revert last cycle's launches. Routers that
         // launched nothing are skipped outright; for the rest, the
@@ -638,6 +647,7 @@ impl Network for PhastlaneNetwork {
                 continue;
             }
             state.begin_confirm(&mut scratch);
+            self.profiler.add_work(Phase::Drain, scratch.len() as u64);
             for &(queue, flight) in &scratch {
                 let qi = usize::from(queue);
                 let mut entry = state.pop_launched(qi);
@@ -684,9 +694,11 @@ impl Network for PhastlaneNetwork {
             self.drop_slots.iter().all(Option::is_none),
             "drop signal with no matching launch"
         );
+        self.profiler.mark(Phase::Drain);
 
         // Phase 2: NIC -> local buffer.
         let local_q = RouterState::local_queue();
+        let mut route_work = 0u64;
         for (state, nic) in self.routers.iter_mut().zip(&mut self.nics) {
             if nic.is_empty() {
                 continue;
@@ -696,11 +708,14 @@ impl Network for PhastlaneNetwork {
                     Some(entry) => {
                         self.energy.on_buffer_write();
                         state.push(local_q, entry);
+                        route_work += 1;
                     }
                     None => break,
                 }
             }
         }
+        self.profiler.add_work(Phase::Route, route_work);
+        self.profiler.mark(Phase::Route);
 
         // Phase 3: rotating-priority arbitration and launch. Last
         // cycle's flights retire to the pool (keeping their buffers) and
@@ -946,7 +961,18 @@ impl Network for PhastlaneNetwork {
             }
         }
 
+        self.profiler
+            .add_work(Phase::Arbitrate, self.n_flights as u64);
+        self.profiler.mark(Phase::Arbitrate);
+
         // Phase 4: optical wavefront, hop by hop within the cycle.
+        if self.profiler.is_enabled() {
+            let wavefront_steps: u64 = self.flights[..self.n_flights]
+                .iter()
+                .map(|f| f.plan.steps().len() as u64)
+                .sum();
+            self.profiler.add_work(Phase::Traverse, wavefront_steps);
+        }
         let max_len = self.flights[..self.n_flights]
             .iter()
             .map(|f| f.plan.steps().len())
@@ -1225,6 +1251,8 @@ impl Network for PhastlaneNetwork {
             }
         }
 
+        self.profiler.mark(Phase::Traverse);
+
         // Phase 5: leakage, clock.
         debug_assert_eq!(
             self.stats.dropped,
@@ -1233,6 +1261,11 @@ impl Network for PhastlaneNetwork {
         );
         self.energy.on_cycle();
         self.cycle += 1;
+        self.profiler.add_work(
+            Phase::Eject,
+            (self.deliveries.len() - delivered_before) as u64,
+        );
+        self.profiler.mark(Phase::Eject);
     }
 
     fn drain_deliveries(&mut self) -> Vec<Delivery> {
@@ -1273,11 +1306,27 @@ impl Network for PhastlaneNetwork {
     }
 
     fn set_trace(&mut self, trace: TraceBuffer) {
-        self.obs = Obs::with_trace(trace);
+        self.obs.attach_trace(trace);
     }
 
     fn take_trace(&mut self) -> Option<TraceBuffer> {
         self.obs.take()
+    }
+
+    fn set_phase_profiler(&mut self, profiler: PhaseProfiler) {
+        self.profiler = profiler;
+    }
+
+    fn take_phase_breakdown(&mut self) -> Option<PhaseBreakdown> {
+        self.profiler.take_breakdown()
+    }
+
+    fn set_flight_recorder(&mut self, recorder: FlightRecorder) {
+        self.obs.attach_flight(recorder);
+    }
+
+    fn take_flight_recorder(&mut self) -> Option<FlightRecorder> {
+        self.obs.take_flight()
     }
 
     fn buffer_occupancy(&self) -> u64 {

@@ -21,7 +21,9 @@ use phastlane_netsim::geometry::{Direction, Mesh, NodeId, Port};
 use phastlane_netsim::mask::NodeMask;
 use phastlane_netsim::network::Network;
 use phastlane_netsim::nic::Nic;
-use phastlane_netsim::obs::{EventKind, Obs, TraceBuffer};
+use phastlane_netsim::obs::{
+    EventKind, FlightRecorder, Obs, Phase, PhaseBreakdown, PhaseProfiler, TraceBuffer,
+};
 use phastlane_netsim::packet::{Delivery, NewPacket, PacketId, PacketKind};
 use phastlane_netsim::routing::xy_first_hop;
 use phastlane_netsim::stats::{EnergyReport, NetworkStats};
@@ -143,6 +145,8 @@ pub struct ElectricalNetwork {
     links: LinkCounters,
     /// Observability handle: one branch per emit site when disabled.
     obs: Obs,
+    /// Hot-loop phase profiler: one branch per mark site when disabled.
+    profiler: PhaseProfiler,
     /// Scheduled device failures; the empty plan is zero-effect (every
     /// fault hook is gated on it).
     fault_plan: FaultPlan,
@@ -163,6 +167,7 @@ impl ElectricalNetwork {
             cfg.entries_per_vc, 1,
             "this model implements the paper's 1-entry-per-VC configuration"
         );
+        let mesh = cfg.mesh;
         let nodes = cfg.mesh.nodes();
         let routers = (0..nodes).map(|_| Router::new(&cfg)).collect();
         let nics = (0..nodes).map(|_| Nic::new(cfg.nic_entries)).collect();
@@ -180,8 +185,9 @@ impl ElectricalNetwork {
             warm_trees: vec![false; nodes],
             energy,
             stats: NetworkStats::default(),
-            links: LinkCounters::new(),
+            links: LinkCounters::for_mesh(mesh),
             obs: Obs::off(),
+            profiler: PhaseProfiler::off(),
             fault_plan: FaultPlan::new(),
             failures: Vec::new(),
         }
@@ -392,6 +398,8 @@ impl Network for ElectricalNetwork {
         let now = self.cycle;
         let mesh = self.cfg.mesh;
         let vcs_per_port = self.cfg.vcs_per_port;
+        self.profiler.begin_cycle();
+        let delivered_before = self.deliveries.len();
 
         // Fault bookkeeping: edge events for faults starting or clearing
         // this cycle. Skipped entirely (zero-effect) with no plan.
@@ -406,8 +414,11 @@ impl Network for ElectricalNetwork {
                 self.obs.emit(now, kind, fault.site(), fault.port(), None);
             }
         }
+        self.profiler.mark(Phase::Fault);
 
         // Phase 1: credits return.
+        self.profiler
+            .add_work(Phase::Drain, self.credit_returns.len() as u64);
         for cr in std::mem::take(&mut self.credit_returns) {
             debug_assert!(!self.routers[cr.router].credits[cr.dir][cr.vc]);
             self.routers[cr.router].credits[cr.dir][cr.vc] = true;
@@ -422,6 +433,7 @@ impl Network for ElectricalNetwork {
             *slot = Some(a.flit);
             r.occupied += 1;
         }
+        self.profiler.mark(Phase::Drain);
 
         // Phase 3: ejection bypass — deliver flits one cycle after
         // arrival, without the crossbar.
@@ -457,8 +469,15 @@ impl Network for ElectricalNetwork {
             }
         }
 
+        self.profiler.add_work(
+            Phase::Eject,
+            (self.deliveries.len() - delivered_before) as u64,
+        );
+        self.profiler.mark(Phase::Eject);
+
         // Phase 4: injection — one flit per node per cycle into a free
         // local-port VC.
+        let mut route_work = 0u64;
         for r_idx in 0..self.routers.len() {
             let here = NodeId(r_idx as u16);
             let local = Port::Local.index();
@@ -521,10 +540,14 @@ impl Network for ElectricalNetwork {
             self.energy.on_buffer_write();
             self.routers[r_idx].vcs[local][vc] = Some(flit);
             self.routers[r_idx].occupied += 1;
+            route_work += 1;
         }
+        self.profiler.add_work(Phase::Route, route_work);
+        self.profiler.mark(Phase::Route);
 
         // Phase 5: VC allocation — grant free downstream VCs to eligible
         // branches, round-robin per output direction.
+        let mut arb_work = 0u64;
         for r_idx in 0..self.routers.len() {
             if self.routers[r_idx].occupied == 0 {
                 continue;
@@ -581,10 +604,13 @@ impl Network for ElectricalNetwork {
                         .expect("requester exists");
                     f.branches[bi].out_vc = Some(out_vc);
                     self.energy.on_allocation();
+                    arb_work += 1;
                     self.routers[r_idx].va_ptr[d] = port * vcs_per_port + vc + 1;
                 }
             }
         }
+        self.profiler.add_work(Phase::Arbitrate, arb_work);
+        self.profiler.mark(Phase::Arbitrate);
 
         // Phase 6: switch allocation (iSLIP) and traversal.
         for r_idx in 0..self.routers.len() {
@@ -677,6 +703,11 @@ impl Network for ElectricalNetwork {
                 });
             }
         }
+
+        // Link traversals this cycle = arrivals queued for the next one.
+        self.profiler
+            .add_work(Phase::Traverse, self.incoming.len() as u64);
+        self.profiler.mark(Phase::Traverse);
 
         // Phase 7: free finished VCs and send credits upstream.
         for r_idx in 0..self.routers.len() {
@@ -774,9 +805,11 @@ impl Network for ElectricalNetwork {
             }
         }
 
-        // Phase 8: leakage, clock.
+        // Phase 8: leakage, clock. Phases 7–8 are resource recycling, so
+        // their time accrues to the drain phase alongside phases 1–2.
         self.energy.on_cycle();
         self.cycle += 1;
+        self.profiler.mark(Phase::Drain);
     }
 
     fn drain_deliveries(&mut self) -> Vec<Delivery> {
@@ -819,11 +852,27 @@ impl Network for ElectricalNetwork {
     }
 
     fn set_trace(&mut self, trace: TraceBuffer) {
-        self.obs = Obs::with_trace(trace);
+        self.obs.attach_trace(trace);
     }
 
     fn take_trace(&mut self) -> Option<TraceBuffer> {
         self.obs.take()
+    }
+
+    fn set_phase_profiler(&mut self, profiler: PhaseProfiler) {
+        self.profiler = profiler;
+    }
+
+    fn take_phase_breakdown(&mut self) -> Option<PhaseBreakdown> {
+        self.profiler.take_breakdown()
+    }
+
+    fn set_flight_recorder(&mut self, recorder: FlightRecorder) {
+        self.obs.attach_flight(recorder);
+    }
+
+    fn take_flight_recorder(&mut self) -> Option<FlightRecorder> {
+        self.obs.take_flight()
     }
 
     fn buffer_occupancy(&self) -> u64 {

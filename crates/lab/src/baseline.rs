@@ -232,6 +232,7 @@ mod tests {
             timed_out: false,
             stable: Some(true),
             wall_seconds: 0.25,
+            phases: None,
         };
         LabReport::new(spec, vec![job], 1, 0.25)
     }

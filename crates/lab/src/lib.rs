@@ -37,5 +37,5 @@ pub mod spec;
 
 pub use baseline::Tolerances;
 pub use report::{GroupSaturation, JobRecord, LabReport};
-pub use scheduler::run_lab;
+pub use scheduler::{run_lab, run_lab_with};
 pub use spec::{derive_seed, JobSpec, LabSpec, Work};

@@ -14,6 +14,7 @@
 
 use crate::spec::LabSpec;
 use phastlane_netsim::obs::json::JsonValue;
+use phastlane_netsim::obs::PhaseBreakdown;
 use phastlane_netsim::stats::LatencyStats;
 use phastlane_netsim::sweep::Saturation;
 
@@ -62,6 +63,11 @@ pub struct JobRecord {
     /// Wall-clock seconds this job took. **Never** part of the
     /// canonical report.
     pub wall_seconds: f64,
+    /// Hot-loop phase breakdown, when the spec enabled profiling.
+    /// Contains sampled wall time, so like `wall_seconds` it is
+    /// **never** part of the canonical report — it surfaces merged in
+    /// [`LabReport::perf_json`].
+    pub phases: Option<PhaseBreakdown>,
 }
 
 /// Saturation verdict for one synthetic curve of the matrix (one
@@ -240,10 +246,22 @@ impl LabReport {
         ])
     }
 
+    /// Per-job phase breakdowns folded into one lab-wide profile
+    /// (`None` when no job was profiled).
+    pub fn merged_phases(&self) -> Option<PhaseBreakdown> {
+        let mut merged: Option<PhaseBreakdown> = None;
+        for j in &self.jobs {
+            if let Some(p) = &j.phases {
+                merged.get_or_insert_with(PhaseBreakdown::default).merge(p);
+            }
+        }
+        merged
+    }
+
     /// The non-deterministic layer: wall clock, throughput, speedup,
-    /// worker count.
+    /// worker count, and (when profiled) the merged phase breakdown.
     pub fn perf_json(&self) -> JsonValue {
-        JsonValue::Obj(vec![
+        let mut pairs = vec![
             ("workers".into(), JsonValue::Uint(self.workers as u64)),
             ("jobs".into(), JsonValue::Uint(self.jobs.len() as u64)),
             ("wall_seconds".into(), JsonValue::Num(self.wall_seconds)),
@@ -257,7 +275,11 @@ impl LabReport {
                 "cycles_per_sec".into(),
                 JsonValue::Num(self.cycles_per_sec()),
             ),
-        ])
+        ];
+        if let Some(phases) = self.merged_phases() {
+            pairs.push(("phases".into(), phases.to_json()));
+        }
+        JsonValue::Obj(pairs)
     }
 
     /// Both layers in one object (for human inspection; baseline
@@ -379,6 +401,7 @@ mod tests {
             timed_out: false,
             stable: Some(stable),
             wall_seconds: wall,
+            phases: None,
         }
     }
 

@@ -18,6 +18,7 @@ use phastlane_netsim::harness::{
     TraceOptions,
 };
 use phastlane_netsim::network::Network;
+use phastlane_netsim::obs::PhaseProfiler;
 use phastlane_traffic::coherence::generate_trace;
 use phastlane_traffic::splash2;
 use phastlane_traffic::synthetic::BernoulliTraffic;
@@ -89,7 +90,9 @@ pub fn build_network(
 
 /// Builds one job's network with the spec's retry policy and fault plan
 /// applied: faulted jobs default to the chaos soak's tight retry cap so
-/// the drain phase terminates; fault-free jobs run uncapped.
+/// the drain phase terminates; fault-free jobs run uncapped. When the
+/// spec asks for profiling, a [`PhaseProfiler`] is attached — pure
+/// observation, so the canonical results are unchanged.
 fn build_job_network(spec: &LabSpec, job: &JobSpec) -> Result<Box<dyn Network + Send>, String> {
     let retry_limit = spec
         .retry_limit
@@ -98,6 +101,9 @@ fn build_job_network(spec: &LabSpec, job: &JobSpec) -> Result<Box<dyn Network + 
     if job.intensity > 0.0 {
         let plan = FaultPlan::random(spec.mesh, job.fault_seed, job.intensity);
         net.set_fault_plan(plan, job.fault_seed);
+    }
+    if spec.profile > 0 {
+        net.set_phase_profiler(PhaseProfiler::enabled(spec.profile));
     }
     Ok(net)
 }
@@ -127,6 +133,7 @@ fn synthetic_record(job: &JobSpec, pattern: &Pattern, rate: f64, r: SyntheticRes
         timed_out: false,
         stable: Some(stable),
         wall_seconds: 0.0,
+        phases: r.perf.phases,
     }
 }
 
@@ -239,6 +246,7 @@ pub fn run_job(spec: &LabSpec, job: &JobSpec) -> Result<JobRecord, String> {
                 timed_out: r.timed_out,
                 stable: None,
                 wall_seconds: 0.0,
+                phases: r.perf.phases,
             }
         }
     };

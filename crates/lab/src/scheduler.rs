@@ -15,8 +15,10 @@
 use crate::report::{JobRecord, LabReport};
 use crate::runner;
 use crate::spec::{expand, JobSpec, LabSpec, Work};
+use phastlane_netsim::obs::json::JsonValue;
+use phastlane_netsim::obs::EventSink;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -51,6 +53,100 @@ fn batch_groups(jobs: &[JobSpec], batch: usize) -> Vec<Range<usize>> {
     groups
 }
 
+/// Shared progress bookkeeping for one lab run: lifecycle events stream
+/// to the sink as NDJSON while atomic tallies feed the rolling
+/// throughput / ETA fields. Everything here is observation — no
+/// simulated bit depends on it, so the canonical report is identical
+/// with or without a sink attached.
+struct Progress<'a> {
+    sink: &'a EventSink,
+    started: Instant,
+    total_jobs: usize,
+    finished: AtomicUsize,
+    cycles_done: AtomicU64,
+}
+
+impl<'a> Progress<'a> {
+    fn new(sink: &'a EventSink, total_jobs: usize) -> Self {
+        Progress {
+            sink,
+            started: Instant::now(),
+            total_jobs,
+            finished: AtomicUsize::new(0),
+            cycles_done: AtomicU64::new(0),
+        }
+    }
+
+    fn event(kind: &str, mut fields: Vec<(String, JsonValue)>) -> JsonValue {
+        let mut pairs = vec![("event".into(), JsonValue::Str(kind.into()))];
+        pairs.append(&mut fields);
+        JsonValue::Obj(pairs)
+    }
+
+    fn lab_started(&self, spec: &LabSpec, groups: usize, workers: usize) {
+        self.sink.emit(&Self::event(
+            "lab_started",
+            vec![
+                ("name".into(), JsonValue::Str(spec.name.clone())),
+                ("jobs".into(), JsonValue::Uint(self.total_jobs as u64)),
+                ("groups".into(), JsonValue::Uint(groups as u64)),
+                ("workers".into(), JsonValue::Uint(workers as u64)),
+            ],
+        ));
+    }
+
+    fn job_started(&self, job: &JobSpec) {
+        self.sink.emit(&Self::event(
+            "job_started",
+            vec![
+                ("job".into(), JsonValue::Uint(job.index as u64)),
+                ("net".into(), JsonValue::Str(job.net.clone())),
+            ],
+        ));
+    }
+
+    /// Emits `job_finished` with a rolling cycles/s over everything
+    /// finished so far and a naive remaining-time estimate
+    /// (`elapsed / finished * remaining`).
+    fn job_finished(&self, rec: &JobRecord) {
+        let cycles = self.cycles_done.fetch_add(rec.cycles, Ordering::Relaxed) + rec.cycles;
+        let finished = self.finished.fetch_add(1, Ordering::Relaxed) + 1;
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            cycles as f64 / elapsed
+        } else {
+            0.0
+        };
+        let remaining = self.total_jobs.saturating_sub(finished);
+        let eta = elapsed / finished as f64 * remaining as f64;
+        self.sink.emit(&Self::event(
+            "job_finished",
+            vec![
+                ("job".into(), JsonValue::Uint(rec.index as u64)),
+                ("cycles".into(), JsonValue::Uint(rec.cycles)),
+                ("wall_seconds".into(), JsonValue::Num(rec.wall_seconds)),
+                ("finished".into(), JsonValue::Uint(finished as u64)),
+                ("total".into(), JsonValue::Uint(self.total_jobs as u64)),
+                ("cycles_per_sec".into(), JsonValue::Num(rate)),
+                ("eta_seconds".into(), JsonValue::Num(eta)),
+            ],
+        ));
+    }
+
+    fn lab_finished(&self, ok: bool) {
+        self.sink.emit(&Self::event(
+            "lab_finished",
+            vec![
+                ("ok".into(), JsonValue::Bool(ok)),
+                (
+                    "wall_seconds".into(),
+                    JsonValue::Num(self.started.elapsed().as_secs_f64()),
+                ),
+            ],
+        ));
+    }
+}
+
 /// Expands `spec` and runs every job on a pool of `workers` threads
 /// (clamped to `1..=groups`), grouping same-cell synthetic replicas
 /// into lockstep batches of up to `spec.batch` lanes
@@ -62,6 +158,25 @@ fn batch_groups(jobs: &[JobSpec], batch: usize) -> Vec<Range<usize>> {
 /// Errors if the spec expands to no jobs, or any job fails (unknown
 /// network/benchmark — normally caught at parse time).
 pub fn run_lab(spec: &LabSpec, workers: usize) -> Result<LabReport, String> {
+    run_lab_with(spec, workers, None)
+}
+
+/// [`run_lab`] with an optional streaming progress sink: per-job
+/// lifecycle events (`lab_started`, `job_started`, `job_finished` with
+/// rolling cycles/s and ETA, `lab_finished`) are emitted as one JSON
+/// object per line. The sink is backpressure-aware — a slow consumer
+/// sheds events rather than stalling workers — and purely
+/// observational: the canonical report is byte-identical with or
+/// without it.
+///
+/// # Errors
+///
+/// Same conditions as [`run_lab`].
+pub fn run_lab_with(
+    spec: &LabSpec,
+    workers: usize,
+    progress: Option<&EventSink>,
+) -> Result<LabReport, String> {
     let jobs = expand(spec);
     if jobs.is_empty() {
         return Err("spec expands to zero jobs".into());
@@ -69,6 +184,11 @@ pub fn run_lab(spec: &LabSpec, workers: usize) -> Result<LabReport, String> {
     let groups = batch_groups(&jobs, spec.batch as usize);
     let workers = workers.max(1).min(groups.len());
     let wall_start = Instant::now();
+
+    let progress = progress.map(|sink| Progress::new(sink, jobs.len()));
+    if let Some(p) = &progress {
+        p.lab_started(spec, groups.len(), workers);
+    }
 
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<JobRecord, String>>>> =
@@ -79,14 +199,25 @@ pub fn run_lab(spec: &LabSpec, workers: usize) -> Result<LabReport, String> {
             scope.spawn(|| loop {
                 let g = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(group) = groups.get(g) else { break };
+                if let Some(p) = &progress {
+                    for i in group.clone() {
+                        p.job_started(&jobs[i]);
+                    }
+                }
                 if group.len() == 1 {
                     let i = group.start;
                     let result = runner::run_job(spec, &jobs[i]);
+                    if let (Some(p), Ok(rec)) = (&progress, &result) {
+                        p.job_finished(rec);
+                    }
                     *slots[i].lock().expect("slot lock") = Some(result);
                 } else {
                     match runner::run_job_batch(spec, &jobs[group.clone()]) {
                         Ok(records) => {
                             for rec in records {
+                                if let Some(p) = &progress {
+                                    p.job_finished(&rec);
+                                }
                                 let i = rec.index;
                                 *slots[i].lock().expect("slot lock") = Some(Ok(rec));
                             }
@@ -102,18 +233,25 @@ pub fn run_lab(spec: &LabSpec, workers: usize) -> Result<LabReport, String> {
         }
     });
 
-    let mut records = Vec::with_capacity(jobs.len());
-    for (i, slot) in slots.into_iter().enumerate() {
-        let result = slot
-            .into_inner()
-            .expect("slot lock")
-            .unwrap_or_else(|| Err(format!("job {i} never ran")));
-        records.push(result.map_err(|e| format!("job {i}: {e}"))?);
+    let collect = || -> Result<Vec<JobRecord>, String> {
+        let mut records = Vec::with_capacity(slots.len());
+        for (i, slot) in slots.into_iter().enumerate() {
+            let result = slot
+                .into_inner()
+                .expect("slot lock")
+                .unwrap_or_else(|| Err(format!("job {i} never ran")));
+            records.push(result.map_err(|e| format!("job {i}: {e}"))?);
+        }
+        Ok(records)
+    };
+    let records = collect();
+    if let Some(p) = &progress {
+        p.lab_finished(records.is_ok());
     }
 
     Ok(LabReport::new(
         spec.clone(),
-        records,
+        records?,
         workers,
         wall_start.elapsed().as_secs_f64(),
     ))
@@ -222,5 +360,80 @@ mod tests {
         for (i, j) in report.jobs.iter().enumerate() {
             assert_eq!(j.index, i);
         }
+    }
+
+    /// Shared-buffer writer so the test can read back what streamed.
+    struct Capture(std::sync::Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn progress_stream_is_valid_ndjson_and_leaves_the_report_untouched() {
+        let spec = small_spec();
+        let silent = run_lab(&spec, 2).unwrap();
+
+        let buf = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = EventSink::new(Box::new(Capture(buf.clone())), EventSink::DEFAULT_CAPACITY);
+        let streamed = run_lab_with(&spec, 2, Some(&sink)).unwrap();
+        let tally = sink.finish();
+        assert_eq!(tally.dropped, 0);
+        assert_eq!(tally.write_errors, 0);
+
+        assert_eq!(
+            silent.canonical_json().to_string_pretty(),
+            streamed.canonical_json().to_string_pretty(),
+            "a progress sink must not change a single canonical bit"
+        );
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // lab_started + 8 started + 8 finished + lab_finished.
+        assert_eq!(lines.len(), 18);
+        let mut kinds = Vec::new();
+        for line in &lines {
+            let v = phastlane_netsim::obs::json::parse(line).expect("each line is one JSON object");
+            kinds.push(v.get("event").and_then(|e| e.as_str()).unwrap().to_string());
+        }
+        assert_eq!(kinds[0], "lab_started");
+        assert_eq!(kinds[lines.len() - 1], "lab_finished");
+        assert_eq!(kinds.iter().filter(|k| *k == "job_started").count(), 8);
+        assert_eq!(kinds.iter().filter(|k| *k == "job_finished").count(), 8);
+        // The last finished event reports full completion.
+        let last_done = lines
+            .iter()
+            .map(|l| phastlane_netsim::obs::json::parse(l).unwrap())
+            .rfind(|v| v.get("event").and_then(|e| e.as_str()) == Some("job_finished"))
+            .unwrap();
+        assert_eq!(last_done.get("finished").and_then(|f| f.as_u64()), Some(8));
+        assert_eq!(last_done.get("total").and_then(|t| t.as_u64()), Some(8));
+    }
+
+    #[test]
+    fn profiled_lab_keeps_canonical_identical_and_surfaces_phases_in_perf() {
+        let mut spec = small_spec();
+        let plain = run_lab(&spec, 2).unwrap();
+        spec.profile = 16;
+        let profiled = run_lab(&spec, 2).unwrap();
+        assert_eq!(
+            plain.canonical_json().to_string_pretty(),
+            profiled.canonical_json().to_string_pretty(),
+            "profiling is observation only"
+        );
+        assert!(plain.perf_json().get("phases").is_none());
+        let merged = profiled
+            .merged_phases()
+            .expect("profiled jobs carry phases");
+        assert!(merged.cycles > 0);
+        assert!(merged.sampled_cycles > 0);
+        let perf = profiled.perf_json();
+        let phases = perf.get("phases").expect("perf carries merged breakdown");
+        assert!(phases.get("cycles").and_then(|c| c.as_u64()).unwrap() > 0);
     }
 }

@@ -74,6 +74,16 @@ pub struct LabSpec {
     /// [`encode`](LabSpec::encode) and therefore from the canonical
     /// report and baseline identity.
     pub batch: u32,
+    /// Hot-loop phase-profiler wall-sampling stride: `0` (the default)
+    /// runs unprofiled; `N > 0` attaches a
+    /// [`phastlane_netsim::obs::PhaseProfiler`] to every job's network,
+    /// timing one cycle in `N`.
+    ///
+    /// Profiling is pure observation — job results are bit-identical
+    /// with it on or off — so like `batch` it is **excluded** from
+    /// [`encode`](LabSpec::encode); the breakdown lands in the perf
+    /// layer only.
+    pub profile: u32,
 }
 
 impl Default for LabSpec {
@@ -95,6 +105,7 @@ impl Default for LabSpec {
             scale: 0.05,
             max_cycles: 10_000_000,
             batch: 1,
+            profile: 0,
         }
     }
 }
@@ -217,6 +228,9 @@ impl LabSpec {
                         return Err(err("batch must be positive"));
                     }
                 }
+                "profile" => {
+                    spec.profile = one()?.parse().map_err(|_| err("bad profile"))?;
+                }
                 _ => return Err(err("unknown key")),
             }
         }
@@ -225,9 +239,10 @@ impl LabSpec {
 
     /// Renders the spec back to its [`parse`](LabSpec::parse) text form.
     ///
-    /// `batch` is deliberately omitted: like the worker count it is an
-    /// execution strategy, not an experiment identity, and the encoding
-    /// doubles as the canonical report's spec string.
+    /// `batch` and `profile` are deliberately omitted: like the worker
+    /// count they are execution/observation strategy, not experiment
+    /// identity, and the encoding doubles as the canonical report's
+    /// spec string.
     pub fn encode(&self) -> String {
         let mut out = String::new();
         let join_f = |v: &[f64]| v.iter().map(f64::to_string).collect::<Vec<_>>().join(" ");
@@ -446,6 +461,16 @@ max-cycles 500000
         // Reparsing the encoding resets batch to its default: the
         // canonical identity of a run is batch-independent.
         assert_eq!(LabSpec::parse(&spec.encode()).unwrap().batch, 1);
+    }
+
+    #[test]
+    fn profile_parses_but_stays_out_of_the_canonical_encoding() {
+        let spec = LabSpec::parse("mesh 4x4\nprofile 32\n").unwrap();
+        assert_eq!(spec.profile, 32);
+        assert!(!spec.encode().contains("profile"), "{}", spec.encode());
+        // Profiling is observation, not identity: reparsing the
+        // encoding resets it to off.
+        assert_eq!(LabSpec::parse(&spec.encode()).unwrap().profile, 0);
     }
 
     #[test]

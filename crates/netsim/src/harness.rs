@@ -378,7 +378,7 @@ impl SyntheticDrive {
             energy: net.energy().delta_since(&energy_start),
             unfinished: self.measured_outstanding,
             undeliverable: self.undeliverable,
-            perf: PerfProfile::new(self.rel, wall),
+            perf: PerfProfile::new(self.rel, wall).with_phases(net.take_phase_breakdown()),
         }
     }
 }
@@ -814,7 +814,8 @@ pub fn run_trace_observed<N: Network + ?Sized>(
         completed,
         undeliverable,
         timed_out,
-        perf: PerfProfile::new(cycle - base_cycle, wall_start.elapsed()),
+        perf: PerfProfile::new(cycle - base_cycle, wall_start.elapsed())
+            .with_phases(net.take_phase_breakdown()),
     }
 }
 

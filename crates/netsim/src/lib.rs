@@ -77,4 +77,12 @@ const _: fn() = _assert_send::<harness::Trace>;
 const _: fn() = _assert_send::<harness::SyntheticResult>;
 const _: fn() = _assert_send::<harness::TraceResult>;
 const _: fn() = _assert_send::<obs::TraceBuffer>;
+const _: fn() = _assert_send::<obs::PhaseProfiler>;
+const _: fn() = _assert_send::<obs::PhaseBreakdown>;
+const _: fn() = _assert_send::<obs::FlightRecorder>;
 const _: fn() = _assert_send::<rng::SimRng>;
+// The progress sink is *shared* across worker threads, so it must be
+// `Sync` as well.
+fn _assert_sync<T: Sync>() {}
+const _: fn() = _assert_sync::<obs::EventSink>;
+const _: fn() = _assert_send::<obs::EventSink>;

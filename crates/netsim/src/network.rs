@@ -4,7 +4,7 @@
 
 use crate::fault::{FailedDelivery, FaultPlan};
 use crate::geometry::Mesh;
-use crate::obs::TraceBuffer;
+use crate::obs::{FlightRecorder, PhaseBreakdown, PhaseProfiler, TraceBuffer};
 use crate::packet::{Delivery, NewPacket, PacketId};
 use crate::stats::{EnergyReport, NetworkStats};
 use crate::telemetry::LinkCounters;
@@ -79,6 +79,34 @@ pub trait Network {
         None
     }
 
+    /// Attaches a hot-loop phase profiler; subsequent
+    /// [`step`](Network::step)s attribute time and work to the six
+    /// per-cycle phases. The default discards it (such a network simply
+    /// reports no breakdown).
+    fn set_phase_profiler(&mut self, profiler: PhaseProfiler) {
+        let _ = profiler;
+    }
+
+    /// Detaches the profiler attached via
+    /// [`set_phase_profiler`](Network::set_phase_profiler) and returns
+    /// its accumulated totals, if any. Profiling stops.
+    fn take_phase_breakdown(&mut self) -> Option<PhaseBreakdown> {
+        None
+    }
+
+    /// Attaches a packet flight recorder; it rides the same event path
+    /// as the trace buffer and both may be attached at once. The default
+    /// discards it.
+    fn set_flight_recorder(&mut self, recorder: FlightRecorder) {
+        let _ = recorder;
+    }
+
+    /// Detaches and returns the flight recorder attached via
+    /// [`set_flight_recorder`](Network::set_flight_recorder), if any.
+    fn take_flight_recorder(&mut self) -> Option<FlightRecorder> {
+        None
+    }
+
     /// Total packets/flits currently held in router-side buffers
     /// (electrical VCs, or Phastlane's electrical fallback buffers).
     /// NIC-side queues are excluded. The default reports zero.
@@ -150,6 +178,18 @@ impl<N: Network + ?Sized> Network for Box<N> {
     }
     fn take_trace(&mut self) -> Option<TraceBuffer> {
         (**self).take_trace()
+    }
+    fn set_phase_profiler(&mut self, profiler: PhaseProfiler) {
+        (**self).set_phase_profiler(profiler)
+    }
+    fn take_phase_breakdown(&mut self) -> Option<PhaseBreakdown> {
+        (**self).take_phase_breakdown()
+    }
+    fn set_flight_recorder(&mut self, recorder: FlightRecorder) {
+        (**self).set_flight_recorder(recorder)
+    }
+    fn take_flight_recorder(&mut self) -> Option<FlightRecorder> {
+        (**self).take_flight_recorder()
     }
     fn buffer_occupancy(&self) -> u64 {
         (**self).buffer_occupancy()

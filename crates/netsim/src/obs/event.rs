@@ -2,6 +2,7 @@
 //! trace that collects them.
 
 use crate::geometry::{Direction, NodeId};
+use crate::obs::flight::FlightRecorder;
 use crate::obs::json::JsonValue;
 use crate::packet::PacketId;
 use std::collections::VecDeque;
@@ -378,35 +379,56 @@ impl TraceBuffer {
     }
 }
 
-/// The per-network observability handle: a maybe-attached trace buffer.
+/// The consumers an [`Obs`] handle can fan an event out to (boxed
+/// behind the handle's single `Option`).
+#[derive(Debug, Default)]
+struct ObsState {
+    trace: Option<TraceBuffer>,
+    flight: Option<FlightRecorder>,
+}
+
+/// The per-network observability handle: a maybe-attached trace buffer
+/// and/or packet [`FlightRecorder`], fed from the same emit sites.
 ///
 /// Disabled (`Obs::off()`, the default) this is a single `None`; every
 /// [`emit`](Obs::emit) is one predictable branch and no event is built.
 #[derive(Debug, Default)]
 pub struct Obs {
-    trace: Option<Box<TraceBuffer>>,
+    state: Option<Box<ObsState>>,
 }
 
 impl Obs {
     /// The disabled handle (default state of every network).
     pub const fn off() -> Self {
-        Obs { trace: None }
+        Obs { state: None }
     }
 
     /// An enabled handle collecting into `buffer`.
     pub fn with_trace(buffer: TraceBuffer) -> Self {
-        Obs {
-            trace: Some(Box::new(buffer)),
-        }
+        let mut obs = Obs::off();
+        obs.attach_trace(buffer);
+        obs
     }
 
-    /// Whether a trace is attached.
+    /// Attaches (or replaces) the trace buffer, keeping any flight
+    /// recorder already attached.
+    pub fn attach_trace(&mut self, buffer: TraceBuffer) {
+        self.state.get_or_insert_default().trace = Some(buffer);
+    }
+
+    /// Attaches (or replaces) the flight recorder, keeping any trace
+    /// buffer already attached.
+    pub fn attach_flight(&mut self, recorder: FlightRecorder) {
+        self.state.get_or_insert_default().flight = Some(recorder);
+    }
+
+    /// Whether any consumer is attached.
     #[inline]
     pub fn enabled(&self) -> bool {
-        self.trace.is_some()
+        self.state.is_some()
     }
 
-    /// Records an event if tracing is enabled.
+    /// Records an event if any consumer is attached.
     #[inline]
     pub fn emit(
         &mut self,
@@ -416,25 +438,52 @@ impl Obs {
         port: Option<Direction>,
         packet: Option<PacketId>,
     ) {
-        if let Some(t) = &mut self.trace {
-            t.push(SimEvent {
+        if let Some(s) = &mut self.state {
+            let ev = SimEvent {
                 cycle,
                 kind,
                 node,
                 port,
                 packet,
-            });
+            };
+            if let Some(t) = &mut s.trace {
+                t.push(ev);
+            }
+            if let Some(f) = &mut s.flight {
+                f.observe(&ev);
+            }
         }
     }
 
     /// Detaches and returns the trace buffer, disabling tracing.
     pub fn take(&mut self) -> Option<TraceBuffer> {
-        self.trace.take().map(|b| *b)
+        let taken = self.state.as_mut().and_then(|s| s.trace.take());
+        self.prune();
+        taken
+    }
+
+    /// Detaches and returns the flight recorder.
+    pub fn take_flight(&mut self) -> Option<FlightRecorder> {
+        let taken = self.state.as_mut().and_then(|s| s.flight.take());
+        self.prune();
+        taken
+    }
+
+    /// Drops the boxed state once every consumer is detached, restoring
+    /// the zero-cost disabled fast path.
+    fn prune(&mut self) {
+        if self
+            .state
+            .as_ref()
+            .is_some_and(|s| s.trace.is_none() && s.flight.is_none())
+        {
+            self.state = None;
+        }
     }
 
     /// A read-only view of the attached buffer.
     pub fn trace(&self) -> Option<&TraceBuffer> {
-        self.trace.as_deref()
+        self.state.as_ref().and_then(|s| s.trace.as_ref())
     }
 }
 
@@ -515,6 +564,29 @@ mod tests {
         assert!(!o.enabled());
         assert_eq!(t.len(), 1);
         assert_eq!(t.events().next().unwrap().cycle, 5);
+    }
+
+    #[test]
+    fn flight_recorder_rides_the_same_emit_path() {
+        let mut o = Obs::off();
+        o.attach_trace(TraceBuffer::new());
+        o.attach_flight(FlightRecorder::new(0, 1)); // pin everything
+        o.emit(3, EventKind::Inject, NodeId(4), None, Some(PacketId(11)));
+        // Detaching one consumer keeps the other attached and live.
+        let trace = o.take().expect("trace attached");
+        assert_eq!(trace.len(), 1);
+        assert!(o.enabled(), "flight recorder still attached");
+        o.emit(4, EventKind::Eject, NodeId(4), None, Some(PacketId(11)));
+        let flight = o.take_flight().expect("recorder attached");
+        assert!(!o.enabled(), "fully detached handle is off again");
+        let dump = flight.to_json();
+        let journeys = dump.get("journeys").unwrap().as_arr().unwrap();
+        assert_eq!(journeys.len(), 1);
+        assert_eq!(
+            journeys[0].get("steps").unwrap().as_arr().unwrap().len(),
+            2,
+            "both events captured"
+        );
     }
 
     #[test]

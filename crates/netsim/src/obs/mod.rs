@@ -16,19 +16,41 @@
 //!    simulator performance profile ([`PerfProfile`]), exportable as
 //!    JSON or CSV through the dependency-free [`json`] serializer.
 //!
+//! Live telemetry adds three more views on top:
+//!
+//! 4. [`phase`] — a [`PhaseProfiler`] attributing hot-loop time and
+//!    work to the six per-cycle phases (route / arbitrate / traverse /
+//!    eject / fault / drain), with batched wall-clock sampling, feeding
+//!    a [`PhaseBreakdown`] into [`PerfProfile`] and BENCH points;
+//! 5. [`flight`] — a packet [`FlightRecorder`] capturing per-packet
+//!    journeys (seeded sample + every Undeliverable packet) for
+//!    post-mortem diagnosis, riding the same [`Obs::emit`] path as the
+//!    trace buffer;
+//! 6. [`sink`] — a bounded, backpressure-aware NDJSON [`EventSink`] the
+//!    lab worker pool streams per-job lifecycle events through.
+//!
 //! # Cost model
 //!
-//! Networks own an [`Obs`] handle that is `Off` by default. Every emit
-//! site compiles to one branch on an `Option` discriminant when tracing
-//! is disabled; no event values are constructed. Metric sampling lives
-//! in the harness, not the per-cycle network loops, and only runs when a
-//! collector is attached.
+//! Networks own an [`Obs`] handle and a [`PhaseProfiler`] that are off
+//! by default. Every emit/mark site compiles to one branch on an
+//! `Option` discriminant when disabled; no event values are constructed
+//! and no clock is read. Metric sampling lives in the harness, not the
+//! per-cycle network loops, and only runs when a collector is attached.
+//! The profiler amortizes `Instant::now()` by timing only every N-th
+//! cycle (see [`phase`]); the flight recorder and trace buffer bound
+//! memory via eviction caps.
 
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod phase;
 pub mod report;
+pub mod sink;
 
 pub use event::{EventKind, Obs, Severity, SimEvent, TraceBuffer};
+pub use flight::{FlightRecorder, FlightStep, Journey};
 pub use metrics::{CycleTotals, MetricSample, MetricsCollector, MetricsSeries};
+pub use phase::{Phase, PhaseBreakdown, PhaseProfiler};
 pub use report::{PerfProfile, RunReport};
+pub use sink::{EventSink, SinkReport};

@@ -7,19 +7,24 @@
 //! as JSON or flat `key,value` CSV.
 
 use crate::obs::json::JsonValue;
+use crate::obs::phase::PhaseBreakdown;
 use crate::stats::{EnergyReport, LatencyStats, NetworkStats};
 use std::time::Duration;
 
 /// Simulator throughput: how fast the *simulation* ran, independent of
 /// what it simulated. Used to police the observability overhead budget
 /// (tracing disabled must stay within a few percent of the untraced
-/// baseline).
+/// baseline). When the run had a
+/// [`PhaseProfiler`](crate::obs::PhaseProfiler) attached, the per-phase
+/// breakdown rides along.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PerfProfile {
     /// Simulated cycles executed.
     pub cycles: u64,
     /// Wall-clock time the run took, in seconds.
     pub wall_seconds: f64,
+    /// Per-phase breakdown, when profiling was enabled.
+    pub phases: Option<PhaseBreakdown>,
 }
 
 impl PerfProfile {
@@ -28,7 +33,15 @@ impl PerfProfile {
         PerfProfile {
             cycles,
             wall_seconds: elapsed.as_secs_f64(),
+            phases: None,
         }
+    }
+
+    /// Attaches a per-phase breakdown.
+    #[must_use]
+    pub fn with_phases(mut self, phases: Option<PhaseBreakdown>) -> Self {
+        self.phases = phases;
+        self
     }
 
     /// Simulated cycles per wall-clock second (0 for an instant run).
@@ -40,16 +53,21 @@ impl PerfProfile {
         }
     }
 
-    /// Structured JSON form.
+    /// Structured JSON form (the `"phases"` key appears only when a
+    /// breakdown was captured).
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::Obj(vec![
+        let mut pairs = vec![
             ("cycles".into(), JsonValue::Uint(self.cycles)),
             ("wall_seconds".into(), JsonValue::Num(self.wall_seconds)),
             (
                 "cycles_per_sec".into(),
                 JsonValue::Num(self.cycles_per_sec()),
             ),
-        ])
+        ];
+        if let Some(phases) = &self.phases {
+            pairs.push(("phases".into(), phases.to_json()));
+        }
+        JsonValue::Obj(pairs)
     }
 }
 
@@ -221,6 +239,7 @@ mod tests {
             perf: PerfProfile {
                 cycles: 10_000,
                 wall_seconds: 0.5,
+                phases: None,
             },
             extra: vec![("pattern".into(), JsonValue::Str("uniform".into()))],
         }
@@ -231,12 +250,39 @@ mod tests {
         let p = PerfProfile {
             cycles: 4_000,
             wall_seconds: 2.0,
+            phases: None,
         };
         assert_eq!(p.cycles_per_sec(), 2_000.0);
         assert_eq!(PerfProfile::default().cycles_per_sec(), 0.0);
         let j = p.to_json();
         assert_eq!(j.get("cycles").unwrap().as_u64(), Some(4_000));
         assert_eq!(j.get("cycles_per_sec").unwrap().as_f64(), Some(2_000.0));
+        assert!(j.get("phases").is_none(), "no breakdown unless profiled");
+    }
+
+    #[test]
+    fn perf_profile_carries_a_phase_breakdown() {
+        let breakdown = PhaseBreakdown {
+            cycles: 500,
+            sampled_cycles: 16,
+            ..PhaseBreakdown::default()
+        };
+        let p = PerfProfile::new(500, Duration::from_millis(10)).with_phases(Some(breakdown));
+        let j = p.to_json();
+        let phases = j.get("phases").expect("breakdown serialized");
+        assert_eq!(phases.get("cycles").unwrap().as_u64(), Some(500));
+        assert_eq!(
+            phases.get("phases").unwrap().as_arr().unwrap().len(),
+            crate::obs::phase::Phase::COUNT
+        );
+        // The breakdown also survives a full report round-trip.
+        let mut r = sample_report();
+        r.perf.phases = Some(breakdown);
+        let text = r.to_json().to_string_pretty();
+        let parsed = crate::obs::json::parse(&text).unwrap();
+        let back = PhaseBreakdown::from_json(parsed.get("perf").unwrap().get("phases").unwrap())
+            .expect("parses back");
+        assert_eq!(back, breakdown);
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Bounded, backpressure-aware NDJSON event sink for streaming
+//! progress.
+//!
+//! The lab worker pool (and, later, `phastlane-serve`) needs to stream
+//! lifecycle events to an observer *without* perturbing the run: a slow
+//! or blocked consumer must never stall a worker thread, and the
+//! canonical results must stay byte-identical whether or not anyone is
+//! watching. [`EventSink`] provides that contract:
+//!
+//! * [`emit`](EventSink::emit) appends one JSON line to a bounded
+//!   in-memory queue under a short lock. When the queue is full the
+//!   event is **dropped and counted** — backpressure sheds load instead
+//!   of propagating into the simulation;
+//! * after enqueueing, the emitter *opportunistically* flushes: it
+//!   `try_lock`s the writer and drains the queue if no one else is
+//!   writing. If another thread holds the writer, the line simply rides
+//!   along with that thread's drain — nobody ever blocks on I/O except
+//!   the final [`finish`](EventSink::finish);
+//! * [`finish`](EventSink::finish) performs one blocking drain and
+//!   returns the delivery accounting ([`SinkReport`]), so a lossy
+//!   stream is always visible as such.
+//!
+//! Events are NDJSON: one compact JSON object per line, each carrying an
+//! `"event"` discriminator key.
+
+use crate::obs::json::JsonValue;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Delivery accounting returned by [`EventSink::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SinkReport {
+    /// Events accepted into the queue and written (or pending write
+    /// errors).
+    pub emitted: u64,
+    /// Events shed because the queue was full.
+    pub dropped: u64,
+    /// Lines whose write failed (stream kept going).
+    pub write_errors: u64,
+}
+
+/// Queue half of the sink (events waiting for a writer).
+#[derive(Debug)]
+struct SinkQueue {
+    lines: VecDeque<String>,
+    capacity: usize,
+    emitted: u64,
+    dropped: u64,
+    write_errors: u64,
+}
+
+/// A thread-safe bounded NDJSON writer. See the module docs for the
+/// backpressure contract.
+pub struct EventSink {
+    queue: Mutex<SinkQueue>,
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let q = self.queue.lock().unwrap();
+        f.debug_struct("EventSink")
+            .field("pending", &q.lines.len())
+            .field("capacity", &q.capacity)
+            .field("emitted", &q.emitted)
+            .field("dropped", &q.dropped)
+            .finish()
+    }
+}
+
+impl EventSink {
+    /// Default bound on queued-but-unwritten events.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A sink writing NDJSON lines to `writer`, queueing at most
+    /// `capacity` unwritten events (clamped to ≥ 1).
+    pub fn new(writer: Box<dyn Write + Send>, capacity: usize) -> Self {
+        EventSink {
+            queue: Mutex::new(SinkQueue {
+                lines: VecDeque::new(),
+                capacity: capacity.max(1),
+                emitted: 0,
+                dropped: 0,
+                write_errors: 0,
+            }),
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Enqueues one event as a compact JSON line and opportunistically
+    /// drains the queue. Never blocks on the writer; sheds the event
+    /// (counted) if the queue is full.
+    pub fn emit(&self, event: &JsonValue) {
+        {
+            let mut q = self.queue.lock().unwrap();
+            if q.lines.len() >= q.capacity {
+                q.dropped += 1;
+                return;
+            }
+            let mut line = event.to_string_compact();
+            line.push('\n');
+            q.lines.push_back(line);
+            q.emitted += 1;
+        }
+        if let Ok(mut w) = self.writer.try_lock() {
+            self.drain(&mut w);
+        }
+    }
+
+    /// Writes every queued line through `w`, re-locking the queue per
+    /// line so emitters are never blocked behind I/O.
+    fn drain(&self, w: &mut Box<dyn Write + Send>) {
+        loop {
+            let line = {
+                let mut q = self.queue.lock().unwrap();
+                match q.lines.pop_front() {
+                    Some(line) => line,
+                    None => break,
+                }
+            };
+            if w.write_all(line.as_bytes()).is_err() {
+                self.queue.lock().unwrap().write_errors += 1;
+            }
+        }
+        let _ = w.flush();
+    }
+
+    /// Final blocking drain; returns the delivery accounting.
+    pub fn finish(&self) -> SinkReport {
+        {
+            let mut w = self.writer.lock().unwrap();
+            self.drain(&mut w);
+        }
+        let q = self.queue.lock().unwrap();
+        SinkReport {
+            emitted: q.emitted,
+            dropped: q.dropped,
+            write_errors: q.write_errors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::json;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// Test writer capturing bytes behind a shared handle.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn event(i: u64) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("event".to_string(), JsonValue::Str("test".to_string())),
+            ("i".to_string(), JsonValue::Uint(i)),
+        ])
+    }
+
+    #[test]
+    fn writes_one_parseable_json_object_per_line() {
+        let cap = Capture::default();
+        let sink = EventSink::new(Box::new(cap.clone()), 64);
+        for i in 0..5 {
+            sink.emit(&event(i));
+        }
+        let report = sink.finish();
+        assert_eq!(report.emitted, 5);
+        assert_eq!(report.dropped, 0);
+        let text = String::from_utf8(cap.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for (i, line) in lines.iter().enumerate() {
+            let v = json::parse(line).expect("each line is valid JSON");
+            assert_eq!(v.get("event").unwrap().as_str(), Some("test"));
+            assert_eq!(v.get("i").unwrap().as_u64(), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_and_counts_instead_of_blocking() {
+        /// A writer that always fails, so the queue can only grow.
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("down"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        // Hold the writer lock so emits cannot drain.
+        let sink = EventSink::new(Box::new(Broken), 2);
+        let guard = sink.writer.lock().unwrap();
+        for i in 0..5 {
+            sink.emit(&event(i));
+        }
+        drop(guard);
+        let report = sink.finish();
+        assert_eq!(report.emitted, 2, "queue capacity");
+        assert_eq!(report.dropped, 3, "overflow shed, not blocked");
+        assert_eq!(report.write_errors, 2, "failed writes surfaced");
+    }
+
+    #[test]
+    fn concurrent_emitters_lose_nothing_under_capacity() {
+        let cap = Capture::default();
+        let sink = Arc::new(EventSink::new(Box::new(cap.clone()), 10_000));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let sink = Arc::clone(&sink);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        sink.emit(&event(t * 1000 + i));
+                    }
+                });
+            }
+        });
+        let report = sink.finish();
+        assert_eq!(report.emitted, 400);
+        assert_eq!(report.dropped, 0);
+        let text = String::from_utf8(cap.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 400);
+        for line in text.lines() {
+            json::parse(line).expect("interleaving never corrupts lines");
+        }
+    }
+}

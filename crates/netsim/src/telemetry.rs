@@ -8,8 +8,12 @@ use crate::geometry::{Direction, Mesh, NodeId, Port};
 ///
 /// Stored as a dense array indexed by `node * 4 + direction` — the hot
 /// path records a traversal per optical hop, so this must be a plain
-/// add, not a hash probe. The array grows on demand to the highest node
-/// seen; absent entries read as zero, exactly like the former map.
+/// add, not a hash probe. Networks pre-size the array from their mesh
+/// via [`for_mesh`](LinkCounters::for_mesh) so the hot-path
+/// [`record`](LinkCounters::record) never reallocates; a
+/// default-constructed counter still grows on demand to the highest
+/// node seen, and absent entries read as zero, exactly like the former
+/// map.
 #[derive(Debug, Clone, Default)]
 pub struct LinkCounters {
     counts: Vec<u64>,
@@ -27,6 +31,14 @@ impl LinkCounters {
     /// Creates empty counters.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates counters pre-sized for every directed link of `mesh`, so
+    /// the hot-path [`record`](Self::record) branch never resizes.
+    pub fn for_mesh(mesh: Mesh) -> Self {
+        LinkCounters {
+            counts: vec![0; mesh.nodes() * 4],
+        }
     }
 
     /// Records one traversal of the link leaving `from` toward `dir`.
@@ -90,20 +102,49 @@ impl LinkCounters {
 /// Intensity ramp, low to high.
 const RAMP: &[u8] = b" .:-=+*#%@";
 
+/// Widest grid the renderer prints before aggregating (each cell costs
+/// two columns, so 64 cells ≈ a 128-column terminal).
+const MAX_HEAT_COLS: usize = 64;
+
+/// Tallest grid the renderer prints before aggregating.
+const MAX_HEAT_ROWS: usize = 48;
+
 /// Renders arbitrary per-node values as a `width x height` intensity
 /// grid (row 0 on top), with the scale printed underneath.
+///
+/// Meshes wider than 64 cells or taller than 48 degrade gracefully
+/// instead of emitting an unreadable dump: nodes are grouped into
+/// rectangular blocks, each cell shows the **max** of its block (so
+/// hotspots survive aggregation), and the footer names the block size.
+/// Small meshes render exactly as before.
 ///
 /// # Panics
 ///
 /// Panics if `values.len() != mesh.nodes()`.
 pub fn render_heatmap(mesh: Mesh, values: &[u64]) -> String {
     assert_eq!(values.len(), mesh.nodes(), "one value per node");
-    let max = values.iter().copied().max().unwrap_or(0);
+    let width = usize::from(mesh.width());
+    let height = usize::from(mesh.height());
+    // Block size per axis: 1 for small meshes (identity), else the
+    // smallest grouping that fits the cap.
+    let bx = width.div_ceil(MAX_HEAT_COLS).max(1);
+    let by = height.div_ceil(MAX_HEAT_ROWS).max(1);
+    let cols = width.div_ceil(bx);
+    let rows = height.div_ceil(by);
+    // Max-of-block aggregation (identity when bx == by == 1).
+    let mut cells = vec![0u64; cols * rows];
+    for y in 0..height {
+        for x in 0..width {
+            let cell = &mut cells[(y / by) * cols + x / bx];
+            *cell = (*cell).max(values[y * width + x]);
+        }
+    }
+    let max = cells.iter().copied().max().unwrap_or(0);
     let mut out = String::new();
-    for y in 0..mesh.height() {
+    for y in 0..rows {
         let mut row = String::new();
-        for x in 0..mesh.width() {
-            let v = values[usize::from(y) * usize::from(mesh.width()) + usize::from(x)];
+        for x in 0..cols {
+            let v = cells[y * cols + x];
             let idx = if max == 0 {
                 0
             } else {
@@ -116,6 +157,9 @@ pub fn render_heatmap(mesh: Mesh, values: &[u64]) -> String {
         out.push('\n');
     }
     out.push_str(&format!("scale: ' '=0 .. '@'={max}\n"));
+    if bx > 1 || by > 1 {
+        out.push_str(&format!("(each cell = max over a {bx}x{by} node block)\n"));
+    }
     out
 }
 
@@ -208,5 +252,39 @@ mod tests {
     #[should_panic(expected = "one value per node")]
     fn wrong_length_rejected() {
         let _ = render_heatmap(Mesh::new(2, 2), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn for_mesh_pre_sizes_every_link() {
+        let mesh = Mesh::new(4, 4);
+        let mut c = LinkCounters::for_mesh(mesh);
+        assert_eq!(c.counts.len(), mesh.nodes() * 4, "no hot-path growth");
+        // Recording the very last link must not resize.
+        let last = NodeId((mesh.nodes() - 1) as u16);
+        c.record(last, Direction::West);
+        assert_eq!(c.counts.len(), mesh.nodes() * 4);
+        assert_eq!(c.get(last, Direction::West), 1);
+        assert_eq!(c.total(), 1);
+    }
+
+    #[test]
+    fn large_mesh_heatmap_aggregates_to_terminal_width() {
+        // A 128x2 mesh would print 256 columns raw; the renderer groups
+        // nodes 2-wide so the grid fits, and a hotspot survives because
+        // cells take the max of their block.
+        let mesh = Mesh::new(128, 2);
+        let mut values = vec![1u64; mesh.nodes()];
+        values[130] = 10; // row 1, x=2 → aggregated cell (1, 1)
+        let hm = render_heatmap(mesh, &values);
+        let lines: Vec<&str> = hm.lines().collect();
+        assert_eq!(lines.len(), 4, "2 rows + scale + aggregation note");
+        assert!(lines[0].len() <= 2 * 64, "fits the column cap");
+        assert_eq!(lines[1].as_bytes()[2], b'@', "hotspot survives max-pool");
+        assert!(lines[3].contains("2x1 node block"), "{hm}");
+        // 1024-node square mesh (ROADMAP item 2) stays readable too.
+        let mesh = Mesh::new(32, 32);
+        let hm = render_heatmap(mesh, &vec![3u64; mesh.nodes()]);
+        assert!(!hm.contains("node block"), "32x32 needs no aggregation");
+        assert_eq!(hm.lines().count(), 33);
     }
 }
