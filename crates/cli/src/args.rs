@@ -69,6 +69,8 @@ pub const VALUE_KEYS: &[&str] = &[
     "flight-recorder",
     "flight-sample",
     "profile-sample",
+    "journal",
+    "resume",
 ];
 
 impl Parsed {
@@ -87,7 +89,16 @@ impl Parsed {
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
                 if let Some((key, value)) = key.split_once('=') {
+                    if key.is_empty() {
+                        return Err(ArgError(format!(
+                            "malformed option {a:?}: empty option name"
+                        )));
+                    }
                     out.options.insert(key.to_string(), value.to_string());
+                } else if key.is_empty() {
+                    return Err(ArgError(
+                        "malformed option \"--\": empty option name".into(),
+                    ));
                 } else if VALUE_KEYS.contains(&key) {
                     let v = it
                         .next()
@@ -156,6 +167,14 @@ mod tests {
     fn missing_value_is_an_error() {
         let e = Parsed::parse(vec!["--net".to_string()]).unwrap_err();
         assert!(e.to_string().contains("--net requires a value"));
+    }
+
+    #[test]
+    fn empty_option_names_are_rejected() {
+        let e = Parsed::parse(vec!["--=x".to_string()]).unwrap_err();
+        assert!(e.to_string().contains("empty option name"), "{e}");
+        let e = Parsed::parse(vec!["--".to_string()]).unwrap_err();
+        assert!(e.to_string().contains("empty option name"), "{e}");
     }
 
     #[test]

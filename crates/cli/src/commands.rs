@@ -279,6 +279,11 @@ fn rate_path(path: &str, rate: f64, multi: bool) -> String {
 fn load_benchmark_trace(p: &Parsed, mesh: Mesh) -> Result<(String, Trace), ArgError> {
     let name = p.get("benchmark").unwrap_or("FFT");
     let scale: f64 = p.get_parsed("scale", 0.25)?;
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err(ArgError(format!(
+            "--scale must be a positive finite number, got {scale}"
+        )));
+    }
     let mut profile = splash2::benchmark(name)
         .ok_or_else(|| ArgError(format!("unknown benchmark {name:?} (see Table 3)")))?;
     profile.misses_per_core = ((profile.misses_per_core as f64 * scale).round() as usize).max(2);
@@ -467,6 +472,14 @@ pub fn cmd_sweep(p: &Parsed) -> Result<String, ArgError> {
             })
             .collect::<Result<_, _>>()?,
     };
+    if let Some(bad) = rates
+        .iter()
+        .find(|r| !r.is_finite() || !(0.0..=1.0).contains(*r))
+    {
+        return Err(ArgError(format!(
+            "injection rates must be finite and in [0, 1], got {bad}"
+        )));
+    }
     let net_name = p.get("net").unwrap_or("optical4");
     let obs = parse_obs(p)?;
     let fault = parse_fault(p, mesh)?;
@@ -776,6 +789,11 @@ pub fn cmd_chaos(p: &Parsed) -> Result<String, ArgError> {
     let mesh = parse_mesh(p)?;
     let net_name = p.get("net").unwrap_or("optical4");
     let rate: f64 = p.get_parsed("rate", 0.05)?;
+    if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+        return Err(ArgError(format!(
+            "injection rates must be finite and in [0, 1], got {rate}"
+        )));
+    }
     let seed: u64 = p.get_parsed("seed", 7)?;
     let fault_seed: u64 = p.get_parsed("fault-seed", 1)?;
     // A tight retry cap keeps the soak's drain phase short; override with
@@ -919,7 +937,7 @@ USAGE:
                      [--fault-seed S] [--retry-limit L]
   phastlane lab run     SPEC [--workers N] [--batch K] [--report-out F]
                      [--perf-out F] [--progress[=FILE]] [--profile]
-                     [--profile-sample C]
+                     [--profile-sample C] [--journal F] [--resume F]
   phastlane lab record  SPEC [--name NAME] [--baseline-dir DIR] [--workers N]
                      [--batch K] [--bench-out F]
   phastlane lab compare SPEC [--name NAME] [--baseline-dir DIR] [--workers N]
@@ -950,6 +968,14 @@ lab progress (lab run):
                         FILE; purely observational, canonical report is
                         byte-identical
 
+crash safety (lab run):
+  --journal FILE        checkpoint every finished job to an append-only
+                        NDJSON journal (one CRC-protected line per job)
+  --resume FILE         replay a killed run's journal: finished jobs are
+                        restored, only the remainder re-runs, and the
+                        canonical report is byte-identical to an
+                        uninterrupted run (requires the same spec + flags)
+
 fault injection (simulate, sweep, chaos):
   --fault-plan FILE     scheduled faults (link nX DIR / router nX / droop F /
                         biterr R lines, each with optional @start +duration)
@@ -960,10 +986,16 @@ fault injection (simulate, sweep, chaos):
 lab spec keys (one `key value...` per line, # comments):
   name mesh seed nets patterns rates intensities replicas
   warmup measure drain retry-limit benchmarks scale max-cycles batch
-  profile
+  profile cycle-budget livelock-window wall-budget retries
+  retry-backoff-ms sabotage
   (batch K advances up to K same-cell replicas in lockstep; profile C
   attaches the phase profiler timing one cycle in C; like --workers
   neither ever changes a canonical-report bit)
+  (supervision: cycle-budget / livelock-window end runaway jobs with a
+  terminal timed_out outcome; wall-budget S caps wall seconds; retries N
+  re-runs panicked or wall-timed jobs with seeded backoff; sabotage
+  panic@I livelock@J deliberately breaks jobs I and J to exercise the
+  harness)
 
 networks: optical4 optical5 optical8 optical4b32 optical4b64 optical4ib
           optical4sp50 electrical2 electrical3
@@ -1173,6 +1205,41 @@ mod tests {
         ]);
         let out = dispatch(&p).expect("runs");
         assert!(out.contains("faults:"), "fault summary line present: {out}");
+    }
+
+    #[test]
+    fn hostile_numeric_arguments_are_rejected_not_panicked() {
+        // Negative, NaN, and out-of-range rates.
+        for bad in ["-0.5", "NaN", "1.5", "inf"] {
+            let e = dispatch(&parsed(&["sweep", "--rate", bad]))
+                .expect_err(&format!("rate {bad} accepted"));
+            assert!(
+                e.to_string().contains("[0, 1]") || e.to_string().contains("bad rate"),
+                "{bad}: {e}"
+            );
+            let e = dispatch(&parsed(&["chaos", "--mesh", "4x4", "--rate", bad]))
+                .expect_err(&format!("chaos rate {bad} accepted"));
+            assert!(!e.to_string().is_empty());
+        }
+        let e = dispatch(&parsed(&["sweep", "--rates", "0.02,-1"])).expect_err("negative rate");
+        assert!(e.to_string().contains("[0, 1]"), "{e}");
+        // Zero / NaN / negative --scale.
+        for bad in ["0", "-1", "NaN"] {
+            let e = dispatch(&parsed(&["simulate", "--benchmark", "LU", "--scale", bad]))
+                .expect_err(&format!("scale {bad} accepted"));
+            assert!(e.to_string().contains("positive finite"), "{bad}: {e}");
+        }
+        // Unparseable numeric values report their key.
+        let e = dispatch(&parsed(&["sweep", "--rate", "abc"])).expect_err("non-number");
+        assert!(e.to_string().contains("--rate"), "{e}");
+    }
+
+    #[test]
+    fn usage_documents_crash_safety() {
+        let u = usage();
+        for key in ["--journal", "--resume", "cycle-budget", "sabotage"] {
+            assert!(u.contains(key), "usage missing {key}");
+        }
     }
 
     #[test]

@@ -16,7 +16,10 @@
 
 use crate::args::{ArgError, Parsed};
 use phastlane_lab::baseline::{self, Tolerances};
-use phastlane_lab::{run_lab_with, LabReport, LabSpec};
+use phastlane_lab::journal::{self, Journal};
+use phastlane_lab::scheduler::{run_lab_opts, RunOptions};
+use phastlane_lab::store::{self, StoreError};
+use phastlane_lab::{LabReport, LabSpec};
 use phastlane_netsim::obs::json::{self, JsonValue};
 use phastlane_netsim::obs::{EventSink, Phase, PhaseProfiler};
 use std::path::{Path, PathBuf};
@@ -41,13 +44,9 @@ fn parse_tolerances(p: &Parsed) -> Result<Tolerances, ArgError> {
 }
 
 fn write_json(path: &str, json: &JsonValue) -> Result<(), ArgError> {
-    if let Some(parent) = Path::new(path).parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)
-                .map_err(|e| ArgError(format!("cannot create {}: {e}", parent.display())))?;
-        }
-    }
-    std::fs::write(path, json.to_string_pretty())
+    // Atomic (temp + rename): a crash mid-export leaves the previous
+    // file intact, never a torn report.
+    store::write_atomic(Path::new(path), json.to_string_pretty().as_bytes())
         .map_err(|e| ArgError(format!("cannot write {path}: {e}")))
 }
 
@@ -83,8 +82,63 @@ fn execute(p: &Parsed, spec: &LabSpec) -> Result<(LabReport, String), ArgError> 
         }
     }
     let progress = parse_progress(p)?;
-    let report =
-        run_lab_with(&spec, workers, progress.as_ref().map(|(s, _)| s)).map_err(ArgError)?;
+
+    // --resume JOURNAL: replay the finished jobs of an interrupted run.
+    // The journal header pins the exact spec encoding, so resuming with
+    // a different spec (or different spec-shaping flags) is an error,
+    // not a silently mixed report.
+    let mut resume_note = String::new();
+    let resumed = match p.get("resume") {
+        None => Vec::new(),
+        Some(path) => {
+            let rec = journal::load(Path::new(path)).map_err(ArgError)?;
+            if rec.spec != spec.encode() {
+                return Err(ArgError(format!(
+                    "journal {path} was written by a different spec; \
+                     resume with the same spec file and flags\n\
+                     journal spec:\n{}\ncurrent spec:\n{}",
+                    rec.spec,
+                    spec.encode()
+                )));
+            }
+            resume_note = format!(
+                "resumed {} finished job(s) from {path}{}\n",
+                rec.records.len(),
+                if rec.torn_lines > 0 {
+                    format!(" ({} torn line(s) dropped)", rec.torn_lines)
+                } else {
+                    String::new()
+                }
+            );
+            rec.records
+        }
+    };
+
+    // --journal FILE: checkpoint every finished job. On resume the
+    // recovered records are re-appended first, so the new journal is
+    // self-contained.
+    let journal = match p.get("journal") {
+        None => None,
+        Some(path) => {
+            let j = Journal::create(Path::new(path), &spec).map_err(ArgError)?;
+            for rec in &resumed {
+                j.append(rec);
+            }
+            Some((j, path.to_string()))
+        }
+    };
+
+    let report = run_lab_opts(
+        &spec,
+        RunOptions {
+            workers,
+            progress: progress.as_ref().map(|(s, _)| s),
+            journal: journal.as_ref().map(|(j, _)| j),
+            resumed,
+            cancel: None,
+        },
+    )
+    .map_err(ArgError)?;
     let mut out = format!(
         "lab {}: {} jobs on {} workers ({}x{}, seed {})\n",
         spec.name,
@@ -94,9 +148,10 @@ fn execute(p: &Parsed, spec: &LabSpec) -> Result<(LabReport, String), ArgError> 
         spec.mesh.height(),
         spec.seed,
     );
+    out.push_str(&resume_note);
     out.push_str(&format!(
-        "{:>4} {:>12} {:>10} {:>6} {:>9} {:>8} {:>7}\n",
-        "job", "net", "work", "rate", "latency", "p99", "stable"
+        "{:>4} {:>12} {:>10} {:>6} {:>9} {:>8} {:>7} {:>9}\n",
+        "job", "net", "work", "rate", "latency", "p99", "stable", "outcome"
     ));
     for j in &report.jobs {
         let work = j
@@ -105,7 +160,7 @@ fn execute(p: &Parsed, spec: &LabSpec) -> Result<(LabReport, String), ArgError> 
             .or_else(|| j.benchmark.clone())
             .unwrap_or_default();
         out.push_str(&format!(
-            "{:>4} {:>12} {:>10} {:>6} {:>9} {:>8} {:>7}\n",
+            "{:>4} {:>12} {:>10} {:>6} {:>9} {:>8} {:>7} {:>9}\n",
             j.index,
             j.net,
             work,
@@ -122,6 +177,7 @@ fn execute(p: &Parsed, spec: &LabSpec) -> Result<(LabReport, String), ArgError> 
             j.stable
                 .map(|s| if s { "yes" } else { "NO" }.to_string())
                 .unwrap_or_else(|| "-".into()),
+            j.outcome.label(),
         ));
     }
     out.push_str(&format!(
@@ -143,6 +199,13 @@ fn execute(p: &Parsed, spec: &LabSpec) -> Result<(LabReport, String), ArgError> 
         out.push_str(&format!(
             "{label}: {} events ({} dropped, {} write errors)\n",
             t.emitted, t.dropped, t.write_errors
+        ));
+    }
+    if let Some((j, path)) = &journal {
+        out.push_str(&format!(
+            "journal -> {path} ({} record(s), {} write error(s))\n",
+            report.jobs.len(),
+            j.write_errors()
         ));
     }
     if let Some(path) = p.get("report-out") {
@@ -234,10 +297,14 @@ pub fn cmd_lab(p: &Parsed) -> Result<String, ArgError> {
             let spec = read_spec(p)?;
             let (report, mut out) = execute(p, &spec)?;
             let (path, name) = baseline_path(p, &spec);
-            write_json(
-                path.to_str().expect("utf-8 path"),
-                &baseline::baseline_json(&name, &report),
-            )?;
+            // Baselines are written atomically under a checksum header:
+            // a torn or bit-rotted baseline is detected at compare time
+            // instead of silently gating against garbage.
+            store::write_checksummed(
+                &path,
+                &baseline::baseline_json(&name, &report).to_string_pretty(),
+            )
+            .map_err(|e| ArgError(format!("cannot write baseline: {e}")))?;
             out.push_str(&format!("baseline {name} -> {}\n", path.display()));
             let bench_path = match p.get("bench-out") {
                 Some(b) => PathBuf::from(b),
@@ -258,14 +325,36 @@ pub fn cmd_lab(p: &Parsed) -> Result<String, ArgError> {
             let spec = read_spec(p)?;
             let tol = parse_tolerances(p)?;
             let (path, name) = baseline_path(p, &spec);
-            let text = std::fs::read_to_string(&path).map_err(|e| {
+            let text = match store::read_checksummed(&path) {
+                Ok(text) => text,
+                Err(StoreError::Missing(_)) => {
+                    return Err(ArgError(format!(
+                        "cannot read baseline {} (record it first with `lab record`): \
+                         no such file",
+                        path.display()
+                    )))
+                }
+                Err(e) if e.is_corrupt() => {
+                    // Never gate against damaged bytes: move the file
+                    // aside and tell the user to re-record.
+                    let where_to = match store::quarantine(&path) {
+                        Ok(q) => format!("quarantined to {}", q.display()),
+                        Err(qe) => format!("quarantine failed ({qe}); inspect it by hand"),
+                    };
+                    return Err(ArgError(format!(
+                        "{e}\nthe damaged baseline was {where_to}; \
+                         re-record it with `lab record`"
+                    )));
+                }
+                Err(e) => return Err(ArgError(format!("cannot read baseline: {e}"))),
+            };
+            let recorded = json::parse(&text).map_err(|e| {
                 ArgError(format!(
-                    "cannot read baseline {} (record it first with `lab record`): {e}",
+                    "{} is not a valid baseline (truncated or hand-edited?): {e}\n\
+                     re-record it with `lab record`",
                     path.display()
                 ))
             })?;
-            let recorded =
-                json::parse(&text).map_err(|e| ArgError(format!("{}: {e}", path.display())))?;
             let (report, mut out) = execute(p, &spec)?;
             let regressions = baseline::compare(&recorded, &report, &tol).map_err(ArgError)?;
             if regressions.is_empty() {
@@ -535,9 +624,11 @@ mod tests {
         .expect("records");
 
         // Inject a regression: halve every baseline latency so the fresh
-        // (unchanged) run looks twice as slow.
+        // (unchanged) run looks twice as slow. Read through the
+        // checksum layer and write back headerless (the legacy format,
+        // still accepted).
         let bpath = bdir.join("cmd-test.json");
-        let text = std::fs::read_to_string(&bpath).unwrap();
+        let text = store::read_checksummed(&bpath).unwrap();
         let mut recorded = json::parse(&text).unwrap();
         fn halve_latencies(v: &mut JsonValue) {
             match v {
@@ -597,6 +688,152 @@ mod tests {
         ]))
         .expect_err("missing baseline");
         assert!(err.to_string().contains("record it first"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_replays_journal_to_a_byte_identical_report() {
+        let dir = scratch("resume");
+        let spec = write_spec(&dir, SPEC);
+        let full = dir.join("full.json");
+        let resumed = dir.join("resumed.json");
+        let journal = dir.join("run.ndjson");
+
+        // Uninterrupted run (no journal) is the reference.
+        cmd_lab(&parsed(&[
+            "lab",
+            "run",
+            &spec,
+            "--report-out",
+            full.to_str().unwrap(),
+        ]))
+        .expect("reference run");
+
+        // Journaled run; then chop the journal down to one finished job
+        // to simulate a SIGKILL partway through.
+        let out = cmd_lab(&parsed(&[
+            "lab",
+            "run",
+            &spec,
+            "--journal",
+            journal.to_str().unwrap(),
+        ]))
+        .expect("journaled run");
+        assert!(out.contains("journal ->"), "{out}");
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 records: {text}");
+        std::fs::write(&journal, format!("{}\n{}\n", lines[0], lines[1])).unwrap();
+
+        let out = cmd_lab(&parsed(&[
+            "lab",
+            "run",
+            &spec,
+            "--resume",
+            journal.to_str().unwrap(),
+            "--report-out",
+            resumed.to_str().unwrap(),
+        ]))
+        .expect("resumed run");
+        assert!(out.contains("resumed 1 finished job(s)"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&full).unwrap(),
+            std::fs::read_to_string(&resumed).unwrap(),
+            "resume must reproduce the uninterrupted report byte-for-byte"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_spec() {
+        let dir = scratch("resume-mismatch");
+        let spec = write_spec(&dir, SPEC);
+        let journal = dir.join("run.ndjson");
+        cmd_lab(&parsed(&[
+            "lab",
+            "run",
+            &spec,
+            "--journal",
+            journal.to_str().unwrap(),
+        ]))
+        .expect("journaled run");
+        // Same journal, different spec: refuse to mix runs.
+        let other = dir.join("other.lab");
+        std::fs::write(&other, SPEC.replace("rates 0.02 0.05", "rates 0.02 0.06")).unwrap();
+        let err = cmd_lab(&parsed(&[
+            "lab",
+            "run",
+            other.to_str().unwrap(),
+            "--resume",
+            journal.to_str().unwrap(),
+        ]))
+        .expect_err("mismatched spec accepted");
+        assert!(err.to_string().contains("different spec"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_baseline_is_quarantined_not_compared() {
+        let dir = scratch("corrupt-baseline");
+        let spec = write_spec(&dir, SPEC);
+        let bdir = dir.join("baselines");
+        cmd_lab(&parsed(&[
+            "lab",
+            "record",
+            &spec,
+            "--baseline-dir",
+            bdir.to_str().unwrap(),
+        ]))
+        .expect("records");
+        // Tear the baseline: flip a byte inside the checksummed payload.
+        let bpath = bdir.join("cmd-test.json");
+        let mut bytes = std::fs::read(&bpath).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] = bytes[mid].wrapping_add(1);
+        std::fs::write(&bpath, &bytes).unwrap();
+
+        let err = cmd_lab(&parsed(&[
+            "lab",
+            "compare",
+            &spec,
+            "--baseline-dir",
+            bdir.to_str().unwrap(),
+        ]))
+        .expect_err("corrupt baseline compared");
+        let msg = err.to_string();
+        assert!(msg.contains("corrupt"), "{msg}");
+        assert!(msg.contains("quarantined"), "{msg}");
+        assert!(!bpath.exists(), "bad file moved aside");
+        assert!(bdir.join("cmd-test.json.corrupt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sabotaged_jobs_surface_terminal_outcomes_in_the_report() {
+        let dir = scratch("sabotage");
+        let spec = write_spec(
+            &dir,
+            "name sabotage-cli\nmesh 4x4\nnets optical4\npatterns uniform\n\
+             rates 0.02 0.05 0.08\nwarmup 50\nmeasure 100\ndrain 400\n\
+             retry-backoff-ms 1\nsabotage panic@0 livelock@2\n",
+        );
+        let report = dir.join("report.json");
+        let out = cmd_lab(&parsed(&[
+            "lab",
+            "run",
+            &spec,
+            "--workers",
+            "2",
+            "--report-out",
+            report.to_str().unwrap(),
+        ]))
+        .expect("sabotaged lab still finishes");
+        assert!(out.contains("panicked"), "{out}");
+        assert!(out.contains("timed_out"), "{out}");
+        let text = std::fs::read_to_string(&report).unwrap();
+        assert!(text.contains("\"panicked\""), "{text}");
+        assert!(text.contains("\"timed_out\""), "{text}");
+        assert!(text.contains("livelock"), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -231,6 +231,7 @@ mod tests {
             undeliverable: 0,
             timed_out: false,
             stable: Some(true),
+            outcome: crate::report::JobOutcome::Completed,
             wall_seconds: 0.25,
             phases: None,
         };

@@ -25,15 +25,26 @@
 //!   and the regression gate: [`baseline::compare`] diffs a fresh run
 //!   against a recorded baseline and reports regressions in mean/p99
 //!   latency, saturation rate, and simulator throughput beyond
-//!   configurable tolerances.
+//!   configurable tolerances;
+//! * [`supervise`] — panic isolation and bounded seeded retry around
+//!   every job, so one crashing or livelocked simulation records a
+//!   terminal outcome instead of killing the sweep;
+//! * [`journal`] — an append-only NDJSON checkpoint of finished jobs;
+//!   `lab run --resume` replays it and re-runs only the remainder,
+//!   byte-identical to an uninterrupted run;
+//! * [`store`] — atomic (temp+rename) writes and checksummed reads for
+//!   durable artifacts, with quarantine for corrupt files.
 
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod journal;
 pub mod report;
 pub mod runner;
 pub mod scheduler;
 pub mod spec;
+pub mod store;
+pub mod supervise;
 
 pub use baseline::Tolerances;
 pub use report::{GroupSaturation, JobRecord, LabReport};

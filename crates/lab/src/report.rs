@@ -18,6 +18,91 @@ use phastlane_netsim::obs::PhaseBreakdown;
 use phastlane_netsim::stats::LatencyStats;
 use phastlane_netsim::sweep::Saturation;
 
+/// How a job's execution ended.
+///
+/// `Completed` covers every job that ran to its natural end — including
+/// unstable or saturated ones (those verdicts live in `stable` /
+/// `timed_out`). The other variants are *terminal harness outcomes*: the
+/// supervisor stopped the job (watchdog) or caught it dying (panic), and
+/// the record's metrics describe at most a partial run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum JobOutcome {
+    /// The job ran to completion.
+    #[default]
+    Completed,
+    /// A watchdog stopped the job (cycle budget, livelock, wall budget,
+    /// or cancellation — the reason string says which).
+    TimedOut {
+        /// Deterministic reason string (see
+        /// `phastlane_netsim::watchdog::Interrupt::reason`).
+        reason: String,
+    },
+    /// The job panicked; the worker pool survived and recorded it.
+    Panicked {
+        /// The panic payload's message, when it was a string.
+        message: String,
+    },
+}
+
+impl JobOutcome {
+    /// Whether the job ran to its natural end.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobOutcome::Completed)
+    }
+
+    /// Short kind label (`completed` / `timed_out` / `panicked`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobOutcome::Completed => "completed",
+            JobOutcome::TimedOut { .. } => "timed_out",
+            JobOutcome::Panicked { .. } => "panicked",
+        }
+    }
+
+    /// Serializes the outcome (used in both report and journal forms).
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![("kind".into(), JsonValue::Str(self.label().into()))];
+        match self {
+            JobOutcome::Completed => {}
+            JobOutcome::TimedOut { reason } => {
+                pairs.push(("reason".into(), JsonValue::Str(reason.clone())));
+            }
+            JobOutcome::Panicked { message } => {
+                pairs.push(("message".into(), JsonValue::Str(message.clone())));
+            }
+        }
+        JsonValue::Obj(pairs)
+    }
+
+    /// Parses [`to_json`](Self::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// Errors on a missing or unknown `kind`.
+    pub fn from_json(v: &JsonValue) -> Result<JobOutcome, String> {
+        let kind = v
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "outcome: missing `kind`".to_string())?;
+        let text = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        match kind {
+            "completed" => Ok(JobOutcome::Completed),
+            "timed_out" => Ok(JobOutcome::TimedOut {
+                reason: text("reason"),
+            }),
+            "panicked" => Ok(JobOutcome::Panicked {
+                message: text("message"),
+            }),
+            other => Err(format!("outcome: unknown kind {other:?}")),
+        }
+    }
+}
+
 /// Plain-data summary of one executed job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {
@@ -60,6 +145,10 @@ pub struct JobRecord {
     /// Synthetic stability verdict (delivered ≥ 90% of offered, nothing
     /// unfinished); `None` for replay jobs.
     pub stable: Option<bool>,
+    /// Terminal harness outcome. `Completed` (the default) is omitted
+    /// from the canonical JSON so reports of healthy runs are
+    /// byte-identical to those recorded before outcomes existed.
+    pub outcome: JobOutcome,
     /// Wall-clock seconds this job took. **Never** part of the
     /// canonical report.
     pub wall_seconds: f64,
@@ -68,6 +157,122 @@ pub struct JobRecord {
     /// **never** part of the canonical report — it surfaces merged in
     /// [`LabReport::perf_json`].
     pub phases: Option<PhaseBreakdown>,
+}
+
+impl JobRecord {
+    /// Serializes the record with *full fidelity* — including the
+    /// complete latency histogram and the perf-layer wall clock — so the
+    /// run journal can reconstruct it bit-for-bit on resume. The one
+    /// exception is `phases` (sampled profiler wall time): it is
+    /// perf-layer-only observation and is not journaled; a resumed job
+    /// simply reports no phase breakdown.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("index".into(), JsonValue::Uint(self.index as u64)),
+            ("net".into(), JsonValue::Str(self.net.clone())),
+            ("pattern".into(), opt_s(&self.pattern)),
+            ("rate".into(), opt_f(self.rate)),
+            ("benchmark".into(), opt_s(&self.benchmark)),
+            ("intensity".into(), JsonValue::Num(self.intensity)),
+            ("replica".into(), JsonValue::Uint(u64::from(self.replica))),
+            ("seed".into(), JsonValue::Uint(self.seed)),
+            ("cycles".into(), JsonValue::Uint(self.cycles)),
+            ("latency".into(), self.latency.to_json()),
+            ("energy_pj".into(), JsonValue::Num(self.energy_pj)),
+            ("offered_rate".into(), opt_f(self.offered_rate)),
+            ("accepted_rate".into(), opt_f(self.accepted_rate)),
+            ("delivered_rate".into(), opt_f(self.delivered_rate)),
+            ("completion_cycle".into(), opt_u(self.completion_cycle)),
+            ("unfinished".into(), JsonValue::Uint(self.unfinished)),
+            ("undeliverable".into(), JsonValue::Uint(self.undeliverable)),
+            ("timed_out".into(), JsonValue::Bool(self.timed_out)),
+            (
+                "stable".into(),
+                self.stable.map(JsonValue::Bool).unwrap_or(JsonValue::Null),
+            ),
+            ("outcome".into(), self.outcome.to_json()),
+            ("wall_seconds".into(), JsonValue::Num(self.wall_seconds)),
+        ])
+    }
+
+    /// Reconstructs a record from [`to_json`](Self::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(v: &JsonValue) -> Result<JobRecord, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("record: missing `{k}`"));
+        let uint = |k: &str| {
+            field(k)?
+                .as_u64()
+                .ok_or_else(|| format!("record: `{k}` is not an unsigned integer"))
+        };
+        let num = |k: &str| {
+            field(k)?
+                .as_f64()
+                .ok_or_else(|| format!("record: `{k}` is not a number"))
+        };
+        let opt_num = |k: &str| -> Result<Option<f64>, String> {
+            match field(k)? {
+                JsonValue::Null => Ok(None),
+                x => Ok(Some(
+                    x.as_f64()
+                        .ok_or_else(|| format!("record: `{k}` is not a number"))?,
+                )),
+            }
+        };
+        let opt_uint = |k: &str| -> Result<Option<u64>, String> {
+            match field(k)? {
+                JsonValue::Null => Ok(None),
+                x => Ok(Some(x.as_u64().ok_or_else(|| {
+                    format!("record: `{k}` is not an unsigned integer")
+                })?)),
+            }
+        };
+        let opt_str = |k: &str| -> Result<Option<String>, String> {
+            match field(k)? {
+                JsonValue::Null => Ok(None),
+                JsonValue::Str(s) => Ok(Some(s.clone())),
+                _ => Err(format!("record: `{k}` is not a string")),
+            }
+        };
+        let boolean = |k: &str| match field(k)? {
+            JsonValue::Bool(b) => Ok(*b),
+            _ => Err(format!("record: `{k}` is not a bool")),
+        };
+        let stable = match field("stable")? {
+            JsonValue::Null => None,
+            JsonValue::Bool(b) => Some(*b),
+            _ => return Err("record: `stable` is not a bool".into()),
+        };
+        Ok(JobRecord {
+            index: uint("index")? as usize,
+            net: field("net")?
+                .as_str()
+                .ok_or_else(|| "record: `net` is not a string".to_string())?
+                .to_string(),
+            pattern: opt_str("pattern")?,
+            rate: opt_num("rate")?,
+            benchmark: opt_str("benchmark")?,
+            intensity: num("intensity")?,
+            replica: uint("replica")? as u32,
+            seed: uint("seed")?,
+            cycles: uint("cycles")?,
+            latency: LatencyStats::from_json(field("latency")?)?,
+            energy_pj: num("energy_pj")?,
+            offered_rate: opt_num("offered_rate")?,
+            accepted_rate: opt_num("accepted_rate")?,
+            delivered_rate: opt_num("delivered_rate")?,
+            completion_cycle: opt_uint("completion_cycle")?,
+            unfinished: uint("unfinished")?,
+            undeliverable: uint("undeliverable")?,
+            timed_out: boolean("timed_out")?,
+            stable,
+            outcome: JobOutcome::from_json(field("outcome")?)?,
+            wall_seconds: num("wall_seconds")?,
+            phases: None,
+        })
+    }
 }
 
 /// Saturation verdict for one synthetic curve of the matrix (one
@@ -198,7 +403,7 @@ impl LabReport {
                     self.jobs
                         .iter()
                         .map(|j| {
-                            JsonValue::Obj(vec![
+                            let mut pairs = vec![
                                 ("index".into(), JsonValue::Uint(j.index as u64)),
                                 ("net".into(), JsonValue::Str(j.net.clone())),
                                 ("pattern".into(), opt_s(&j.pattern)),
@@ -221,7 +426,14 @@ impl LabReport {
                                     "stable".into(),
                                     j.stable.map(JsonValue::Bool).unwrap_or(JsonValue::Null),
                                 ),
-                            ])
+                            ];
+                            // Omit-when-default: only failed jobs carry
+                            // an outcome key, so healthy reports stay
+                            // byte-identical to pre-outcome goldens.
+                            if !j.outcome.is_completed() {
+                                pairs.push(("outcome".into(), j.outcome.to_json()));
+                            }
+                            JsonValue::Obj(pairs)
                         })
                         .collect(),
                 ),
@@ -297,7 +509,7 @@ impl LabReport {
             "index,net,pattern,rate,benchmark,intensity,replica,seed,cycles,\
              latency_count,latency_mean,latency_p50,latency_p99,energy_pj,\
              offered_rate,accepted_rate,delivered_rate,completion_cycle,\
-             unfinished,undeliverable,timed_out,stable\n",
+             unfinished,undeliverable,timed_out,stable,outcome\n",
         );
         let f = |v: Option<f64>| v.map(|x| x.to_string()).unwrap_or_default();
         let u = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_default();
@@ -308,7 +520,7 @@ impl LabReport {
                     .flatten()
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 j.index,
                 j.net,
                 j.pattern.as_deref().unwrap_or(""),
@@ -331,6 +543,7 @@ impl LabReport {
                 j.undeliverable,
                 j.timed_out,
                 j.stable.map(|b| b.to_string()).unwrap_or_default(),
+                j.outcome.label(),
             ));
         }
         out
@@ -400,6 +613,7 @@ mod tests {
             undeliverable: 0,
             timed_out: false,
             stable: Some(stable),
+            outcome: JobOutcome::Completed,
             wall_seconds: wall,
             phases: None,
         }
@@ -450,6 +664,57 @@ mod tests {
         );
         assert_eq!(r.saturations.len(), 1);
         assert_eq!(r.saturations[0].saturation, Saturation::Stable(0.1));
+    }
+
+    #[test]
+    fn outcome_key_appears_only_for_failed_jobs() {
+        let healthy = LabReport::new(spec(), vec![record(0, 0.1, true, 0.1)], 1, 0.1);
+        let text = healthy.canonical_json().to_string_compact();
+        assert!(
+            !text.contains("outcome"),
+            "completed jobs must not grow an outcome key (golden compat): {text}"
+        );
+
+        let mut failed = record(0, 0.1, true, 0.1);
+        failed.outcome = JobOutcome::Panicked {
+            message: "boom".into(),
+        };
+        let report = LabReport::new(spec(), vec![failed], 1, 0.1);
+        let text = report.canonical_json().to_string_compact();
+        assert!(text.contains("\"outcome\""), "{text}");
+        assert!(text.contains("\"panicked\""), "{text}");
+        assert!(text.contains("boom"), "{text}");
+    }
+
+    #[test]
+    fn job_record_journal_round_trip_is_exact() {
+        for rec in [record(3, 0.1, true, 1.25), {
+            let mut r = record(7, 0.2, false, 0.5);
+            r.outcome = JobOutcome::TimedOut {
+                reason: "livelock: no progress for 2000 cycles (at cycle 2100)".into(),
+            };
+            r.benchmark = Some("FFT".into());
+            r.completion_cycle = Some(123_456);
+            r.stable = None;
+            r
+        }] {
+            let text = rec.to_json().to_string_compact();
+            let parsed = phastlane_netsim::obs::json::parse(&text).expect("valid json");
+            let back = JobRecord::from_json(&parsed).expect("round-trips");
+            assert_eq!(back, rec);
+        }
+        // Outcome kinds round-trip.
+        for o in [
+            JobOutcome::Completed,
+            JobOutcome::TimedOut {
+                reason: "cycle budget 10 exhausted".into(),
+            },
+            JobOutcome::Panicked {
+                message: "index out of bounds".into(),
+            },
+        ] {
+            assert_eq!(JobOutcome::from_json(&o.to_json()).unwrap(), o);
+        }
     }
 
     #[test]

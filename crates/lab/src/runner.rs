@@ -7,18 +7,19 @@
 //! pure functions of the spec — which is what makes the scheduler's
 //! worker count invisible in the results.
 
-use crate::report::JobRecord;
-use crate::spec::{JobSpec, LabSpec, Work};
+use crate::report::{JobOutcome, JobRecord};
+use crate::spec::{JobSpec, LabSpec, SabotageKind, Work};
 use phastlane_core::{PhastlaneConfig, PhastlaneNetwork};
 use phastlane_electrical::{ElectricalConfig, ElectricalNetwork};
-use phastlane_netsim::fault::FaultPlan;
-use phastlane_netsim::geometry::Mesh;
+use phastlane_netsim::fault::{Fault, FaultKind, FaultPlan};
+use phastlane_netsim::geometry::{Mesh, NodeId};
 use phastlane_netsim::harness::{
-    run_synthetic, run_synthetic_lockstep, run_trace, SyntheticOptions, SyntheticResult,
-    TraceOptions,
+    run_synthetic_lockstep_watched, run_synthetic_watched, run_trace_guarded, SyntheticOptions,
+    SyntheticResult, TraceOptions,
 };
 use phastlane_netsim::network::Network;
 use phastlane_netsim::obs::PhaseProfiler;
+use phastlane_netsim::watchdog::{CancelToken, Watchdog};
 use phastlane_traffic::coherence::generate_trace;
 use phastlane_traffic::splash2;
 use phastlane_traffic::synthetic::BernoulliTraffic;
@@ -98,7 +99,19 @@ fn build_job_network(spec: &LabSpec, job: &JobSpec) -> Result<Box<dyn Network + 
         .retry_limit
         .or_else(|| (job.intensity > 0.0).then_some(50));
     let mut net = build_network(&job.net, spec.mesh, retry_limit)?;
-    if job.intensity > 0.0 {
+    if spec.sabotage_for(job.index) == Some(SabotageKind::Livelock) {
+        // Deliberate livelock (harness testing): every router wedges
+        // permanently, so packets queue but never move and the
+        // watchdog's livelock detector must fire. Overrides the job's
+        // regular fault plan.
+        let mut plan = FaultPlan::new();
+        for node in 0..spec.mesh.nodes() {
+            plan.push(Fault::permanent(FaultKind::RouterStuck {
+                node: NodeId(node as u16),
+            }));
+        }
+        net.set_fault_plan(plan, job.fault_seed);
+    } else if job.intensity > 0.0 {
         let plan = FaultPlan::random(spec.mesh, job.fault_seed, job.intensity);
         net.set_fault_plan(plan, job.fault_seed);
     }
@@ -108,10 +121,52 @@ fn build_job_network(spec: &LabSpec, job: &JobSpec) -> Result<Box<dyn Network + 
     Ok(net)
 }
 
+/// Default livelock window armed for sabotaged-livelock jobs when the
+/// spec does not set one, so the deliberate wedge is detected instead of
+/// burning the whole drain allowance.
+const SABOTAGE_LIVELOCK_WINDOW: u64 = 2_000;
+
+/// Builds one job's watchdog from the spec's supervision keys (plus the
+/// supervisor's cancellation token, when running supervised). Returns
+/// `None` when nothing is armed — the drive then pays only one branch
+/// per cycle.
+pub fn watchdog_for(
+    spec: &LabSpec,
+    job: &JobSpec,
+    cancel: Option<&CancelToken>,
+) -> Option<Watchdog> {
+    let mut wd = Watchdog::new();
+    if let Some(b) = spec.cycle_budget {
+        wd = wd.with_cycle_budget(b);
+    }
+    let mut window = spec.livelock_window;
+    if spec.sabotage_for(job.index) == Some(SabotageKind::Livelock) && window.is_none() {
+        window = Some(SABOTAGE_LIVELOCK_WINDOW);
+    }
+    if let Some(w) = window {
+        wd = wd.with_livelock_window(w);
+    }
+    if let Some(s) = spec.wall_budget {
+        wd = wd.with_wall_budget(std::time::Duration::from_secs_f64(s));
+    }
+    if let Some(token) = cancel {
+        wd = wd.with_cancel(token.clone());
+    }
+    wd.is_armed().then_some(wd)
+}
+
 /// Summarizes one synthetic run as its job's record (wall clock still
 /// zero; the caller attributes it).
 fn synthetic_record(job: &JobSpec, pattern: &Pattern, rate: f64, r: SyntheticResult) -> JobRecord {
     let stable = r.unfinished == 0 && r.delivered_rate >= 0.90 * r.offered_rate;
+    // A watchdog interrupt makes the metrics partial: the job is marked
+    // timed out, carries the verdict as its outcome, and abstains from
+    // the stability vote (so saturation curves only see full runs).
+    let outcome = match &r.interrupt {
+        Some(i) => JobOutcome::TimedOut { reason: i.reason() },
+        None => JobOutcome::Completed,
+    };
+    let interrupted = r.interrupt.is_some();
     JobRecord {
         index: job.index,
         net: job.net.clone(),
@@ -130,10 +185,27 @@ fn synthetic_record(job: &JobSpec, pattern: &Pattern, rate: f64, r: SyntheticRes
         completion_cycle: None,
         unfinished: r.unfinished,
         undeliverable: r.undeliverable,
-        timed_out: false,
-        stable: Some(stable),
+        timed_out: interrupted,
+        stable: if interrupted { None } else { Some(stable) },
+        outcome,
         wall_seconds: 0.0,
         phases: r.perf.phases,
+    }
+}
+
+/// The effective synthetic drive options for one job. A
+/// sabotaged-livelock job gets its drain stretched so the watchdog —
+/// not the drain allowance — is what ends it, at a deterministic cycle.
+fn synthetic_opts(spec: &LabSpec, job: &JobSpec) -> SyntheticOptions {
+    let drain = if spec.sabotage_for(job.index) == Some(SabotageKind::Livelock) {
+        spec.drain.max(1_000_000)
+    } else {
+        spec.drain
+    };
+    SyntheticOptions {
+        warmup: spec.warmup,
+        measure: spec.measure,
+        drain,
     }
 }
 
@@ -147,6 +219,21 @@ fn synthetic_record(job: &JobSpec, pattern: &Pattern, rate: f64, r: SyntheticRes
 /// Errors on an unknown network name, or if any job is not synthetic
 /// (the scheduler only groups synthetic replicas).
 pub fn run_job_batch(spec: &LabSpec, jobs: &[JobSpec]) -> Result<Vec<JobRecord>, String> {
+    run_job_batch_watched(spec, jobs, None)
+}
+
+/// [`run_job_batch`] with per-lane watchdogs armed from the spec's
+/// supervision keys (and the supervisor's cancellation token, if any).
+/// An interrupted lane stops ticking; the others run to completion.
+///
+/// # Errors
+///
+/// Same as [`run_job_batch`].
+pub fn run_job_batch_watched(
+    spec: &LabSpec,
+    jobs: &[JobSpec],
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<JobRecord>, String> {
     let wall_start = Instant::now();
     let mut nets = Vec::with_capacity(jobs.len());
     let mut workloads = Vec::with_capacity(jobs.len());
@@ -162,7 +249,9 @@ pub fn run_job_batch(spec: &LabSpec, jobs: &[JobSpec]) -> Result<Vec<JobRecord>,
         workloads.push(BernoulliTraffic::new(spec.mesh, *pattern, *rate, job.seed));
         cells.push((pattern, *rate));
     }
-    let results = run_synthetic_lockstep(
+    // The scheduler never batches sabotaged jobs, so one shared options
+    // struct (no per-lane drain bump) is correct here.
+    let results = run_synthetic_lockstep_watched(
         &mut nets,
         &mut workloads,
         SyntheticOptions {
@@ -170,6 +259,7 @@ pub fn run_job_batch(spec: &LabSpec, jobs: &[JobSpec]) -> Result<Vec<JobRecord>,
             measure: spec.measure,
             drain: spec.drain,
         },
+        |lane| watchdog_for(spec, &jobs[lane], cancel),
     );
     let wall_share = wall_start.elapsed().as_secs_f64() / jobs.len().max(1) as f64;
     Ok(jobs
@@ -191,21 +281,29 @@ pub fn run_job_batch(spec: &LabSpec, jobs: &[JobSpec]) -> Result<Vec<JobRecord>,
 /// Errors on an unknown network or benchmark name (normally caught at
 /// spec-parse time already).
 pub fn run_job(spec: &LabSpec, job: &JobSpec) -> Result<JobRecord, String> {
+    run_job_watched(spec, job, None)
+}
+
+/// [`run_job`] with a watchdog armed from the spec's supervision keys
+/// (and the supervisor's cancellation token, if any).
+///
+/// # Errors
+///
+/// Same as [`run_job`].
+pub fn run_job_watched(
+    spec: &LabSpec,
+    job: &JobSpec,
+    cancel: Option<&CancelToken>,
+) -> Result<JobRecord, String> {
     let wall_start = Instant::now();
     let mut net = build_job_network(spec, job)?;
+    let watchdog = watchdog_for(spec, job, cancel);
 
     let mut rec = match &job.work {
         Work::Synthetic { pattern, rate } => {
             let mut workload = BernoulliTraffic::new(spec.mesh, *pattern, *rate, job.seed);
-            let r = run_synthetic(
-                &mut net,
-                &mut workload,
-                SyntheticOptions {
-                    warmup: spec.warmup,
-                    measure: spec.measure,
-                    drain: spec.drain,
-                },
-            );
+            let r =
+                run_synthetic_watched(&mut net, &mut workload, synthetic_opts(spec, job), watchdog);
             synthetic_record(job, pattern, *rate, r)
         }
         Work::Replay { benchmark } => {
@@ -218,13 +316,19 @@ pub fn run_job(spec: &LabSpec, job: &JobSpec) -> Result<JobRecord, String> {
             }
             profile.seed = job.seed;
             let trace = generate_trace(spec.mesh, &profile);
-            let r = run_trace(
+            let r = run_trace_guarded(
                 &mut net,
                 &trace,
                 TraceOptions {
                     max_cycles: spec.max_cycles,
                 },
+                None,
+                watchdog,
             );
+            let outcome = match &r.interrupt {
+                Some(i) => JobOutcome::TimedOut { reason: i.reason() },
+                None => JobOutcome::Completed,
+            };
             JobRecord {
                 index: job.index,
                 net: job.net.clone(),
@@ -245,6 +349,7 @@ pub fn run_job(spec: &LabSpec, job: &JobSpec) -> Result<JobRecord, String> {
                 undeliverable: r.undeliverable,
                 timed_out: r.timed_out,
                 stable: None,
+                outcome,
                 wall_seconds: 0.0,
                 phases: r.perf.phases,
             }

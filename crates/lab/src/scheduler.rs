@@ -12,11 +12,13 @@
 //! The only cross-thread state is the `AtomicUsize` job cursor and the
 //! mutex-guarded result slots — neither influences any simulated bit.
 
+use crate::journal::Journal;
 use crate::report::{JobRecord, LabReport};
-use crate::runner;
 use crate::spec::{expand, JobSpec, LabSpec, Work};
+use crate::supervise;
 use phastlane_netsim::obs::json::JsonValue;
 use phastlane_netsim::obs::EventSink;
+use phastlane_netsim::watchdog::CancelToken;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -67,13 +69,16 @@ struct Progress<'a> {
 }
 
 impl<'a> Progress<'a> {
-    fn new(sink: &'a EventSink, total_jobs: usize) -> Self {
+    /// `resumed` jobs (and their cycles) count as already finished, so
+    /// a resumed run's completion fraction and ETA start from where the
+    /// interrupted run left off.
+    fn new(sink: &'a EventSink, total_jobs: usize, resumed: &[JobRecord]) -> Self {
         Progress {
             sink,
             started: Instant::now(),
             total_jobs,
-            finished: AtomicUsize::new(0),
-            cycles_done: AtomicU64::new(0),
+            finished: AtomicUsize::new(resumed.len()),
+            cycles_done: AtomicU64::new(resumed.iter().map(|r| r.cycles).sum()),
         }
     }
 
@@ -177,22 +182,93 @@ pub fn run_lab_with(
     workers: usize,
     progress: Option<&EventSink>,
 ) -> Result<LabReport, String> {
+    run_lab_opts(
+        spec,
+        RunOptions {
+            workers,
+            progress,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// Everything configurable about one lab execution beyond the spec
+/// itself. All of it is harness plumbing — none of these fields can
+/// change a canonical bit of the report.
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    /// Worker threads (clamped to `1..=groups`).
+    pub workers: usize,
+    /// Streaming NDJSON progress sink.
+    pub progress: Option<&'a EventSink>,
+    /// Open run journal: every finished job is appended, so a killed
+    /// run can resume.
+    pub journal: Option<&'a Journal>,
+    /// Records recovered from a previous run's journal. Their slots are
+    /// pre-filled and only the remaining jobs execute; the final report
+    /// is byte-identical to an uninterrupted run.
+    pub resumed: Vec<JobRecord>,
+    /// Cooperative cancellation: when cancelled, in-flight jobs stop at
+    /// the watchdog's next gate with a `cancelled` outcome.
+    pub cancel: Option<&'a CancelToken>,
+}
+
+/// The full-control entry point: [`run_lab_with`] plus journaling,
+/// resume, and cancellation. Every group runs supervised
+/// ([`supervise::run_group_supervised`]): a panicking job records a
+/// terminal outcome instead of killing the run.
+///
+/// # Errors
+///
+/// If the spec expands to no jobs, a resumed record's index is out of
+/// range, or any job fails structurally (unknown network/benchmark).
+pub fn run_lab_opts(spec: &LabSpec, opts: RunOptions<'_>) -> Result<LabReport, String> {
     let jobs = expand(spec);
     if jobs.is_empty() {
         return Err("spec expands to zero jobs".into());
     }
-    let groups = batch_groups(&jobs, spec.batch as usize);
-    let workers = workers.max(1).min(groups.len());
     let wall_start = Instant::now();
 
-    let progress = progress.map(|sink| Progress::new(sink, jobs.len()));
+    let slots: Vec<Mutex<Option<Result<JobRecord, String>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    for rec in &opts.resumed {
+        let slot = slots.get(rec.index).ok_or_else(|| {
+            format!(
+                "resumed record for job {} but the spec expands to only {} jobs",
+                rec.index,
+                jobs.len()
+            )
+        })?;
+        *slot.lock().expect("slot lock") = Some(Ok(rec.clone()));
+    }
+
+    // Only the jobs without a resumed record still run. Grouping over
+    // the remainder is safe: batching is bit-invisible by contract, so
+    // it does not matter that resume may split groups differently.
+    let remaining: Vec<JobSpec> = jobs
+        .iter()
+        .filter(|j| slots[j.index].lock().expect("slot lock").is_none())
+        .cloned()
+        .collect();
+    let groups = batch_groups(&remaining, spec.batch as usize);
+    let workers = opts.workers.max(1).min(groups.len().max(1));
+
+    let progress = opts
+        .progress
+        .map(|sink| Progress::new(sink, jobs.len(), &opts.resumed));
     if let Some(p) = &progress {
         p.lab_started(spec, groups.len(), workers);
     }
 
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<JobRecord, String>>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
+    let finished = |rec: &JobRecord| {
+        if let Some(j) = opts.journal {
+            j.append(rec);
+        }
+        if let Some(p) = &progress {
+            p.job_finished(rec);
+        }
+    };
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -200,32 +276,22 @@ pub fn run_lab_with(
                 let g = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(group) = groups.get(g) else { break };
                 if let Some(p) = &progress {
-                    for i in group.clone() {
-                        p.job_started(&jobs[i]);
+                    for job in &remaining[group.clone()] {
+                        p.job_started(job);
                     }
                 }
-                if group.len() == 1 {
-                    let i = group.start;
-                    let result = runner::run_job(spec, &jobs[i]);
-                    if let (Some(p), Ok(rec)) = (&progress, &result) {
-                        p.job_finished(rec);
-                    }
-                    *slots[i].lock().expect("slot lock") = Some(result);
-                } else {
-                    match runner::run_job_batch(spec, &jobs[group.clone()]) {
-                        Ok(records) => {
-                            for rec in records {
-                                if let Some(p) = &progress {
-                                    p.job_finished(&rec);
-                                }
-                                let i = rec.index;
-                                *slots[i].lock().expect("slot lock") = Some(Ok(rec));
-                            }
+                match supervise::run_group_supervised(spec, &remaining[group.clone()], opts.cancel)
+                {
+                    Ok(records) => {
+                        for rec in records {
+                            finished(&rec);
+                            let i = rec.index;
+                            *slots[i].lock().expect("slot lock") = Some(Ok(rec));
                         }
-                        Err(e) => {
-                            for i in group.clone() {
-                                *slots[i].lock().expect("slot lock") = Some(Err(e.clone()));
-                            }
+                    }
+                    Err(e) => {
+                        for job in &remaining[group.clone()] {
+                            *slots[job.index].lock().expect("slot lock") = Some(Err(e.clone()));
                         }
                     }
                 }

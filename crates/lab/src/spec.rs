@@ -84,6 +84,82 @@ pub struct LabSpec {
     /// [`encode`](LabSpec::encode); the breakdown lands in the perf
     /// layer only.
     pub profile: u32,
+    /// Watchdog cycle budget per job: a job still running after this
+    /// many cycles is stopped with a `TimedOut` outcome. Fires at a
+    /// cycle-deterministic point, so the resulting record is
+    /// reproducible. `None` = unbounded (the synthetic hard end /
+    /// `max-cycles` still apply).
+    pub cycle_budget: Option<u64>,
+    /// Watchdog livelock window: a job with work pending but no packet
+    /// injected, delivered, or terminally failed for this many cycles is
+    /// stopped with a `TimedOut` outcome. Cycle-deterministic.
+    pub livelock_window: Option<u64>,
+    /// Watchdog wall-clock allowance per job attempt, in seconds. A
+    /// safety valve only — when it fires the partial record is
+    /// machine-dependent, unlike the cycle-based verdicts.
+    pub wall_budget: Option<f64>,
+    /// Bounded retries for transiently-failed jobs (panics and
+    /// non-deterministic timeouts re-execute up to this many extra
+    /// times, with seeded backoff). Deterministic verdicts (cycle
+    /// budget, livelock) never retry — they would reproduce exactly.
+    pub retries: u32,
+    /// Base backoff between retries, milliseconds (doubled per attempt,
+    /// plus a seeded jitter below one base unit).
+    pub retry_backoff_ms: u64,
+    /// Deliberate job failures for harness testing: the listed matrix
+    /// indices panic or livelock on purpose, exercising the supervision
+    /// path end-to-end. Changes outcomes, so (unlike `batch`/`profile`)
+    /// it **is** part of [`encode`](LabSpec::encode) when non-empty.
+    pub sabotage: Vec<Sabotage>,
+}
+
+/// The failure a sabotaged job simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SabotageKind {
+    /// The job panics as soon as it starts.
+    Panic,
+    /// The job's routers all wedge, so packets queue but never move —
+    /// the watchdog's livelock detector must fire.
+    Livelock,
+}
+
+/// One deliberately-failing job (`panic@3` / `livelock@5` in specs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sabotage {
+    /// What goes wrong.
+    pub kind: SabotageKind,
+    /// Matrix index of the victim job.
+    pub index: usize,
+}
+
+impl Sabotage {
+    /// Parses one `kind@index` token (`panic@3`, `livelock@5`).
+    ///
+    /// # Errors
+    ///
+    /// Errors on an unknown kind or a malformed index.
+    pub fn parse(token: &str) -> Result<Sabotage, String> {
+        let (kind, index) = token
+            .split_once('@')
+            .ok_or_else(|| format!("sabotage expects kind@index, got {token:?}"))?;
+        let kind = match kind {
+            "panic" => SabotageKind::Panic,
+            "livelock" => SabotageKind::Livelock,
+            other => return Err(format!("unknown sabotage kind {other:?}")),
+        };
+        let index = index
+            .parse()
+            .map_err(|_| format!("bad sabotage index in {token:?}"))?;
+        Ok(Sabotage { kind, index })
+    }
+
+    fn encode(&self) -> String {
+        let kind = match self.kind {
+            SabotageKind::Panic => "panic",
+            SabotageKind::Livelock => "livelock",
+        };
+        format!("{kind}@{}", self.index)
+    }
 }
 
 impl Default for LabSpec {
@@ -106,6 +182,12 @@ impl Default for LabSpec {
             max_cycles: 10_000_000,
             batch: 1,
             profile: 0,
+            cycle_budget: None,
+            livelock_window: None,
+            wall_budget: None,
+            retries: 0,
+            retry_backoff_ms: 50,
+            sabotage: Vec::new(),
         }
     }
 }
@@ -231,6 +313,40 @@ impl LabSpec {
                 "profile" => {
                     spec.profile = one()?.parse().map_err(|_| err("bad profile"))?;
                 }
+                "cycle-budget" => {
+                    let b: u64 = one()?.parse().map_err(|_| err("bad cycle-budget"))?;
+                    if b == 0 {
+                        return Err(err("cycle-budget must be positive"));
+                    }
+                    spec.cycle_budget = Some(b);
+                }
+                "livelock-window" => {
+                    let w: u64 = one()?.parse().map_err(|_| err("bad livelock-window"))?;
+                    if w == 0 {
+                        return Err(err("livelock-window must be positive"));
+                    }
+                    spec.livelock_window = Some(w);
+                }
+                "wall-budget" => {
+                    let s: f64 = one()?.parse().map_err(|_| err("bad wall-budget"))?;
+                    if !s.is_finite() || s <= 0.0 {
+                        return Err(err("wall-budget must be positive seconds"));
+                    }
+                    spec.wall_budget = Some(s);
+                }
+                "retries" => {
+                    spec.retries = one()?.parse().map_err(|_| err("bad retries"))?;
+                }
+                "retry-backoff-ms" => {
+                    spec.retry_backoff_ms =
+                        one()?.parse().map_err(|_| err("bad retry-backoff-ms"))?;
+                }
+                "sabotage" => {
+                    spec.sabotage = values
+                        .iter()
+                        .map(|v| Sabotage::parse(v).map_err(|m| err(&m)))
+                        .collect::<Result<_, _>>()?;
+                }
                 _ => return Err(err("unknown key")),
             }
         }
@@ -276,7 +392,37 @@ impl LabSpec {
             out.push_str(&format!("scale {}\n", self.scale));
         }
         out.push_str(&format!("max-cycles {}\n", self.max_cycles));
+        // Supervision keys are emitted only when non-default, so specs
+        // that never used them keep their exact pre-existing encoding —
+        // and with it the identity of every committed baseline.
+        if let Some(b) = self.cycle_budget {
+            out.push_str(&format!("cycle-budget {b}\n"));
+        }
+        if let Some(w) = self.livelock_window {
+            out.push_str(&format!("livelock-window {w}\n"));
+        }
+        if let Some(s) = self.wall_budget {
+            out.push_str(&format!("wall-budget {s}\n"));
+        }
+        if self.retries > 0 {
+            out.push_str(&format!("retries {}\n", self.retries));
+        }
+        if self.retry_backoff_ms != 50 {
+            out.push_str(&format!("retry-backoff-ms {}\n", self.retry_backoff_ms));
+        }
+        if !self.sabotage.is_empty() {
+            let tokens: Vec<String> = self.sabotage.iter().map(Sabotage::encode).collect();
+            out.push_str(&format!("sabotage {}\n", tokens.join(" ")));
+        }
         out
+    }
+
+    /// The sabotage entry for a job index, if any.
+    pub fn sabotage_for(&self, index: usize) -> Option<SabotageKind> {
+        self.sabotage
+            .iter()
+            .find(|s| s.index == index)
+            .map(|s| s.kind)
     }
 
     /// Number of jobs the matrix expands to.
@@ -471,6 +617,57 @@ max-cycles 500000
         // Profiling is observation, not identity: reparsing the
         // encoding resets it to off.
         assert_eq!(LabSpec::parse(&spec.encode()).unwrap().profile, 0);
+    }
+
+    #[test]
+    fn supervision_keys_parse_and_encode_only_when_set() {
+        // Defaults leave the encoding untouched: committed baselines
+        // recorded before these keys existed must keep their identity.
+        let plain = LabSpec::parse("mesh 4x4\n").unwrap();
+        for key in [
+            "cycle-budget",
+            "livelock-window",
+            "wall-budget",
+            "retries",
+            "retry-backoff-ms",
+            "sabotage",
+        ] {
+            assert!(!plain.encode().contains(key), "{key} leaked into encode");
+        }
+        let spec = LabSpec::parse(
+            "mesh 4x4\ncycle-budget 5000\nlivelock-window 2000\n\
+             wall-budget 1.5\nretries 2\nretry-backoff-ms 10\n\
+             sabotage panic@0 livelock@3\n",
+        )
+        .unwrap();
+        assert_eq!(spec.cycle_budget, Some(5000));
+        assert_eq!(spec.livelock_window, Some(2000));
+        assert_eq!(spec.wall_budget, Some(1.5));
+        assert_eq!(spec.retries, 2);
+        assert_eq!(spec.retry_backoff_ms, 10);
+        assert_eq!(spec.sabotage_for(0), Some(SabotageKind::Panic));
+        assert_eq!(spec.sabotage_for(3), Some(SabotageKind::Livelock));
+        assert_eq!(spec.sabotage_for(1), None);
+        // Non-default values round-trip through the encoding.
+        assert_eq!(LabSpec::parse(&spec.encode()).unwrap(), spec);
+    }
+
+    #[test]
+    fn supervision_keys_reject_garbage() {
+        for bad in [
+            "cycle-budget 0",
+            "cycle-budget many",
+            "livelock-window 0",
+            "wall-budget -1",
+            "wall-budget NaN",
+            "wall-budget inf",
+            "retries -1",
+            "sabotage panic",     // missing @index
+            "sabotage explode@1", // unknown kind
+            "sabotage panic@minus-one",
+        ] {
+            assert!(LabSpec::parse(bad).is_err(), "{bad:?} accepted");
+        }
     }
 
     #[test]

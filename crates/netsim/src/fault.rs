@@ -522,6 +522,32 @@ biterr 0.001
     }
 
     #[test]
+    fn parse_errors_name_the_line_and_the_problem() {
+        // Every malformed token class produces a clear, located error —
+        // a fat-fingered plan file must never panic or half-apply.
+        let cases: [(&str, &str); 7] = [
+            ("router nX", "bad node"),
+            ("router n-1", "bad node"),
+            ("link n3 sideways", "bad direction"),
+            ("droop fast", "bad factor"),
+            ("biterr lots", "bad rate"),
+            ("router n3 +forever", "bad +duration"),
+            ("droop", "expected link/router/droop/biterr"),
+        ];
+        for (text, want) in cases {
+            let err = FaultPlan::parse(text).unwrap_err();
+            assert!(err.contains(want), "{text:?}: {err}");
+            assert!(err.contains("line 1"), "{text:?}: {err}");
+        }
+        // The reported line number accounts for comments and blanks.
+        let err =
+            FaultPlan::parse("# header\n\nrouter n1\nlink n2 north\nbiterr much\n").unwrap_err();
+        assert!(err.contains("line 5"), "{err}");
+        // An error leaves nothing half-applied: parse is all-or-nothing.
+        assert!(FaultPlan::parse("router n1\nwarp n2\n").is_err());
+    }
+
+    #[test]
     fn random_is_seeded_and_scales() {
         let mesh = Mesh::new(4, 4);
         assert!(FaultPlan::random(mesh, 1, 0.0).is_empty());

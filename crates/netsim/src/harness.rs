@@ -14,6 +14,7 @@ use crate::network::Network;
 use crate::obs::{CycleTotals, MetricsCollector, PerfProfile};
 use crate::packet::{DestSet, NewPacket, PacketId, PacketKind};
 use crate::stats::{EnergyReport, LatencyStats};
+use crate::watchdog::{Interrupt, Watchdog};
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
@@ -63,6 +64,9 @@ pub struct SyntheticResult {
     /// (retry cap under a fault plan). These count as *resolved* — they
     /// no longer block drain — but not as delivered.
     pub undeliverable: u64,
+    /// Set when a [`Watchdog`] stopped the run early; the counters above
+    /// then describe the partial run up to the interrupt.
+    pub interrupt: Option<Interrupt>,
     /// Simulator throughput over the whole run (warmup + measure + drain).
     pub perf: PerfProfile,
 }
@@ -126,6 +130,26 @@ pub fn run_synthetic_observed<N: Network + ?Sized, W: SyntheticWorkload>(
     drive.finish(net, metrics, wall_start.elapsed())
 }
 
+/// [`run_synthetic`] with an optional [`Watchdog`]: the drive stops at
+/// the first interrupt and records the verdict in
+/// [`SyntheticResult::interrupt`].
+pub fn run_synthetic_watched<N: Network + ?Sized, W: SyntheticWorkload>(
+    net: &mut N,
+    workload: &mut W,
+    opts: SyntheticOptions,
+    watchdog: Option<Watchdog>,
+) -> SyntheticResult {
+    let wall_start = Instant::now();
+    let mut drive = SyntheticDrive::new(net, opts);
+    if let Some(wd) = watchdog {
+        drive.set_watchdog(wd);
+    }
+    while !drive.done() {
+        drive.tick(net, workload, None);
+    }
+    drive.finish(net, None, wall_start.elapsed())
+}
+
 /// Runs several independent `(network, workload)` replicas in lockstep:
 /// one loop advances every unfinished replica by one cycle per round, so
 /// the instruction stream of the simulator core is shared across the
@@ -145,11 +169,32 @@ pub fn run_synthetic_lockstep<W: SyntheticWorkload>(
     workloads: &mut [W],
     opts: SyntheticOptions,
 ) -> Vec<SyntheticResult> {
+    run_synthetic_lockstep_watched(nets, workloads, opts, |_| None)
+}
+
+/// [`run_synthetic_lockstep`] with an optional per-lane [`Watchdog`]
+/// (`mk_watchdog(lane)`). An interrupted lane stops ticking and records
+/// the verdict in its [`SyntheticResult::interrupt`]; the other lanes
+/// keep running to completion, so one stuck replica cannot hold the
+/// whole batch hostage.
+pub fn run_synthetic_lockstep_watched<W: SyntheticWorkload>(
+    nets: &mut [Box<dyn Network + Send>],
+    workloads: &mut [W],
+    opts: SyntheticOptions,
+    mut mk_watchdog: impl FnMut(usize) -> Option<Watchdog>,
+) -> Vec<SyntheticResult> {
     assert_eq!(nets.len(), workloads.len(), "one workload per network lane");
     let wall_start = Instant::now();
     let mut drives: Vec<SyntheticDrive> = nets
         .iter()
-        .map(|n| SyntheticDrive::new(n.as_ref(), opts))
+        .enumerate()
+        .map(|(lane, n)| {
+            let mut d = SyntheticDrive::new(n.as_ref(), opts);
+            if let Some(wd) = mk_watchdog(lane) {
+                d.set_watchdog(wd);
+            }
+            d
+        })
         .collect();
     loop {
         let mut live = false;
@@ -202,6 +247,11 @@ pub struct SyntheticDrive {
     rel: u64,
     /// Set when every measured packet drained early.
     drained: bool,
+    /// Packets sitting in `source_queues` (cheap pending-work signal for
+    /// the watchdog's livelock check).
+    queued: u64,
+    watchdog: Option<Watchdog>,
+    interrupt: Option<Interrupt>,
 }
 
 impl SyntheticDrive {
@@ -231,13 +281,25 @@ impl SyntheticDrive {
             base_cycle: net.cycle(),
             rel: 0,
             drained: false,
+            queued: 0,
+            watchdog: None,
+            interrupt: None,
         }
     }
 
-    /// Whether the run is over: the hard cycle limit was reached or
-    /// every measured packet resolved after the measurement window.
+    /// Attaches a watchdog; its checks run once per [`tick`](Self::tick).
+    /// Without one the supervision cost is a single branch per cycle.
+    pub fn set_watchdog(&mut self, wd: Watchdog) {
+        if wd.is_armed() {
+            self.watchdog = Some(wd);
+        }
+    }
+
+    /// Whether the run is over: the hard cycle limit was reached, every
+    /// measured packet resolved after the measurement window, or a
+    /// watchdog stopped the run.
     pub fn done(&self) -> bool {
-        self.drained || self.rel >= self.hard_end
+        self.drained || self.interrupt.is_some() || self.rel >= self.hard_end
     }
 
     /// Advances the run by one cycle: generate, inject, step the
@@ -269,8 +331,13 @@ impl SyntheticDrive {
                     m.on_offered(1);
                 }
                 self.source_queues[p.src.index()].push_back((p, cycle));
+                self.queued += 1;
             }
         }
+
+        // Progress (for livelock detection): any packet injected,
+        // delivered, or terminally failed this cycle.
+        let mut progress = false;
 
         // Try to inject from each source queue, in order.
         for q in &mut self.source_queues {
@@ -279,6 +346,8 @@ impl SyntheticDrive {
                 match net.inject(p) {
                     Some(id) => {
                         q.pop_front();
+                        self.queued -= 1;
+                        progress = true;
                         let rel_gen = gen - self.base_cycle;
                         let measured = rel_gen >= self.measure_start && rel_gen < self.measure_end;
                         if measured {
@@ -305,6 +374,7 @@ impl SyntheticDrive {
 
         self.delivery_buf.clear();
         net.drain_deliveries_into(&mut self.delivery_buf);
+        progress |= !self.delivery_buf.is_empty();
         for d in &self.delivery_buf {
             if let Some(&(gen, measured)) = self.gen_cycle.get(d.packet.0) {
                 if let Some(m) = metrics.as_deref_mut() {
@@ -329,6 +399,7 @@ impl SyntheticDrive {
         // drain loop would wait forever on packets that can never arrive.
         self.failure_buf.clear();
         net.drain_failures_into(&mut self.failure_buf);
+        progress |= !self.failure_buf.is_empty();
         for f in &self.failure_buf {
             self.undeliverable += 1;
             if let Some(&(_, measured)) = self.gen_cycle.get(f.packet.0) {
@@ -350,6 +421,17 @@ impl SyntheticDrive {
         // Early exit once every measured packet has drained.
         if rel + 1 >= self.measure_end && self.measured_outstanding == 0 {
             self.drained = true;
+        }
+
+        // Supervision: one branch when no watchdog is attached. The
+        // pending-work closure is only evaluated if the livelock window
+        // actually elapsed (it costs a virtual call on the network).
+        if let Some(wd) = self.watchdog.as_mut() {
+            if progress {
+                wd.note_progress(self.rel);
+            }
+            let queued = self.queued;
+            self.interrupt = wd.check(self.rel, || queued > 0 || net.in_flight() > 0);
         }
     }
 
@@ -378,6 +460,7 @@ impl SyntheticDrive {
             energy: net.energy().delta_since(&energy_start),
             unfinished: self.measured_outstanding,
             undeliverable: self.undeliverable,
+            interrupt: self.interrupt,
             perf: PerfProfile::new(self.rel, wall).with_phases(net.take_phase_breakdown()),
         }
     }
@@ -538,6 +621,9 @@ pub struct TraceResult {
     pub undeliverable: u64,
     /// True if the replay hit the cycle limit before completing.
     pub timed_out: bool,
+    /// Set when a [`Watchdog`] stopped the replay early (`timed_out` is
+    /// also set in that case).
+    pub interrupt: Option<Interrupt>,
     /// Simulator throughput over the replay.
     pub perf: PerfProfile,
 }
@@ -568,7 +654,7 @@ pub fn run_trace<N: Network + ?Sized>(
     trace: &Trace,
     opts: TraceOptions,
 ) -> TraceResult {
-    run_trace_observed(net, trace, opts, None)
+    run_trace_guarded(net, trace, opts, None, None)
 }
 
 /// [`run_trace`] with an optional time-series metrics collector (see
@@ -577,7 +663,20 @@ pub fn run_trace_observed<N: Network + ?Sized>(
     net: &mut N,
     trace: &Trace,
     opts: TraceOptions,
+    metrics: Option<&mut MetricsCollector>,
+) -> TraceResult {
+    run_trace_guarded(net, trace, opts, metrics, None)
+}
+
+/// [`run_trace_observed`] with an optional [`Watchdog`]. An interrupt
+/// marks the result `timed_out` and records the verdict; the partial
+/// counters describe the replay up to the stop point.
+pub fn run_trace_guarded<N: Network + ?Sized>(
+    net: &mut N,
+    trace: &Trace,
+    opts: TraceOptions,
     mut metrics: Option<&mut MetricsCollector>,
+    mut watchdog: Option<Watchdog>,
 ) -> TraceResult {
     trace.validate().expect("invalid trace");
     let wall_start = Instant::now();
@@ -639,6 +738,7 @@ pub fn run_trace_observed<N: Network + ?Sized>(
     let mut undeliverable = 0u64;
     let mut completion_cycle = base_cycle;
     let mut timed_out = false;
+    let mut interrupt: Option<Interrupt> = None;
 
     let mut cycle = base_cycle;
     while completed < n as u64 {
@@ -646,6 +746,9 @@ pub fn run_trace_observed<N: Network + ?Sized>(
             timed_out = true;
             break;
         }
+        // Progress this cycle (for livelock detection): any packet
+        // injected, delivered, or terminally failed.
+        let mut progress = false;
 
         // Move newly-eligible messages into their source's stall queue.
         while let Some(&std::cmp::Reverse((t, i))) = heap.peek() {
@@ -689,6 +792,7 @@ pub fn run_trace_observed<N: Network + ?Sized>(
                 match net.inject(p) {
                     Some(id) => {
                         q.pop_front();
+                        progress = true;
                         in_flight.insert(id, (i, ndests, ready_at[i]));
                         if let Some(m) = metrics.as_deref_mut() {
                             m.on_accepted(1);
@@ -710,6 +814,7 @@ pub fn run_trace_observed<N: Network + ?Sized>(
         for d in net.drain_deliveries() {
             if let Some(entry) = in_flight.get_mut(&d.packet) {
                 entry.1 -= 1;
+                progress = true;
                 latency.record(d.delivered_cycle.saturating_sub(entry.2));
                 if let Some(m) = metrics.as_deref_mut() {
                     m.on_delivered(d.delivered_cycle.saturating_sub(entry.2));
@@ -755,6 +860,7 @@ pub fn run_trace_observed<N: Network + ?Sized>(
         for f in net.drain_failures() {
             if let Some(entry) = in_flight.get_mut(&f.packet) {
                 entry.1 -= 1;
+                progress = true;
                 undeliverable += 1;
                 let msg_id = trace.messages[entry.0].id;
                 for &dep_i in dest_deps
@@ -799,6 +905,22 @@ pub fn run_trace_observed<N: Network + ?Sized>(
                 m.end_cycle(rel - 1, totals);
             }
         }
+
+        // Supervision: one branch when no watchdog is attached.
+        if let Some(wd) = watchdog.as_mut() {
+            let rel = cycle - base_cycle;
+            if progress {
+                wd.note_progress(rel);
+            }
+            let verdict = wd.check(rel, || {
+                !in_flight.is_empty() || stalled.iter().any(|q| !q.is_empty())
+            });
+            if let Some(v) = verdict {
+                timed_out = true;
+                interrupt = Some(v);
+                break;
+            }
+        }
     }
 
     if let Some(m) = metrics {
@@ -814,6 +936,7 @@ pub fn run_trace_observed<N: Network + ?Sized>(
         completed,
         undeliverable,
         timed_out,
+        interrupt,
         perf: PerfProfile::new(cycle - base_cycle, wall_start.elapsed())
             .with_phases(net.take_phase_breakdown()),
     }

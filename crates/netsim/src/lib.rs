@@ -58,12 +58,14 @@ pub mod routing;
 pub mod stats;
 pub mod sweep;
 pub mod telemetry;
+pub mod watchdog;
 
 pub use fault::{FailedDelivery, Fault, FaultKind, FaultPlan};
 pub use geometry::{Direction, Mesh, NodeId, Port};
 pub use network::Network;
 pub use packet::{Delivery, DestSet, NewPacket, PacketId, PacketKind};
 pub use sweep::Saturation;
+pub use watchdog::{CancelToken, Interrupt, Watchdog};
 
 // Compile-time `Send` guarantees: everything the `phastlane-lab`
 // worker-pool scheduler moves to (or builds on) worker threads must be
@@ -81,8 +83,13 @@ const _: fn() = _assert_send::<obs::PhaseProfiler>;
 const _: fn() = _assert_send::<obs::PhaseBreakdown>;
 const _: fn() = _assert_send::<obs::FlightRecorder>;
 const _: fn() = _assert_send::<rng::SimRng>;
+const _: fn() = _assert_send::<watchdog::Watchdog>;
 // The progress sink is *shared* across worker threads, so it must be
 // `Sync` as well.
 fn _assert_sync<T: Sync>() {}
 const _: fn() = _assert_sync::<obs::EventSink>;
 const _: fn() = _assert_send::<obs::EventSink>;
+// The cancellation token is shared between the supervisor and every
+// worker it guards.
+const _: fn() = _assert_sync::<watchdog::CancelToken>;
+const _: fn() = _assert_send::<watchdog::CancelToken>;

@@ -214,6 +214,78 @@ mod tests {
     }
 
     #[test]
+    fn stalled_consumer_sheds_deterministically_and_recovers() {
+        use std::sync::Condvar;
+
+        /// Writer whose first write parks on a condvar until the test
+        /// opens the gate — a deterministic stand-in for a consumer
+        /// that stopped reading (full pipe, wedged terminal).
+        struct Gate {
+            open: StdMutex<bool>,
+            arrived: StdMutex<bool>,
+            cv: Condvar,
+        }
+        struct GatedWriter(Arc<Gate>, Capture);
+        impl Write for GatedWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                *self.0.arrived.lock().unwrap() = true;
+                self.0.cv.notify_all();
+                let mut open = self.0.open.lock().unwrap();
+                while !*open {
+                    open = self.0.cv.wait(open).unwrap();
+                }
+                drop(open);
+                self.1.write(buf)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let gate = Arc::new(Gate {
+            open: StdMutex::new(false),
+            arrived: StdMutex::new(false),
+            cv: Condvar::new(),
+        });
+        let cap = Capture::default();
+        let sink = Arc::new(EventSink::new(
+            Box::new(GatedWriter(Arc::clone(&gate), cap.clone())),
+            4,
+        ));
+
+        // This emit drains its own event and parks inside write(),
+        // holding the writer lock.
+        let parked = {
+            let sink = Arc::clone(&sink);
+            std::thread::spawn(move || sink.emit(&event(0)))
+        };
+        {
+            let mut arrived = gate.arrived.lock().unwrap();
+            while !*arrived {
+                arrived = gate.cv.wait(arrived).unwrap();
+            }
+        }
+
+        // With the writer wedged, emits queue up to capacity (4) and
+        // shed the rest — none of these calls may block.
+        for i in 1..=7 {
+            sink.emit(&event(i));
+        }
+
+        // Open the gate: the parked drain resumes and flushes the queue.
+        *gate.open.lock().unwrap() = true;
+        gate.cv.notify_all();
+        parked.join().unwrap();
+
+        let report = sink.finish();
+        assert_eq!(report.emitted, 5, "1 draining + 4 queued");
+        assert_eq!(report.dropped, 3, "overflow shed while stalled");
+        assert_eq!(report.write_errors, 0);
+        let text = String::from_utf8(cap.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 5, "every accepted event written");
+    }
+
+    #[test]
     fn concurrent_emitters_lose_nothing_under_capacity() {
         let cap = Capture::default();
         let sink = Arc::new(EventSink::new(Box::new(cap.clone()), 10_000));

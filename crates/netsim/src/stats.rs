@@ -100,6 +100,74 @@ impl LatencyStats {
         self.min
     }
 
+    /// Serializes the *complete* internal state (count, exact sum, min,
+    /// max, histogram buckets) so a summary can be reconstructed
+    /// bit-for-bit by [`from_json`](Self::from_json). This is the run
+    /// journal's checkpoint format — the summary JSON in reports only
+    /// carries derived values (mean, percentiles) and cannot round-trip.
+    /// The u128 sum travels as two u64 halves.
+    pub fn to_json(&self) -> crate::obs::json::JsonValue {
+        use crate::obs::json::JsonValue as J;
+        J::Obj(vec![
+            ("count".into(), J::Uint(self.count)),
+            ("sum_hi".into(), J::Uint((self.sum >> 64) as u64)),
+            ("sum_lo".into(), J::Uint(self.sum as u64)),
+            ("max".into(), J::Uint(self.max)),
+            (
+                "min".into(),
+                self.min
+                    .map(J::Uint)
+                    .unwrap_or(crate::obs::json::JsonValue::Null),
+            ),
+            (
+                "buckets".into(),
+                J::Arr(self.buckets.iter().map(|&b| J::Uint(b)).collect()),
+            ),
+        ])
+    }
+
+    /// Reconstructs a summary from [`to_json`](Self::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(v: &crate::obs::json::JsonValue) -> Result<LatencyStats, String> {
+        use crate::obs::json::JsonValue as J;
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("latency: missing `{k}`"));
+        let uint = |k: &str| {
+            field(k)?
+                .as_u64()
+                .ok_or_else(|| format!("latency: `{k}` is not an unsigned integer"))
+        };
+        let sum = (u128::from(uint("sum_hi")?) << 64) | u128::from(uint("sum_lo")?);
+        let min = match field("min")? {
+            J::Null => None,
+            m => Some(
+                m.as_u64()
+                    .ok_or_else(|| "latency: `min` is not an unsigned integer".to_string())?,
+            ),
+        };
+        let raw = field("buckets")?
+            .as_arr()
+            .ok_or_else(|| "latency: `buckets` is not an array".to_string())?;
+        if raw.len() != 32 {
+            return Err(format!("latency: expected 32 buckets, got {}", raw.len()));
+        }
+        let mut buckets = [0u64; 32];
+        for (i, b) in raw.iter().enumerate() {
+            buckets[i] = b
+                .as_u64()
+                .ok_or_else(|| format!("latency: bucket {i} is not an unsigned integer"))?;
+        }
+        Ok(LatencyStats {
+            count: uint("count")?,
+            sum,
+            max: uint("max")?,
+            min,
+            buckets,
+        })
+    }
+
     /// Merges another summary into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
         self.count += other.count;
@@ -486,5 +554,22 @@ mod tests {
         s.record(5);
         assert_eq!(format!("{s}"), "n=1 mean=5.00 min=5 max=5");
         assert_eq!(format!("{}", LatencyStats::new()), "n=0");
+    }
+
+    #[test]
+    fn latency_json_round_trip_is_exact() {
+        let mut s = LatencyStats::new();
+        for lat in [0, 1, 7, 1000, u64::MAX, u64::MAX] {
+            s.record(lat);
+        }
+        // Through the serializer and the parser: the reconstructed
+        // summary must be bit-identical, including the u128 sum that
+        // overflows a single u64.
+        let text = s.to_json().to_string_compact();
+        let parsed = crate::obs::json::parse(&text).expect("valid json");
+        let back = LatencyStats::from_json(&parsed).expect("round-trips");
+        assert_eq!(back, s);
+        let err = LatencyStats::from_json(&crate::obs::json::parse("{}").unwrap()).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
     }
 }

@@ -46,6 +46,7 @@ impl SweepPoint {
                 energy: EnergyReport::default(),
                 unfinished: 0,
                 undeliverable: 0,
+                interrupt: None,
                 perf: Default::default(),
             },
             synthesized: true,
@@ -187,6 +188,7 @@ mod tests {
                 unfinished,
                 undeliverable: 0,
                 perf: Default::default(),
+                interrupt: None,
             },
             synthesized: false,
         }
