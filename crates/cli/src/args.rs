@@ -71,6 +71,10 @@ pub const VALUE_KEYS: &[&str] = &[
     "profile-sample",
     "journal",
     "resume",
+    "spec",
+    "allow",
+    "emit-allow",
+    "root",
 ];
 
 impl Parsed {

@@ -938,11 +938,16 @@ USAGE:
   phastlane lab run     SPEC [--workers N] [--batch K] [--report-out F]
                      [--perf-out F] [--progress[=FILE]] [--profile]
                      [--profile-sample C] [--journal F] [--resume F]
+                     [--preflight]
   phastlane lab record  SPEC [--name NAME] [--baseline-dir DIR] [--workers N]
                      [--batch K] [--bench-out F]
   phastlane lab compare SPEC [--name NAME] [--baseline-dir DIR] [--workers N]
                      [--batch K] [--tol-mean T] [--tol-p99 T]
                      [--tol-saturation T] [--tol-throughput T]
+  phastlane analyze  [--net N] [--mesh WxH] [--fault-plan F | --fault-rate R]
+                     [--fault-seed S] [--json] [--out FILE]
+  phastlane analyze  --ring LEN | --spec FILE [--json]
+  phastlane analyze  --src [--root DIR] [--allow FILE] [--emit-allow FILE]
   phastlane trace gen    [--benchmark B] [--scale S] [--out FILE]
   phastlane trace info   FILE
   phastlane trace replay FILE [--net N]
@@ -983,6 +988,20 @@ fault injection (simulate, sweep, chaos):
   --fault-seed S        seed for the random plan and fault-path RNG (default 1)
   --retry-limit L       retries before a message is declared undeliverable
 
+static verification (analyze; no cycles simulated):
+  default mode          channel-dependency-graph deadlock check (minimal
+                        witness cycle when cyclic), residual connectivity
+                        under the fault plan's worst-case view (predicted
+                        undeliverable pairs), optical loss-budget envelope
+                        (effective hops under laser droop)
+  --ring LEN            known-deadlocking reference: naive DOR on a
+                        unidirectional torus ring, always yields a witness
+  --spec FILE           lint a lab spec; statically doomed matrices exit
+                        non-zero (same gate as `lab run --preflight`)
+  --src                 scan crates/*/src for determinism hazards
+                        (wall-clock, hash-iteration, ambient-env) against
+                        an allowlist of audited exceptions
+
 lab spec keys (one `key value...` per line, # comments):
   name mesh seed nets patterns rates intensities replicas
   warmup measure drain retry-limit benchmarks scale max-cycles batch
@@ -1021,6 +1040,7 @@ pub fn dispatch(p: &Parsed) -> Result<String, ArgError> {
         Some("sweep") => cmd_sweep(p),
         Some("chaos") => cmd_chaos(p),
         Some("lab") => crate::lab::cmd_lab(p),
+        Some("analyze") => crate::analyze::cmd_analyze(p),
         Some("trace") => cmd_trace(p),
         Some("trace-dump") => cmd_trace_dump(p),
         Some("design") => cmd_design(p),

@@ -83,6 +83,24 @@ fn execute(p: &Parsed, spec: &LabSpec) -> Result<(LabReport, String), ArgError> 
     }
     let progress = parse_progress(p)?;
 
+    // --preflight: statically verify the matrix before spending a
+    // single cycle on it. Errors (partitioned pattern pairs, an
+    // infeasible optical envelope, out-of-range sabotage) refuse the
+    // run with a non-zero exit; warnings are printed and the run
+    // proceeds.
+    let mut preflight_note = String::new();
+    if p.flag("preflight") {
+        let findings = phastlane_analyze::preflight(&spec).map_err(ArgError)?;
+        let warnings = findings.len();
+        preflight_note = format!(
+            "preflight: statically clean ({warnings} warning(s))\n{}",
+            findings
+                .iter()
+                .map(|f| format!("  {f}\n"))
+                .collect::<String>()
+        );
+    }
+
     // --resume JOURNAL: replay the finished jobs of an interrupted run.
     // The journal header pins the exact spec encoding, so resuming with
     // a different spec (or different spec-shaping flags) is an error,
@@ -148,6 +166,7 @@ fn execute(p: &Parsed, spec: &LabSpec) -> Result<(LabReport, String), ArgError> 
         spec.mesh.height(),
         spec.seed,
     );
+    out.push_str(&preflight_note);
     out.push_str(&resume_note);
     out.push_str(&format!(
         "{:>4} {:>12} {:>10} {:>6} {:>9} {:>8} {:>7} {:>9}\n",
@@ -834,6 +853,36 @@ mod tests {
         assert!(text.contains("\"panicked\""), "{text}");
         assert!(text.contains("\"timed_out\""), "{text}");
         assert!(text.contains("livelock"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn preflight_annotates_a_clean_spec() {
+        let dir = scratch("preflight-clean");
+        let spec = write_spec(&dir, SPEC);
+        let out = cmd_lab(&parsed(&["lab", "run", &spec, "--preflight"])).expect("clean spec runs");
+        assert!(out.contains("preflight: statically clean"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn preflight_refuses_a_statically_doomed_spec() {
+        let dir = scratch("preflight-doomed");
+        // Intensity 1.0 activates every samplable fault: the worst-case
+        // static view partitions pairs, so the matrix is doomed before
+        // cycle 0 and --preflight must refuse it (non-zero exit via Err).
+        let spec = write_spec(
+            &dir,
+            "name doomed\nmesh 4x4\nseed 7\nnets optical4\npatterns transpose\n\
+             rates 0.02\nintensities 1.0\nwarmup 50\nmeasure 100\ndrain 400\n",
+        );
+        let err = cmd_lab(&parsed(&["lab", "run", &spec, "--preflight"]))
+            .expect_err("doomed spec must be refused");
+        let msg = err.to_string();
+        assert!(msg.contains("statically doomed"), "{msg}");
+        // Without the gate the same spec is accepted (and would burn
+        // cycles discovering the partition dynamically).
+        cmd_lab(&parsed(&["lab", "run", &spec])).expect("ungated run proceeds");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

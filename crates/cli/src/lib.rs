@@ -5,6 +5,7 @@
 //! The binary in `main.rs` is a thin wrapper; everything lives here so
 //! integration tests can drive the real command path in-process.
 
+pub mod analyze;
 pub mod args;
 pub mod commands;
 pub mod lab;

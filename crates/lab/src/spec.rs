@@ -27,7 +27,6 @@
 
 use crate::runner;
 use phastlane_netsim::geometry::Mesh;
-use phastlane_netsim::rng::SimRng;
 use phastlane_traffic::{splash2, Pattern};
 
 /// A declarative description of an experiment matrix.
@@ -202,7 +201,7 @@ impl LabSpec {
     /// rates and intensities.
     pub fn parse(text: &str) -> Result<LabSpec, String> {
         let mut spec = LabSpec::default();
-        let mut seen: Vec<String> = Vec::new();
+        let mut seen: Vec<(String, usize)> = Vec::new();
         for (ln, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -212,10 +211,10 @@ impl LabSpec {
             let mut words = line.split_whitespace();
             let key = words.next().expect("non-empty line has a first word");
             let values: Vec<&str> = words.collect();
-            if seen.iter().any(|k| k == key) {
-                return Err(err("duplicate key"));
+            if let Some((_, first)) = seen.iter().find(|(k, _)| k == key) {
+                return Err(err(&format!("duplicate key (first set at line {first})")));
             }
-            seen.push(key.to_string());
+            seen.push((key.to_string(), ln + 1));
             if values.is_empty() {
                 return Err(err("key needs at least one value"));
             }
@@ -489,11 +488,14 @@ pub struct JobSpec {
 }
 
 /// Derives an independent seed stream from a base seed and a stream
-/// index through [`SimRng`]. The derivation is a pure function of its
-/// arguments — thread scheduling can never influence it.
+/// index. The derivation is a pure function of its arguments — thread
+/// scheduling can never influence it.
+///
+/// Delegates to [`phastlane_netsim::rng::derive_stream`], the
+/// workspace's one seed-derivation function; its output stream is
+/// pinned there by unit tests, so committed baselines keep their seeds.
 pub fn derive_seed(base: u64, stream: u64) -> u64 {
-    let mut rng = SimRng::seed_from_u64(base ^ (stream + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    rng.next_u64()
+    phastlane_netsim::rng::derive_stream(base, stream)
 }
 
 /// Expands a spec into its ordered job list: synthetic cells first
@@ -696,6 +698,23 @@ max-cycles 500000
         ] {
             assert!(LabSpec::parse(bad).is_err(), "{bad:?} accepted");
         }
+    }
+
+    #[test]
+    fn duplicate_keys_report_both_lines() {
+        // A duplicate key is a hard, line-numbered error that names where
+        // the key was first set — last-wins silent overrides would make a
+        // fat-fingered spec run the wrong matrix.
+        let err = LabSpec::parse("seed 1\nseed 2\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("duplicate key"), "{err}");
+        assert!(err.contains("first set at line 1"), "{err}");
+        // Comments and blanks don't shift the reported lines.
+        let err = LabSpec::parse("# header\n\nmesh 4x4\nseed 1\n\nmesh 8x8\n").unwrap_err();
+        assert!(err.contains("line 6"), "{err}");
+        assert!(err.contains("first set at line 3"), "{err}");
+        // Values never alias keys: repeating a *value* is fine.
+        assert!(LabSpec::parse("rates 0.02 0.02\n").is_ok());
     }
 
     #[test]

@@ -105,12 +105,11 @@ impl Journey {
 }
 
 /// splitmix64 finalizer over `seed ^ f(id)` — the sampling decision is a
-/// pure function of (seed, packet id), independent of event order.
+/// pure function of (seed, packet id), independent of event order. The
+/// shared [`crate::rng::mix64`] stream is pinned by its own unit tests,
+/// so committed flight dumps keep their sampling forever.
 fn mix(seed: u64, id: u64) -> u64 {
-    let mut z = seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    crate::rng::mix64(seed, id)
 }
 
 /// The per-network journey recorder. Attach via

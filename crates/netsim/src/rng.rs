@@ -24,14 +24,49 @@
 //! let _ = coin;
 //! ```
 
+/// The golden-ratio increment of SplitMix64, shared by every seed mixer
+/// in the workspace.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// One step of SplitMix64: the standard 64-bit seed expander.
 #[inline]
 fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    *state = state.wrapping_add(GOLDEN_GAMMA);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// SplitMix64 finalizer over `seed ^ (stream * golden-gamma)`: a pure
+/// stateless hash of a `(seed, stream)` pair.
+///
+/// This is the workspace's one sampling hash — the flight recorder's
+/// packet-pinning decision (`mix64(seed, packet_id) % interval == 0`)
+/// is built on it. The output stream is **pinned by unit tests**:
+/// changing it silently reshuffles every committed flight-recorder dump.
+#[inline]
+#[must_use]
+pub fn mix64(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(GOLDEN_GAMMA);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives an independent seed for stream `stream` of a master seed:
+/// seed a [`SimRng`] from `base ^ ((stream + 1) * golden-gamma)` and
+/// take its first word. A pure function of its arguments — thread
+/// scheduling can never influence it.
+///
+/// This is the workspace's one per-job seed derivation — the lab's
+/// matrix expansion (`JobSpec::seed`, `JobSpec::fault_seed`) is built
+/// on it. The output stream is **pinned by unit tests**: changing it
+/// silently reshuffles every committed lab baseline.
+#[must_use]
+pub fn derive_stream(base: u64, stream: u64) -> u64 {
+    let mut rng = SimRng::seed_from_u64(base ^ (stream.wrapping_add(1)).wrapping_mul(GOLDEN_GAMMA));
+    rng.next_u64()
 }
 
 /// A deterministic xoshiro256++ generator.
@@ -228,6 +263,38 @@ mod tests {
     fn empty_range_rejected() {
         let mut r = SimRng::seed_from_u64(4);
         let _ = r.gen_range(5..5usize);
+    }
+
+    #[test]
+    fn mix64_stream_is_pinned() {
+        // These exact values back the flight recorder's seeded sampling:
+        // every committed flight dump assumes them. Never "improve" this
+        // hash — add a new function instead.
+        assert_eq!(mix64(0, 0), 0x0000_0000_0000_0000);
+        assert_eq!(mix64(7, 1), 0xF75F_04CB_B5A1_A1DD);
+        assert_eq!(mix64(7, 64), 0x66CD_2581_3E9B_65B8);
+        assert_eq!(mix64(42, 12345), 0x05E1_36A1_322B_B773);
+    }
+
+    #[test]
+    fn derive_stream_is_pinned() {
+        // These exact values back every lab job seed (`JobSpec::seed`,
+        // `JobSpec::fault_seed`): every committed lab baseline assumes
+        // them. Never reseed differently — add a new function instead.
+        assert_eq!(derive_stream(7, 0), 0x88F1_F658_4401_C8CC);
+        assert_eq!(derive_stream(7, 1), 0x8BD8_A0BC_D470_C2B0);
+        assert_eq!(derive_stream(11, 3), 0x583A_6E92_4C7D_553F);
+        assert_eq!(derive_stream(7, 0xFA17_0000), 0x2F50_39A6_9C0E_5E2E);
+    }
+
+    #[test]
+    fn mix64_and_derive_stream_are_distinct_streams() {
+        // The two mixers deliberately differ (stateless finalizer vs.
+        // xoshiro first word): collapsing them would alias the flight
+        // recorder's sampling onto the lab's seed schedule.
+        for (seed, stream) in [(0, 0), (7, 1), (42, 12345)] {
+            assert_ne!(mix64(seed, stream), derive_stream(seed, stream));
+        }
     }
 
     #[test]
