@@ -75,6 +75,9 @@ pub const VALUE_KEYS: &[&str] = &[
     "allow",
     "emit-allow",
     "root",
+    "addr",
+    "queue-depth",
+    "state-dir",
 ];
 
 impl Parsed {
@@ -201,6 +204,32 @@ mod tests {
         // Values may themselves contain '='.
         let p = parse(&["--out=a=b.json"]);
         assert_eq!(p.get("out"), Some("a=b.json"));
+    }
+
+    #[test]
+    fn option_values_containing_colons_round_trip() {
+        // Regression: network addresses carry ':' (ports) and IPv6
+        // brackets; both the space form and the '=' form must bind the
+        // value verbatim instead of mangling or flagging it.
+        let p = parse(&["serve", "--addr", "127.0.0.1:9090"]);
+        assert_eq!(p.get("addr"), Some("127.0.0.1:9090"));
+        let p = parse(&["serve", "--addr=[::1]:8080"]);
+        assert_eq!(p.get("addr"), Some("[::1]:8080"));
+        assert!(!p.flag("addr"));
+        let p = parse(&[
+            "client",
+            "submit",
+            "spec.lab",
+            "--addr=0.0.0.0:7690",
+            "--state-dir",
+            "/tmp/with:colon",
+            "--queue-depth",
+            "4",
+        ]);
+        assert_eq!(p.positional(1), Some("submit"));
+        assert_eq!(p.get("addr"), Some("0.0.0.0:7690"));
+        assert_eq!(p.get("state-dir"), Some("/tmp/with:colon"));
+        assert_eq!(p.get_parsed("queue-depth", 16).unwrap(), 4);
     }
 
     #[test]

@@ -944,6 +944,13 @@ USAGE:
   phastlane lab compare SPEC [--name NAME] [--baseline-dir DIR] [--workers N]
                      [--batch K] [--tol-mean T] [--tol-p99 T]
                      [--tol-saturation T] [--tol-throughput T]
+  phastlane serve    [--addr A] [--workers N] [--queue-depth D]
+                     [--state-dir DIR] [--baseline-dir DIR] [--allow-shutdown]
+  phastlane client submit SPEC [--addr A] [--workers N] [--wait]
+                     [--report-out F]
+  phastlane client status ID [--addr A]
+  phastlane client watch  ID [--addr A]
+  phastlane client shutdown  [--addr A]
   phastlane analyze  [--net N] [--mesh WxH] [--fault-plan F | --fault-rate R]
                      [--fault-seed S] [--json] [--out FILE]
   phastlane analyze  --ring LEN | --spec FILE [--json]
@@ -972,6 +979,17 @@ lab progress (lab run):
                         finished with rolling cycles/s + ETA) to stderr or
                         FILE; purely observational, canonical report is
                         byte-identical
+
+serving (serve, client):
+  --addr A              bind/target address (default 127.0.0.1:7690)
+  --queue-depth D       queued jobs beyond D are rejected with HTTP 429
+  --state-dir DIR       persist job specs/status/reports/journals so a
+                        restarted server recovers finished results and
+                        resumes interrupted runs from their journals
+  --allow-shutdown      honour POST /shutdown (otherwise signals only)
+  --wait                client submit: poll until the job is terminal
+  --report-out F        client submit: fetch the canonical report and
+                        write it verbatim (byte-identical to `lab run`)
 
 crash safety (lab run):
   --journal FILE        checkpoint every finished job to an append-only
@@ -1040,6 +1058,8 @@ pub fn dispatch(p: &Parsed) -> Result<String, ArgError> {
         Some("sweep") => cmd_sweep(p),
         Some("chaos") => cmd_chaos(p),
         Some("lab") => crate::lab::cmd_lab(p),
+        Some("serve") => crate::serve_cmd::cmd_serve(p),
+        Some("client") => crate::serve_cmd::cmd_client(p),
         Some("analyze") => crate::analyze::cmd_analyze(p),
         Some("trace") => cmd_trace(p),
         Some("trace-dump") => cmd_trace_dump(p),

@@ -9,3 +9,4 @@ pub mod analyze;
 pub mod args;
 pub mod commands;
 pub mod lab;
+pub mod serve_cmd;

@@ -83,7 +83,13 @@ impl<'a> Progress<'a> {
     }
 
     fn event(kind: &str, mut fields: Vec<(String, JsonValue)>) -> JsonValue {
-        let mut pairs = vec![("event".into(), JsonValue::Str(kind.into()))];
+        let mut pairs = vec![
+            ("event".into(), JsonValue::Str(kind.into())),
+            (
+                "schema_version".into(),
+                JsonValue::Uint(phastlane_netsim::obs::EVENT_SCHEMA_VERSION),
+            ),
+        ];
         pairs.append(&mut fields);
         JsonValue::Obj(pairs)
     }
@@ -466,6 +472,11 @@ mod tests {
         for line in &lines {
             let v = phastlane_netsim::obs::json::parse(line).expect("each line is one JSON object");
             kinds.push(v.get("event").and_then(|e| e.as_str()).unwrap().to_string());
+            assert_eq!(
+                v.get("schema_version").and_then(|s| s.as_u64()),
+                Some(phastlane_netsim::obs::EVENT_SCHEMA_VERSION),
+                "every lifecycle event is schema-stamped: {line}"
+            );
         }
         assert_eq!(kinds[0], "lab_started");
         assert_eq!(kinds[lines.len() - 1], "lab_finished");

@@ -1,0 +1,380 @@
+//! Multi-subscriber fan-out for NDJSON event streams.
+//!
+//! The [`EventSink`](crate::obs::EventSink) writes one JSON line per
+//! lifecycle event to a single writer. A job service needs the opposite
+//! cardinality: one producing run, any number of watching HTTP clients,
+//! each arriving and leaving at its own pace. [`EventFanout`] is that
+//! junction:
+//!
+//! * the producer side is an ordinary [`Write`] handle
+//!   ([`EventFanout::writer`]), so an existing `EventSink` plugs in
+//!   unchanged — workers keep the sink's never-block contract because
+//!   publishing is a short mutex push, never I/O;
+//! * every line is appended to a bounded replay **history**, so a
+//!   subscriber that connects late (or after the run finished) still
+//!   sees the whole stream up to the history cap;
+//! * each [`FanoutSubscriber`] owns a bounded queue. A slow consumer
+//!   sheds its *own* events — drops are counted per subscriber and
+//!   reported when the stream ends, never inflicted on the producer or
+//!   on other subscribers;
+//! * [`close`](EventFanout::close) marks the stream complete; drained
+//!   subscribers then observe [`FanoutPoll::Closed`] with their final
+//!   drop accounting.
+//!
+//! Consumers *poll*: the fan-out never blocks anyone, in either
+//! direction. The serving layer's event threads sleep between polls and
+//! do their socket writes outside the fan-out lock.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// Default bound on replayable history lines.
+pub const DEFAULT_HISTORY_CAPACITY: usize = 4096;
+
+/// Default bound on one subscriber's unconsumed lines.
+pub const DEFAULT_SUBSCRIBER_CAPACITY: usize = 4096;
+
+/// One subscriber's queue and accounting inside the shared state.
+struct SubState {
+    id: u64,
+    queue: VecDeque<Arc<str>>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Shared fan-out state behind one mutex; every operation is a short
+/// push/pop, never I/O.
+struct FanoutState {
+    history: VecDeque<Arc<str>>,
+    history_capacity: usize,
+    history_dropped: u64,
+    subscribers: Vec<SubState>,
+    next_sub: u64,
+    published: u64,
+    closed: bool,
+}
+
+/// A bounded, poll-driven broadcast hub for NDJSON event lines. See the
+/// module docs for the contract.
+pub struct EventFanout {
+    state: Mutex<FanoutState>,
+    sub_capacity: usize,
+}
+
+/// One `poll` result on a [`FanoutSubscriber`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FanoutPoll {
+    /// Lines published since the last poll (possibly empty — the stream
+    /// is still open, try again later).
+    Lines(Vec<Arc<str>>),
+    /// The stream is closed and this subscriber has consumed everything
+    /// it was queued; `dropped` is how many lines this subscriber shed.
+    Closed {
+        /// Lines this subscriber lost to its own queue bound.
+        dropped: u64,
+    },
+}
+
+impl EventFanout {
+    /// A fan-out with the given history and per-subscriber queue bounds
+    /// (each clamped to ≥ 1).
+    pub fn new(history_capacity: usize, sub_capacity: usize) -> Arc<EventFanout> {
+        Arc::new(EventFanout {
+            state: Mutex::new(FanoutState {
+                history: VecDeque::new(),
+                history_capacity: history_capacity.max(1),
+                history_dropped: 0,
+                subscribers: Vec::new(),
+                next_sub: 0,
+                published: 0,
+                closed: false,
+            }),
+            sub_capacity: sub_capacity.max(1),
+        })
+    }
+
+    /// A fan-out with the default bounds.
+    pub fn with_defaults() -> Arc<EventFanout> {
+        EventFanout::new(DEFAULT_HISTORY_CAPACITY, DEFAULT_SUBSCRIBER_CAPACITY)
+    }
+
+    /// Publishes one event line (without trailing newline) to the
+    /// history and every live subscriber. Short lock, no I/O, never
+    /// blocks on a consumer.
+    pub fn publish(&self, line: &str) {
+        let line: Arc<str> = Arc::from(line);
+        let mut s = self.state.lock().unwrap();
+        s.published += 1;
+        if s.history.len() >= s.history_capacity {
+            s.history.pop_front();
+            s.history_dropped += 1;
+        }
+        s.history.push_back(Arc::clone(&line));
+        for sub in &mut s.subscribers {
+            if sub.queue.len() >= sub.capacity {
+                sub.dropped += 1;
+            } else {
+                sub.queue.push_back(Arc::clone(&line));
+            }
+        }
+    }
+
+    /// Marks the stream complete. Idempotent; subscribers drain what
+    /// they have queued and then observe [`FanoutPoll::Closed`].
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+    }
+
+    /// Whether [`close`](EventFanout::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+
+    /// Total lines published so far.
+    pub fn published(&self) -> u64 {
+        self.state.lock().unwrap().published
+    }
+
+    /// Lines evicted from the replay history plus lines shed by
+    /// *current* subscribers — the fan-out's total loss accounting.
+    pub fn dropped(&self) -> u64 {
+        let s = self.state.lock().unwrap();
+        s.history_dropped + s.subscribers.iter().map(|sub| sub.dropped).sum::<u64>()
+    }
+
+    /// Registers a subscriber. Its queue starts with the replay history
+    /// (subject to the subscriber bound — overflow counts as dropped),
+    /// then receives every subsequently published line.
+    pub fn subscribe(self: &Arc<Self>) -> FanoutSubscriber {
+        let mut s = self.state.lock().unwrap();
+        let id = s.next_sub;
+        s.next_sub += 1;
+        let mut sub = SubState {
+            id,
+            queue: VecDeque::new(),
+            capacity: self.sub_capacity,
+            dropped: s.history_dropped,
+        };
+        for line in &s.history {
+            if sub.queue.len() >= sub.capacity {
+                sub.dropped += 1;
+            } else {
+                sub.queue.push_back(Arc::clone(line));
+            }
+        }
+        s.subscribers.push(sub);
+        FanoutSubscriber {
+            fanout: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// A [`Write`] adapter feeding complete lines into the fan-out —
+    /// hand it to [`EventSink::new`](crate::obs::EventSink::new) as the
+    /// sink's writer.
+    pub fn writer(self: &Arc<Self>) -> FanoutWriter {
+        FanoutWriter {
+            fanout: Arc::clone(self),
+            partial: Vec::new(),
+        }
+    }
+}
+
+/// One consumer's handle; drop it to unsubscribe.
+pub struct FanoutSubscriber {
+    fanout: Arc<EventFanout>,
+    id: u64,
+}
+
+impl FanoutSubscriber {
+    /// Takes every queued line. Returns [`FanoutPoll::Closed`] once the
+    /// stream is closed *and* the queue is empty.
+    pub fn poll(&self) -> FanoutPoll {
+        let mut s = self.fanout.state.lock().unwrap();
+        let closed = s.closed;
+        let sub = s
+            .subscribers
+            .iter_mut()
+            .find(|sub| sub.id == self.id)
+            .expect("subscriber still registered");
+        if sub.queue.is_empty() {
+            if closed {
+                return FanoutPoll::Closed {
+                    dropped: sub.dropped,
+                };
+            }
+            return FanoutPoll::Lines(Vec::new());
+        }
+        FanoutPoll::Lines(sub.queue.drain(..).collect())
+    }
+
+    /// Lines this subscriber has shed so far.
+    pub fn dropped(&self) -> u64 {
+        let s = self.fanout.state.lock().unwrap();
+        s.subscribers
+            .iter()
+            .find(|sub| sub.id == self.id)
+            .map_or(0, |sub| sub.dropped)
+    }
+}
+
+impl Drop for FanoutSubscriber {
+    fn drop(&mut self) {
+        let mut s = self.fanout.state.lock().unwrap();
+        s.subscribers.retain(|sub| sub.id != self.id);
+    }
+}
+
+/// [`Write`] adapter buffering bytes into complete `\n`-terminated
+/// lines and publishing each to the fan-out.
+pub struct FanoutWriter {
+    fanout: Arc<EventFanout>,
+    partial: Vec<u8>,
+}
+
+impl Write for FanoutWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.partial.extend_from_slice(buf);
+        while let Some(pos) = self.partial.iter().position(|&b| b == b'\n') {
+            let rest = self.partial.split_off(pos + 1);
+            let mut line = std::mem::replace(&mut self.partial, rest);
+            line.pop(); // the newline
+            self.fanout.publish(&String::from_utf8_lossy(&line));
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::json::JsonValue;
+    use crate::obs::EventSink;
+
+    fn lines_of(poll: FanoutPoll) -> Vec<String> {
+        match poll {
+            FanoutPoll::Lines(v) => v.iter().map(|l| l.to_string()).collect(),
+            FanoutPoll::Closed { .. } => panic!("unexpected close"),
+        }
+    }
+
+    #[test]
+    fn every_subscriber_sees_every_line_in_order() {
+        let f = EventFanout::new(64, 64);
+        let a = f.subscribe();
+        f.publish("one");
+        let b = f.subscribe(); // late: replays history
+        f.publish("two");
+        assert_eq!(lines_of(a.poll()), vec!["one", "two"]);
+        assert_eq!(lines_of(b.poll()), vec!["one", "two"]);
+        f.close();
+        assert_eq!(a.poll(), FanoutPoll::Closed { dropped: 0 });
+        assert_eq!(b.poll(), FanoutPoll::Closed { dropped: 0 });
+    }
+
+    #[test]
+    fn slow_subscriber_sheds_alone_with_accounting() {
+        let f = EventFanout::new(64, 2);
+        let slow = f.subscribe();
+        for i in 0..5 {
+            f.publish(&format!("l{i}"));
+        }
+        // The slow consumer kept the oldest two and shed three...
+        assert_eq!(lines_of(slow.poll()), vec!["l0", "l1"]);
+        assert_eq!(slow.dropped(), 3);
+        // ...while a fresh subscriber replays from history untouched
+        // (its own bound permitting).
+        let fresh = f.subscribe();
+        assert_eq!(lines_of(fresh.poll()).len(), 2);
+        assert_eq!(fresh.dropped(), 3, "over its own 2-line bound");
+        f.close();
+        assert_eq!(slow.poll(), FanoutPoll::Closed { dropped: 3 });
+        assert_eq!(f.published(), 5);
+    }
+
+    #[test]
+    fn late_subscriber_after_close_still_replays_then_ends() {
+        let f = EventFanout::new(64, 64);
+        f.publish("only");
+        f.close();
+        let late = f.subscribe();
+        assert_eq!(lines_of(late.poll()), vec!["only"]);
+        assert_eq!(late.poll(), FanoutPoll::Closed { dropped: 0 });
+    }
+
+    #[test]
+    fn history_eviction_is_counted_and_inherited() {
+        let f = EventFanout::new(2, 64);
+        for i in 0..5 {
+            f.publish(&format!("l{i}"));
+        }
+        assert_eq!(f.dropped(), 3, "history evictions");
+        let sub = f.subscribe();
+        assert_eq!(lines_of(sub.poll()), vec!["l3", "l4"]);
+        f.close();
+        assert_eq!(
+            sub.poll(),
+            FanoutPoll::Closed { dropped: 3 },
+            "a late subscriber inherits the eviction count so its \
+             consumer knows the stream is lossy"
+        );
+    }
+
+    #[test]
+    fn event_sink_plugs_into_the_writer_side() {
+        let f = EventFanout::with_defaults();
+        let sink = EventSink::new(Box::new(f.writer()), 64);
+        for i in 0..3u64 {
+            sink.emit(&JsonValue::Obj(vec![("i".to_string(), JsonValue::Uint(i))]));
+        }
+        let report = sink.finish();
+        assert_eq!(report.emitted, 3);
+        let sub = f.subscribe();
+        let lines = lines_of(sub.poll());
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let v = crate::obs::json::parse(line).expect("whole JSON lines");
+            assert_eq!(v.get("i").and_then(|x| x.as_u64()), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn concurrent_publishers_never_tear_lines() {
+        let f = EventFanout::new(10_000, 10_000);
+        let sub = f.subscribe();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let f = Arc::clone(&f);
+                scope.spawn(move || {
+                    let mut w = f.writer();
+                    for i in 0..100u64 {
+                        w.write_all(format!("{{\"v\": {}}}\n", t * 1000 + i).as_bytes())
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        f.close();
+        let mut seen = 0;
+        loop {
+            match sub.poll() {
+                FanoutPoll::Lines(lines) => {
+                    for line in &lines {
+                        crate::obs::json::parse(line).expect("interleaving never tears a line");
+                    }
+                    seen += lines.len();
+                }
+                FanoutPoll::Closed { dropped } => {
+                    assert_eq!(dropped, 0);
+                    break;
+                }
+            }
+        }
+        assert_eq!(seen, 400);
+    }
+}

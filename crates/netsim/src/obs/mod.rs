@@ -27,7 +27,11 @@
 //!    post-mortem diagnosis, riding the same [`Obs::emit`] path as the
 //!    trace buffer;
 //! 6. [`sink`] — a bounded, backpressure-aware NDJSON [`EventSink`] the
-//!    lab worker pool streams per-job lifecycle events through.
+//!    lab worker pool streams per-job lifecycle events through;
+//! 7. [`fanout`] — a poll-driven broadcast hub ([`EventFanout`])
+//!    multiplying one sink's NDJSON stream to any number of subscribers
+//!    (each with its own bounded queue and drop accounting), the
+//!    junction the `phastlane-serve` event endpoints hang off.
 //!
 //! # Cost model
 //!
@@ -41,6 +45,7 @@
 //! memory via eviction caps.
 
 pub mod event;
+pub mod fanout;
 pub mod flight;
 pub mod json;
 pub mod metrics;
@@ -49,8 +54,9 @@ pub mod report;
 pub mod sink;
 
 pub use event::{EventKind, Obs, Severity, SimEvent, TraceBuffer};
+pub use fanout::{EventFanout, FanoutPoll, FanoutSubscriber};
 pub use flight::{FlightRecorder, FlightStep, Journey};
 pub use metrics::{CycleTotals, MetricSample, MetricsCollector, MetricsSeries};
 pub use phase::{Phase, PhaseBreakdown, PhaseProfiler};
 pub use report::{PerfProfile, RunReport};
-pub use sink::{EventSink, SinkReport};
+pub use sink::{EventSink, SinkReport, EVENT_SCHEMA_VERSION};

@@ -28,6 +28,13 @@ use std::collections::VecDeque;
 use std::io::Write;
 use std::sync::Mutex;
 
+/// Version stamp carried by every NDJSON lifecycle event and by the
+/// `phastlane-serve` job-status JSON as a `schema_version` field, so
+/// API consumers can detect format drift instead of misparsing it.
+/// Bump it whenever an existing field changes meaning or shape; adding
+/// fields is backward-compatible and does not require a bump.
+pub const EVENT_SCHEMA_VERSION: u64 = 1;
+
 /// Delivery accounting returned by [`EventSink::finish`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SinkReport {

@@ -1,0 +1,719 @@
+//! The job server: a nonblocking accept loop, a bounded job queue, a
+//! persistent worker pool, and the route table tying HTTP paths to the
+//! registry, the event fan-outs, and the baseline store.
+//!
+//! Threading model (documented in DESIGN.md §Serving layer):
+//!
+//! * **accept thread** — polls a nonblocking listener, spawns one
+//!   short-lived handler thread per connection (one request per
+//!   connection, so there is no keep-alive state to manage);
+//! * **worker pool** — `workers` threads blocking on a condvar'd
+//!   `VecDeque<job id>`; each pops an id, runs the lab through the
+//!   exact same `run_lab_opts` entry point the CLI uses, and records
+//!   the canonical result;
+//! * **handler threads** — parse, route, respond, exit. Event-stream
+//!   handlers live as long as their subscriber but only ever *poll*
+//!   the fan-out; a slow or wedged consumer sheds events in its own
+//!   bounded queue and never blocks a worker.
+//!
+//! Determinism contract: the canonical report served for a job is the
+//! byte-for-byte output of `LabReport::canonical_json().to_string_pretty()`
+//! — the same bytes `phastlane lab run --report-out` writes — no matter
+//! how many sessions are submitting, watching, or polling concurrently.
+
+use crate::http;
+use crate::registry::{Registry, WorkItem};
+use phastlane_lab::journal::Journal;
+use phastlane_lab::scheduler::{run_lab_opts, RunOptions};
+use phastlane_lab::spec::LabSpec;
+use phastlane_lab::store::{self, StoreError};
+use phastlane_netsim::obs::json::{self, JsonValue};
+use phastlane_netsim::obs::{EventSink, FanoutPoll, EVENT_SCHEMA_VERSION};
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// How long a worker waits on the queue condvar before re-checking the
+/// shutdown flag.
+const QUEUE_POLL: Duration = Duration::from_millis(100);
+
+/// How long an event-stream handler sleeps between fan-out polls.
+const EVENT_POLL: Duration = Duration::from_millis(25);
+
+/// Server socket read timeout (a stalled peer cannot pin a handler).
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server socket write timeout.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Everything configurable about one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7690` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker-pool threads (concurrent jobs), clamped to ≥ 1.
+    pub workers: usize,
+    /// Most jobs allowed to wait in the queue; submissions beyond it
+    /// are rejected with `429`.
+    pub queue_depth: usize,
+    /// Directory the baseline endpoints read from.
+    pub baseline_dir: PathBuf,
+    /// Directory for job persistence; `None` disables persistence.
+    pub state_dir: Option<PathBuf>,
+    /// Whether `POST /shutdown` is honoured (CI and tests); without it
+    /// the endpoint answers `403` and only signals stop the server.
+    pub allow_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 16,
+            baseline_dir: PathBuf::from("results/baselines"),
+            state_dir: None,
+            allow_shutdown: false,
+        }
+    }
+}
+
+/// State shared by the accept loop, handlers, and the worker pool.
+struct Shared {
+    registry: Registry,
+    queue: Mutex<VecDeque<u64>>,
+    queue_cv: Condvar,
+    queue_depth: usize,
+    baseline_dir: PathBuf,
+    allow_shutdown: bool,
+    shutdown: AtomicBool,
+    rejected: AtomicU64,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.queue_cv.notify_all();
+    }
+}
+
+/// Final accounting returned by [`ServerHandle::join`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeSummary {
+    /// `[total, queued, running, done, failed, cancelled]` job counts
+    /// at shutdown.
+    pub jobs: [u64; 6],
+    /// Submissions rejected with `429`.
+    pub rejected: u64,
+}
+
+/// A running server: its bound address plus the handles needed to stop
+/// it and reap its threads.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: String,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves `:0` to the chosen port).
+    pub fn local_addr(&self) -> &str {
+        &self.local_addr
+    }
+
+    /// Asks the server to stop: no new jobs are accepted, queued jobs
+    /// are cancelled, and in-flight runs are cancelled cooperatively.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+        self.shared.registry.cancel_all();
+    }
+
+    /// Whether a shutdown was requested (by signal, endpoint, or
+    /// [`request_shutdown`](ServerHandle::request_shutdown)).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Stops the server (idempotent with
+    /// [`request_shutdown`](ServerHandle::request_shutdown)), waits for
+    /// the accept loop and every worker to exit, and returns the final
+    /// accounting. Job state was persisted at every transition, so
+    /// nothing extra needs flushing here.
+    pub fn join(self) -> ServeSummary {
+        self.request_shutdown();
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        ServeSummary {
+            jobs: self.shared.registry.counts(),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Binds, recovers persisted jobs, starts the pool, and begins
+/// accepting connections.
+///
+/// # Errors
+///
+/// If the address cannot be bound or the state directory cannot be
+/// opened.
+pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot set nonblocking: {e}"))?;
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot read bound address: {e}"))?
+        .to_string();
+
+    let (registry, requeue) = Registry::open(config.state_dir.as_deref())?;
+    let shared = Arc::new(Shared {
+        registry,
+        queue: Mutex::new(requeue.into_iter().collect()),
+        queue_cv: Condvar::new(),
+        queue_depth: config.queue_depth.max(1),
+        baseline_dir: config.baseline_dir.clone(),
+        allow_shutdown: config.allow_shutdown,
+        shutdown: AtomicBool::new(false),
+        rejected: AtomicU64::new(0),
+    });
+
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(&listener, &shared))
+    };
+
+    Ok(ServerHandle {
+        shared,
+        local_addr,
+        accept,
+        workers,
+    })
+}
+
+/// Polls the nonblocking listener, handing each connection to its own
+/// short-lived thread. Polling (instead of a blocking accept) is what
+/// lets a signal-initiated shutdown take effect promptly: glibc
+/// installs signal handlers with `SA_RESTART`, so a blocking `accept`
+/// would simply resume after the handler ran.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || handle_connection(&shared, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// One pool worker: pop a job id, run it, repeat until shutdown.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let id = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(id) = q.pop_front() {
+                    break Some(id);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(q, QUEUE_POLL)
+                    .expect("queue lock");
+                q = guard;
+            }
+        };
+        match id {
+            Some(id) => run_job(shared, id),
+            None => return,
+        }
+    }
+}
+
+/// Runs one job through the same entry point the CLI uses. Progress
+/// flows through an [`EventSink`] writing into the job's fan-out;
+/// none of the attached plumbing (sink, journal, cancel token) can
+/// change a canonical bit of the report.
+fn run_job(shared: &Shared, id: u64) {
+    // A job cancelled while queued answers `start` with None.
+    let Some(item) = shared.registry.start(id) else {
+        return;
+    };
+    let WorkItem {
+        spec,
+        workers,
+        resumed,
+        cancel,
+        events,
+        journal_path,
+        ..
+    } = item;
+
+    let sink = EventSink::new(Box::new(events.writer()), EventSink::DEFAULT_CAPACITY);
+    let journal = journal_path
+        .as_deref()
+        .and_then(|p| Journal::create(p, &spec).ok());
+    if let Some(j) = &journal {
+        // Re-pin recovered records so the journal stays complete if
+        // this process also dies mid-run.
+        for rec in &resumed {
+            j.append(rec);
+        }
+    }
+
+    let result = run_lab_opts(
+        &spec,
+        RunOptions {
+            workers,
+            progress: Some(&sink),
+            journal: journal.as_ref(),
+            resumed,
+            cancel: Some(&cancel),
+        },
+    );
+    sink.finish();
+
+    let cancelled = cancel.is_cancelled();
+    let outcome = result.map(|report| report.canonical_json().to_string_pretty());
+    shared.registry.finish(id, outcome, cancelled);
+}
+
+/// Reads, routes, and answers one request, then closes the connection.
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    match http::read_request(&mut reader) {
+        Ok(Some(req)) => route(shared, &req, &mut writer),
+        Ok(None) => {}
+        Err(e) => {
+            let _ = http::respond(
+                &mut writer,
+                400,
+                "application/json",
+                error_body(&e).as_bytes(),
+            );
+        }
+    }
+}
+
+/// A one-field JSON error payload.
+fn error_body(message: &str) -> String {
+    JsonValue::Obj(vec![
+        (
+            "schema_version".into(),
+            JsonValue::Uint(EVENT_SCHEMA_VERSION),
+        ),
+        ("error".into(), JsonValue::Str(message.into())),
+    ])
+    .to_string_pretty()
+}
+
+fn respond_json(w: &mut impl Write, status: u16, body: &JsonValue) {
+    let _ = http::respond(
+        w,
+        status,
+        "application/json",
+        body.to_string_pretty().as_bytes(),
+    );
+}
+
+fn respond_error(w: &mut impl Write, status: u16, message: &str) {
+    let _ = http::respond(
+        w,
+        status,
+        "application/json",
+        error_body(message).as_bytes(),
+    );
+}
+
+/// The route table.
+fn route(shared: &Arc<Shared>, req: &http::Request, w: &mut impl Write) {
+    let path = req.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => submit_job(shared, &req.body, w),
+        ("GET", ["jobs"]) => respond_json(w, 200, &shared.registry.list_json()),
+        ("GET", ["jobs", id]) => {
+            match parse_id(id).and_then(|id| shared.registry.status_json(id)) {
+                Some(status) => respond_json(w, 200, &status),
+                None => respond_error(w, 404, "no such job"),
+            }
+        }
+        ("GET", ["jobs", id, "report"]) => {
+            match parse_id(id).and_then(|id| shared.registry.report(id)) {
+                // The exact canonical bytes `lab run --report-out`
+                // writes — this is what CI `cmp`s.
+                Some(report) => {
+                    let _ = http::respond(w, 200, "application/json", report.as_bytes());
+                }
+                None => respond_error(w, 404, "report not available"),
+            }
+        }
+        ("GET", ["jobs", id, "events"]) => stream_events(shared, parse_id(id), w),
+        ("POST", ["jobs", id, "cancel"]) => {
+            match parse_id(id).and_then(|id| shared.registry.cancel(id).map(|s| (id, s))) {
+                Some((id, status)) => respond_json(
+                    w,
+                    200,
+                    &JsonValue::Obj(vec![
+                        (
+                            "schema_version".into(),
+                            JsonValue::Uint(EVENT_SCHEMA_VERSION),
+                        ),
+                        ("id".into(), JsonValue::Uint(id)),
+                        ("status".into(), JsonValue::Str(status.label().into())),
+                    ]),
+                ),
+                None => respond_error(w, 404, "no such job"),
+            }
+        }
+        ("GET", ["baselines"]) => list_baselines(shared, w),
+        ("GET", ["baselines", name]) => read_baseline(shared, name, w),
+        ("GET", ["healthz"]) => respond_json(
+            w,
+            200,
+            &JsonValue::Obj(vec![
+                (
+                    "schema_version".into(),
+                    JsonValue::Uint(EVENT_SCHEMA_VERSION),
+                ),
+                ("status".into(), JsonValue::Str("ok".into())),
+            ]),
+        ),
+        ("GET", ["statsz"]) => respond_json(w, 200, &stats_json(shared)),
+        ("POST", ["shutdown"]) => {
+            if shared.allow_shutdown {
+                shared.request_shutdown();
+                shared.registry.cancel_all();
+                respond_json(
+                    w,
+                    200,
+                    &JsonValue::Obj(vec![
+                        (
+                            "schema_version".into(),
+                            JsonValue::Uint(EVENT_SCHEMA_VERSION),
+                        ),
+                        ("status".into(), JsonValue::Str("shutting_down".into())),
+                    ]),
+                );
+            } else {
+                respond_error(w, 403, "shutdown endpoint disabled; send SIGTERM instead");
+            }
+        }
+        ("GET" | "POST", _) => respond_error(w, 404, "no such route"),
+        _ => respond_error(w, 405, "method not allowed"),
+    }
+}
+
+fn parse_id(s: &str) -> Option<u64> {
+    s.parse().ok()
+}
+
+/// `POST /jobs`: body is either a raw lab spec or a JSON envelope
+/// `{"spec": "...", "workers": N}`. The spec must parse *and* pass the
+/// static preflight — a statically doomed spec is a client error, not
+/// a queued failure.
+fn submit_job(shared: &Shared, body: &[u8], w: &mut impl Write) {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return respond_error(w, 400, "body is not UTF-8");
+    };
+    let (spec_text, workers) = if text.trim_start().starts_with('{') {
+        let parsed = match json::parse(text) {
+            Ok(v) => v,
+            Err(e) => return respond_error(w, 400, &format!("bad JSON envelope: {e:?}")),
+        };
+        let Some(spec) = parsed.get("spec").and_then(JsonValue::as_str) else {
+            return respond_error(w, 400, "JSON envelope is missing a \"spec\" string");
+        };
+        let workers = parsed
+            .get("workers")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(1) as usize;
+        (spec.to_string(), workers)
+    } else {
+        (text.to_string(), 1)
+    };
+    let spec = match LabSpec::parse(&spec_text) {
+        Ok(s) => s,
+        Err(e) => return respond_error(w, 400, &format!("bad spec: {e}")),
+    };
+    if let Err(e) = phastlane_analyze::preflight(&spec) {
+        return respond_error(w, 400, &format!("preflight failed: {e}"));
+    }
+    if shared.shutting_down() {
+        return respond_error(w, 503, "server is shutting down");
+    }
+    // Depth check and submit under the queue lock so concurrent
+    // submissions cannot both squeeze into the last slot.
+    let id = {
+        let mut q = shared.queue.lock().expect("queue lock");
+        if shared.registry.queued_count() >= shared.queue_depth {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            drop(q);
+            return respond_error(w, 429, "job queue is full, retry later");
+        }
+        let id = shared.registry.submit(spec, workers.max(1));
+        q.push_back(id);
+        shared.queue_cv.notify_one();
+        id
+    };
+    respond_json(
+        w,
+        202,
+        &JsonValue::Obj(vec![
+            (
+                "schema_version".into(),
+                JsonValue::Uint(EVENT_SCHEMA_VERSION),
+            ),
+            ("id".into(), JsonValue::Uint(id)),
+            ("status".into(), JsonValue::Str("queued".into())),
+        ]),
+    );
+}
+
+/// `GET /jobs/<id>/events`: a chunked NDJSON stream. The handler only
+/// ever polls the subscriber's own bounded queue — backpressure from
+/// this socket sheds events for this subscriber alone and is reported
+/// in the terminal `stream_end` line.
+fn stream_events(shared: &Shared, id: Option<u64>, w: &mut impl Write) {
+    let Some(sub) = id.and_then(|id| shared.registry.subscribe(id)) else {
+        return respond_error(w, 404, "no such job");
+    };
+    if http::start_chunked(w, 200, "application/x-ndjson").is_err() {
+        return;
+    }
+    loop {
+        match sub.poll() {
+            FanoutPoll::Lines(lines) => {
+                if lines.is_empty() {
+                    std::thread::sleep(EVENT_POLL);
+                    continue;
+                }
+                let mut chunk = String::new();
+                for line in lines {
+                    chunk.push_str(&line);
+                    chunk.push('\n');
+                }
+                if http::write_chunk(w, chunk.as_bytes()).is_err() {
+                    return; // peer went away; subscriber drops on return
+                }
+            }
+            FanoutPoll::Closed { dropped } => {
+                let end = JsonValue::Obj(vec![
+                    ("event".into(), JsonValue::Str("stream_end".into())),
+                    (
+                        "schema_version".into(),
+                        JsonValue::Uint(EVENT_SCHEMA_VERSION),
+                    ),
+                    ("dropped".into(), JsonValue::Uint(dropped)),
+                ]);
+                let mut line = end.to_string_compact();
+                line.push('\n');
+                let _ = http::write_chunk(w, line.as_bytes());
+                let _ = http::end_chunked(w);
+                return;
+            }
+        }
+    }
+}
+
+/// `GET /baselines`: the recorded baseline names, sorted.
+fn list_baselines(shared: &Shared, w: &mut impl Write) {
+    let mut names = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(&shared.baseline_dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".json") {
+                names.push(stem.to_string());
+            }
+        }
+    }
+    names.sort();
+    respond_json(
+        w,
+        200,
+        &JsonValue::Obj(vec![
+            (
+                "schema_version".into(),
+                JsonValue::Uint(EVENT_SCHEMA_VERSION),
+            ),
+            (
+                "baselines".into(),
+                JsonValue::Arr(names.into_iter().map(JsonValue::Str).collect()),
+            ),
+        ]),
+    );
+}
+
+/// `GET /baselines/<name>`: the verified baseline payload. The
+/// checksum frame is validated on every read, so a torn or bit-rotted
+/// file answers `500`, never garbage.
+fn read_baseline(shared: &Shared, name: &str, w: &mut impl Write) {
+    if name.is_empty() || name.contains(['/', '\\']) || name.contains("..") {
+        return respond_error(w, 400, "invalid baseline name");
+    }
+    let path = shared.baseline_dir.join(format!("{name}.json"));
+    match store::read_checksummed(&path) {
+        Ok(payload) => {
+            let _ = http::respond(w, 200, "application/json", payload.as_bytes());
+        }
+        Err(StoreError::Missing(_)) => respond_error(w, 404, "no such baseline"),
+        Err(e) => respond_error(w, 500, &format!("baseline unreadable: {e}")),
+    }
+}
+
+/// `GET /statsz`: queue, job, rejection, and event-delivery counters.
+fn stats_json(shared: &Shared) -> JsonValue {
+    let [total, queued, running, done, failed, cancelled] = shared.registry.counts();
+    let (published, dropped) = shared.registry.event_totals();
+    JsonValue::Obj(vec![
+        (
+            "schema_version".into(),
+            JsonValue::Uint(EVENT_SCHEMA_VERSION),
+        ),
+        (
+            "jobs".into(),
+            JsonValue::Obj(vec![
+                ("total".into(), JsonValue::Uint(total)),
+                ("queued".into(), JsonValue::Uint(queued)),
+                ("running".into(), JsonValue::Uint(running)),
+                ("done".into(), JsonValue::Uint(done)),
+                ("failed".into(), JsonValue::Uint(failed)),
+                ("cancelled".into(), JsonValue::Uint(cancelled)),
+            ]),
+        ),
+        (
+            "queue_depth".into(),
+            JsonValue::Uint(shared.queue_depth as u64),
+        ),
+        (
+            "rejected".into(),
+            JsonValue::Uint(shared.rejected.load(Ordering::Relaxed)),
+        ),
+        (
+            "events".into(),
+            JsonValue::Obj(vec![
+                ("published".into(), JsonValue::Uint(published)),
+                ("dropped".into(), JsonValue::Uint(dropped)),
+            ]),
+        ),
+        (
+            "shutting_down".into(),
+            JsonValue::Bool(shared.shutting_down()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    fn test_server(config: ServerConfig) -> ServerHandle {
+        start(config).expect("server starts")
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let handle = test_server(ServerConfig::default());
+        let addr = handle.local_addr().to_string();
+        let (status, body) = client::request(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        let v = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(
+            v.get("schema_version").unwrap().as_u64(),
+            Some(EVENT_SCHEMA_VERSION)
+        );
+        let (status, _) = client::request(&addr, "GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client::request(&addr, "DELETE", "/healthz", None).unwrap();
+        assert_eq!(status, 405);
+        handle.join();
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_400() {
+        let handle = test_server(ServerConfig::default());
+        let addr = handle.local_addr().to_string();
+        let (status, body) =
+            client::request(&addr, "POST", "/jobs", Some(b"not a spec at all")).unwrap();
+        assert_eq!(status, 400);
+        let v = json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert!(v.get("error").unwrap().as_str().unwrap().contains("spec"));
+        let (status, _) =
+            client::request(&addr, "POST", "/jobs", Some(b"{\"no_spec\": 1}")).unwrap();
+        assert_eq!(status, 400);
+        handle.join();
+    }
+
+    #[test]
+    fn shutdown_endpoint_is_gated() {
+        let handle = test_server(ServerConfig::default());
+        let addr = handle.local_addr().to_string();
+        let (status, _) = client::request(&addr, "POST", "/shutdown", None).unwrap();
+        assert_eq!(status, 403, "disabled by default");
+        handle.join();
+
+        let handle = test_server(ServerConfig {
+            allow_shutdown: true,
+            ..ServerConfig::default()
+        });
+        let addr = handle.local_addr().to_string();
+        let (status, _) = client::request(&addr, "POST", "/shutdown", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(handle.shutdown_requested());
+        handle.join();
+    }
+
+    #[test]
+    fn baseline_names_are_validated() {
+        let handle = test_server(ServerConfig::default());
+        let addr = handle.local_addr().to_string();
+        let (status, _) = client::request(&addr, "GET", "/baselines/..%2Fetc", None).unwrap();
+        assert_eq!(status, 400);
+        let (status, _) =
+            client::request(&addr, "GET", "/baselines/definitely-missing", None).unwrap();
+        assert_eq!(status, 404);
+        handle.join();
+    }
+}

@@ -1,0 +1,102 @@
+//! Concurrent baseline-store access: HTTP readers racing a `lab
+//! record`-style writer must always see a fully committed file — the
+//! old payload or the new one, byte-for-byte — never a torn mix and
+//! never a checksum failure. The store's temp+fsync+rename discipline
+//! is what makes this hold; this test is the regression net over it.
+
+use phastlane_lab::store;
+use phastlane_serve::{client, server, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn readers_racing_a_writer_see_only_committed_baselines() {
+    let dir = std::env::temp_dir().join(format!("phastlane-store-race-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("baseline dir");
+
+    // Two payloads of very different sizes: a torn read (partial
+    // rename, interleaved write) could not masquerade as either.
+    let payload_a = format!(
+        "{{\n  \"marker\": \"A\",\n  \"fill\": \"{}\"\n}}",
+        "a".repeat(8_192)
+    );
+    let payload_b = format!(
+        "{{\n  \"marker\": \"B\",\n  \"fill\": \"{}\"\n}}",
+        "b".repeat(16_384)
+    );
+    let path = dir.join("racy.json");
+    store::write_checksummed(&path, &payload_a).expect("initial baseline");
+
+    let handle = server::start(ServerConfig {
+        baseline_dir: dir.clone(),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr().to_string();
+
+    // The listing sees the committed file.
+    let (status, body) = client::request(&addr, "GET", "/baselines", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        String::from_utf8_lossy(&body).contains("\"racy\""),
+        "listing includes the baseline"
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        let path = path.clone();
+        let (a, b) = (payload_a.clone(), payload_b.clone());
+        std::thread::spawn(move || {
+            let mut writes = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let payload = if writes.is_multiple_of(2) { &b } else { &a };
+                store::write_checksummed(&path, payload).expect("atomic rewrite");
+                writes += 1;
+            }
+            writes
+        })
+    };
+
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = addr.clone();
+            let (a, b) = (payload_a.clone(), payload_b.clone());
+            std::thread::spawn(move || {
+                let mut seen = 0u64;
+                for _ in 0..200 {
+                    let (status, body) =
+                        client::request(&addr, "GET", "/baselines/racy", None).expect("read");
+                    assert_eq!(
+                        status,
+                        200,
+                        "a committed baseline never reads corrupt: {}",
+                        String::from_utf8_lossy(&body)
+                    );
+                    let text = String::from_utf8(body).expect("utf-8 payload");
+                    assert!(
+                        text == a || text == b,
+                        "reader saw a torn baseline ({} bytes): {:.80}…",
+                        text.len(),
+                        text
+                    );
+                    seen += 1;
+                }
+                seen
+            })
+        })
+        .collect();
+
+    let mut reads = 0;
+    for r in readers {
+        reads += r.join().expect("reader thread");
+    }
+    stop.store(true, Ordering::Release);
+    let writes = writer.join().expect("writer thread");
+    assert_eq!(reads, 600);
+    assert!(writes > 0, "the writer actually raced the readers");
+
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
